@@ -1,0 +1,49 @@
+//! Global-search filter cost: NRemote evaluation with the decision-tree
+//! filter vs the bounding-box filter on a real snapshot of the synthetic
+//! workload (query cost per surface element, and the resulting shipment
+//! counts as reported quantities).
+
+use cip_contact::{n_remote, BboxFilter, DtreeFilter};
+use cip_core::SnapshotView;
+use cip_dtree::{induce, DtreeConfig};
+use cip_partition::{partition_kway, PartitionerConfig};
+use cip_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let k = 16;
+    let sim = cip_sim::run(&SimConfig::small());
+    let view = SnapshotView::build(&sim, sim.len() / 2, 5);
+    let asg = partition_kway(&view.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view.graph2.assignment_on_nodes(&asg);
+    let labels = view.contact.labels_from_node_parts(&node_parts);
+    let tree = induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
+    let elements = view.surface_elements(&node_parts);
+
+    eprintln!(
+        "workload: {} surface elements, {} contact points, tree {} nodes",
+        elements.len(),
+        view.contact.len(),
+        tree.num_nodes()
+    );
+    let dtf = DtreeFilter::new(&tree, k);
+    let bbf = BboxFilter::from_points(&view.contact.positions, &labels, k);
+    eprintln!(
+        "NRemote: dtree {}, bbox {}",
+        n_remote(&elements, &dtf),
+        n_remote(&elements, &bbf)
+    );
+
+    let mut group = c.benchmark_group("n_remote");
+    group.bench_function("dtree_filter", |b| {
+        b.iter(|| black_box(n_remote(&elements, &dtf)));
+    });
+    group.bench_function("bbox_filter", |b| {
+        b.iter(|| black_box(n_remote(&elements, &bbf)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

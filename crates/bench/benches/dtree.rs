@@ -1,0 +1,73 @@
+//! Decision-tree induction and query throughput: the per-snapshot cost of
+//! the paper's contact-search setup (NTNodes is its size; this measures
+//! its time).
+
+use cip_dtree::{induce, DtreeConfig};
+use cip_geom::{Aabb, Point, RcbTree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Ring-like contact point cloud with an RCB labeling of k parts.
+fn workload(n: usize, k: usize) -> (Vec<Point<3>>, Vec<u32>) {
+    let mut pts = Vec::with_capacity(n);
+    let mut state = 0xDEADBEEFu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f64 / 10_000.0
+    };
+    for i in 0..n {
+        let a = (i as f64) * 0.017;
+        let r = 30.0 + rnd() * 3.0;
+        pts.push(Point::new([r * a.cos(), r * a.sin(), rnd() * 6.0]));
+    }
+    let weights = vec![1.0; n];
+    let (_, labels) = RcbTree::build(&pts, &weights, k);
+    (pts, labels)
+}
+
+fn bench_induction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtree_induce");
+    group.sample_size(10);
+    for &n in &[2_000usize, 20_000] {
+        let (pts, labels) = workload(n, 16);
+        group.bench_with_input(BenchmarkId::new("purity", n), &n, |b, _| {
+            let cfg = DtreeConfig::search_tree();
+            b.iter(|| black_box(induce(&pts, &labels, 16, &cfg)));
+        });
+        group.bench_with_input(BenchmarkId::new("friendly", n), &n, |b, _| {
+            let cfg = DtreeConfig::friendly_tree(n / 32, n / 256);
+            b.iter(|| black_box(induce(&pts, &labels, 16, &cfg)));
+        });
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            let cfg =
+                DtreeConfig { parallel_threshold: usize::MAX, ..DtreeConfig::search_tree() };
+            b.iter(|| black_box(induce(&pts, &labels, 16, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtree_query_box");
+    let (pts, labels) = workload(20_000, 16);
+    let tree = induce(&pts, &labels, 16, &DtreeConfig::search_tree());
+    let queries: Vec<Aabb<3>> =
+        pts.iter().step_by(7).map(|p| Aabb::from_point(*p).inflate(1.5)).collect();
+    group.bench_function("20k_points/16_parts", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                tree.query_box(q, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_induction, bench_queries);
+criterion_main!(benches);

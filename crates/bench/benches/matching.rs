@@ -1,0 +1,33 @@
+//! Hungarian maximum-weight assignment cost vs part count — the per-step
+//! price of the ML+RCB baseline's optimized mesh-to-mesh mapping (and of
+//! scratch-remap repartitioning).
+
+use cip_partition::max_weight_assignment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn matrix(k: usize) -> Vec<i64> {
+    let mut state = 0x5151u64;
+    (0..k * k)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as i64
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &k in &[25usize, 100, 256] {
+        let w = matrix(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(max_weight_assignment(k, &w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

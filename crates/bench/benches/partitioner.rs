@@ -1,0 +1,92 @@
+//! Multilevel partitioner throughput: k-way partitioning of grid graphs
+//! across sizes, part counts, and constraint counts (the cost the paper's
+//! §4.2 pipeline pays once per repartitioning).
+
+use cip_graph::{Graph, GraphBuilder};
+use cip_partition::{
+    diffusion_repartition, partition_kway, partition_kway_multilevel, repartition,
+    PartitionerConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn grid(nx: usize, ny: usize, ncon: usize) -> Graph {
+    let mut b = GraphBuilder::new(nx * ny, ncon);
+    let id = |i: usize, j: usize| (j * nx + i) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            let w: Vec<i64> =
+                (0..ncon).map(|c| if c == 0 { 1 } else { i64::from(border) }).collect();
+            b.set_vwgt(id(i, j), &w);
+            if i + 1 < nx {
+                b.add_edge(id(i, j), id(i + 1, j), 1);
+            }
+            if j + 1 < ny {
+                b.add_edge(id(i, j), id(i, j + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_kway");
+    group.sample_size(10);
+
+    for &side in &[40usize, 80] {
+        for &k in &[8usize, 32] {
+            let g1 = grid(side, side, 1);
+            let g2 = grid(side, side, 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("1con/k{k}"), side * side),
+                &g1,
+                |b, g| {
+                    let cfg = PartitionerConfig::with_seed(1);
+                    b.iter(|| black_box(partition_kway(g, k, &cfg)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("2con/k{k}"), side * side),
+                &g2,
+                |b, g| {
+                    let cfg = PartitionerConfig::with_seed(1);
+                    b.iter(|| black_box(partition_kway(g, k, &cfg)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("kway_ml/k{k}"), side * side),
+                &g1,
+                |b, g| {
+                    let cfg = PartitionerConfig::with_seed(1);
+                    b.iter(|| black_box(partition_kway_multilevel(g, k, &cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_repartitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repartition");
+    group.sample_size(10);
+    let g = grid(60, 60, 1);
+    let k = 16;
+    let cfg = PartitionerConfig::with_seed(3);
+    let base = partition_kway(&g, k, &cfg);
+    // Mild perturbation: rotate one column of parts.
+    let mut old = base;
+    for v in 0..60 {
+        old[v * 60] = (old[v * 60] + 1) % k as u32;
+    }
+    group.bench_function("scratch_remap", |b| {
+        b.iter(|| black_box(repartition(&g, k, &old, &cfg)));
+    });
+    group.bench_function("diffusion", |b| {
+        b.iter(|| black_box(diffusion_repartition(&g, k, &old, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner, bench_repartitioning);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! RCB cost: from-scratch builds vs the incremental cut-shifting update
+//! (the per-step cost the ML+RCB baseline pays to keep its contact
+//! decomposition balanced).
+
+use cip_geom::{Point, RcbTree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cloud(n: usize, shift: f64) -> Vec<Point<3>> {
+    let mut pts = Vec::with_capacity(n);
+    let mut state = 0xABCDu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f64 / 100.0
+    };
+    for _ in 0..n {
+        pts.push(Point::new([rnd() + shift, rnd(), rnd() * 0.2]));
+    }
+    pts
+}
+
+fn bench_rcb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcb");
+    for &n in &[5_000usize, 50_000] {
+        let pts = cloud(n, 0.0);
+        let moved = cloud(n, 7.5);
+        let weights = vec![1.0; n];
+        for &k in &[25usize, 100] {
+            group.bench_with_input(BenchmarkId::new(format!("build/k{k}"), n), &n, |b, _| {
+                b.iter(|| black_box(RcbTree::build(&pts, &weights, k)));
+            });
+            group.bench_with_input(BenchmarkId::new(format!("update/k{k}"), n), &n, |b, _| {
+                let (tree, _) = RcbTree::build(&pts, &weights, k);
+                b.iter_batched(
+                    || tree.clone(),
+                    |mut t| black_box(t.update(&moved, &weights)),
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rcb);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates **Table 1** of the paper: FEComm / NTNodes / NRemote for
+//! MCML+DT and FEComm / M2MComm / UpdComm / NRemote for ML+RCB, at 25 and
+//! 100 parts, averaged over the 100-snapshot projectile sequence.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p cip-bench --bin table1 [--scale small|medium|paper] \
+//!     [--k 25,100] [--snapshots N]
+//! ```
+
+use cip_bench::{render_table1, run_table1_entry, write_json, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse(&[25, 100]);
+    let sim = args.run_sim();
+
+    let entries: Vec<_> = args.ks.iter().map(|&k| run_table1_entry(&sim, k)).collect();
+
+    println!("Table 1 — averages over {} snapshots", sim.len());
+    println!("{}", render_table1(&entries));
+    println!("Paper reference (EPIC dataset, different absolute mesh):");
+    println!("  25-way : MCML+DT 28101/1206/5103   ML+RCB 23961/12205/553/4972   (+72% comm, -2.6% NRemote)");
+    println!("  100-way: MCML+DT 65979/2144/9915   ML+RCB 59688/12582/1125/11078 (+29% comm, +12% NRemote)");
+
+    write_json("table1", &entries);
+}

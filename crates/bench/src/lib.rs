@@ -1,0 +1,232 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). This library holds the common
+//! plumbing: workload construction at a named scale, running both
+//! algorithms, and rendering/serializing result tables.
+
+use cip_core::{
+    average_metrics, evaluate_mcml_dt, evaluate_ml_rcb, McmlDtConfig, MetricsRow, MlRcbConfig,
+};
+use cip_sim::{SimConfig, SimResult};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Workload scale selector (command-line `--scale`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~20k nodes; seconds per experiment. Default.
+    Small,
+    /// ~80k nodes; minutes for the full Table 1.
+    Medium,
+    /// ~150k nodes (the paper's node count).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `paper`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(Self::Small),
+            "medium" => Some(Self::Medium),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// The simulation configuration for this scale.
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            Self::Small => SimConfig::small(),
+            Self::Medium => SimConfig::medium(),
+            Self::Paper => SimConfig::paper_scale(),
+        }
+    }
+}
+
+/// Parses `--scale X --k A,B --snapshots N` style arguments with defaults.
+pub struct HarnessArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Part counts to evaluate.
+    pub ks: Vec<usize>,
+    /// Optional snapshot-count override (shortens the sequence).
+    pub snapshots: Option<usize>,
+}
+
+impl HarnessArgs {
+    /// Parses from `std::env::args`, with the given default part counts.
+    pub fn parse(default_ks: &[usize]) -> Self {
+        let mut scale = Scale::Small;
+        let mut ks = default_ks.to_vec();
+        let mut snapshots = None;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = Scale::parse(&args[i + 1]).unwrap_or_else(|| {
+                        eprintln!("unknown scale '{}', using small", args[i + 1]);
+                        Scale::Small
+                    });
+                    i += 2;
+                }
+                "--k" if i + 1 < args.len() => {
+                    ks = args[i + 1]
+                        .split(',')
+                        .filter_map(|s| s.parse().ok())
+                        .collect();
+                    i += 2;
+                }
+                "--snapshots" if i + 1 < args.len() => {
+                    snapshots = args[i + 1].parse().ok();
+                    i += 2;
+                }
+                other => {
+                    eprintln!("ignoring unknown argument '{other}'");
+                    i += 1;
+                }
+            }
+        }
+        Self { scale, ks, snapshots }
+    }
+
+    /// Runs the simulation for these arguments.
+    pub fn run_sim(&self) -> SimResult {
+        let mut cfg = self.scale.sim_config();
+        if let Some(s) = self.snapshots {
+            cfg.snapshots = s;
+        }
+        let t = Instant::now();
+        let sim = cip_sim::run(&cfg);
+        eprintln!(
+            "simulated {} snapshots ({} nodes, {} elements, first contact set: {} faces) in {:.1?}",
+            sim.len(),
+            sim.base.num_nodes(),
+            sim.base.num_elements(),
+            sim.snapshots[0].contact.num_faces(),
+            t.elapsed()
+        );
+        sim
+    }
+}
+
+/// One Table-1 comparison at a given k.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Entry {
+    /// Part count.
+    pub k: usize,
+    /// MCML+DT averages.
+    pub mcml_dt: MetricsRow,
+    /// ML+RCB averages.
+    pub ml_rcb: MetricsRow,
+}
+
+impl Table1Entry {
+    /// The paper's §5.2 headline ratio: ML+RCB non-search communication
+    /// (FEComm + 2·M2MComm) over MCML+DT's (FEComm), minus one — e.g.
+    /// 0.72 means ML+RCB needs 72% more communication.
+    pub fn non_search_overhead(&self) -> f64 {
+        self.ml_rcb.non_search_comm() / self.mcml_dt.non_search_comm() - 1.0
+    }
+
+    /// Relative NRemote difference: positive when ML+RCB ships more
+    /// surface elements than MCML+DT.
+    pub fn n_remote_overhead(&self) -> f64 {
+        self.ml_rcb.n_remote / self.mcml_dt.n_remote - 1.0
+    }
+}
+
+/// Runs both algorithms at part count `k` and returns the averaged rows.
+pub fn run_table1_entry(sim: &SimResult, k: usize) -> Table1Entry {
+    let t = Instant::now();
+    let (mc, _) = evaluate_mcml_dt(sim, &McmlDtConfig::paper(k));
+    eprintln!("  MCML+DT k={k}: {:.1?}", t.elapsed());
+    let t = Instant::now();
+    let ml = evaluate_ml_rcb(sim, &MlRcbConfig::paper(k));
+    eprintln!("  ML+RCB  k={k}: {:.1?}", t.elapsed());
+    Table1Entry { k, mcml_dt: average_metrics(&mc), ml_rcb: average_metrics(&ml) }
+}
+
+/// Renders the Table-1 layout (same columns as the paper).
+pub fn render_table1(entries: &[Table1Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("           |            MCML+DT Algorithm |                     ML+RCB Algorithm\n");
+    s.push_str("           |   FEComm  NTNodes   NRemote |   FEComm  M2MComm  UpdComm   NRemote\n");
+    s.push_str("-----------+------------------------------+--------------------------------------\n");
+    for e in entries {
+        s.push_str(&format!(
+            "{:>8}-way | {:>8.0} {:>8.0} {:>9.0} | {:>8.0} {:>8.0} {:>8.0} {:>9.0}\n",
+            e.k,
+            e.mcml_dt.fe_comm,
+            e.mcml_dt.nt_nodes,
+            e.mcml_dt.n_remote,
+            e.ml_rcb.fe_comm,
+            e.ml_rcb.m2m_comm,
+            e.ml_rcb.upd_comm,
+            e.ml_rcb.n_remote,
+        ));
+    }
+    s.push('\n');
+    for e in entries {
+        s.push_str(&format!(
+            "k={:<4} ML+RCB non-search comm overhead vs MCML+DT: {:+.0}%   NRemote overhead: {:+.1}%\n",
+            e.k,
+            100.0 * e.non_search_overhead(),
+            100.0 * e.n_remote_overhead(),
+        ));
+    }
+    s
+}
+
+/// Writes a serializable result to `results/<name>.json` (best effort; the
+/// textual output is the primary artifact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn table_renders_all_entries() {
+        let e = Table1Entry {
+            k: 25,
+            mcml_dt: MetricsRow { fe_comm: 100.0, nt_nodes: 10.0, n_remote: 5.0, ..Default::default() },
+            ml_rcb: MetricsRow {
+                fe_comm: 80.0,
+                m2m_comm: 40.0,
+                upd_comm: 2.0,
+                n_remote: 6.0,
+                ..Default::default()
+            },
+        };
+        let s = render_table1(std::slice::from_ref(&e));
+        assert!(s.contains("25-way"));
+        assert!(s.contains("+60%"), "{s}"); // (80 + 80) / 100 - 1
+        assert!((e.n_remote_overhead() - 0.2).abs() < 1e-12);
+    }
+}

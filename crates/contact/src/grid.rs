@@ -1,0 +1,187 @@
+//! Uniform-grid broad phase.
+//!
+//! A simple spatial hash over axis-aligned boxes: each box is registered in
+//! every cell it overlaps; box-vs-set queries gather the candidates from
+//! the query's cells. This is the serial "volume partitioning / spatial
+//! indexing" acceleration the paper mentions for on-processor global
+//! search, and the test suite's ground-truth oracle for filter
+//! completeness.
+
+use cip_geom::Aabb;
+use std::collections::HashMap;
+
+/// A uniform spatial hash grid over `D`-dimensional boxes.
+#[derive(Debug, Clone)]
+pub struct UniformGrid<const D: usize> {
+    cell: f64,
+    cells: HashMap<[i64; D], Vec<u32>>,
+    boxes: Vec<Aabb<D>>,
+}
+
+impl<const D: usize> UniformGrid<D> {
+    /// Builds a grid over `boxes` with the given cell size.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not finite and positive.
+    pub fn build(boxes: &[Aabb<D>], cell_size: f64) -> Self {
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive");
+        let mut cells: HashMap<[i64; D], Vec<u32>> = HashMap::new();
+        for (i, b) in boxes.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            for_each_cell(cell_size, b, |key| {
+                cells.entry(key).or_default().push(i as u32);
+            });
+        }
+        Self { cell: cell_size, cells, boxes: boxes.to_vec() }
+    }
+
+    /// Builds a grid with a cell size derived from the average box extent
+    /// (a reasonable default for roughly uniform surface elements).
+    pub fn build_auto(boxes: &[Aabb<D>]) -> Self {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for b in boxes {
+            if b.is_empty() {
+                continue;
+            }
+            for d in 0..D {
+                sum += b.extent(d);
+            }
+            count += D;
+        }
+        let mean = if count == 0 { 1.0 } else { (sum / count as f64).max(1e-9) };
+        Self::build(boxes, 2.0 * mean)
+    }
+
+    /// Collects the indices of boxes whose cells overlap the query's cells
+    /// and which actually intersect the (inflated) query box.
+    pub fn query(&self, query: &Aabb<D>, out: &mut Vec<u32>) {
+        out.clear();
+        if query.is_empty() {
+            return;
+        }
+        for_each_cell(self.cell, query, |key| {
+            if let Some(v) = self.cells.get(&key) {
+                out.extend_from_slice(v);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&i| self.boxes[i as usize].intersects(query));
+    }
+
+    /// Number of boxes registered.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the grid holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+}
+
+/// Visits every grid cell key overlapped by box `b` (odometer iteration
+/// over the D-dimensional cell range).
+fn for_each_cell<const D: usize>(cell: f64, b: &Aabb<D>, mut f: impl FnMut([i64; D])) {
+    let key_of = |coord: f64| (coord / cell).floor() as i64;
+    let mut lo = [0i64; D];
+    let mut hi = [0i64; D];
+    for d in 0..D {
+        lo[d] = key_of(b.min[d]);
+        hi[d] = key_of(b.max[d]);
+    }
+    let mut key = lo;
+    loop {
+        f(key);
+        let mut d = 0;
+        loop {
+            if d == D {
+                return;
+            }
+            key[d] += 1;
+            if key[d] <= hi[d] {
+                break;
+            }
+            key[d] = lo[d];
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_geom::Point;
+
+    fn unit_box(x: f64, y: f64) -> Aabb<2> {
+        Aabb::new(Point::new([x, y]), Point::new([x + 1.0, y + 1.0]))
+    }
+
+    #[test]
+    fn finds_intersecting_boxes_only() {
+        let boxes = vec![unit_box(0.0, 0.0), unit_box(5.0, 5.0), unit_box(0.5, 0.5)];
+        let g = UniformGrid::build(&boxes, 1.0);
+        let mut out = Vec::new();
+        g.query(&unit_box(0.2, 0.2), &mut out);
+        assert_eq!(out, vec![0, 2]);
+        g.query(&unit_box(100.0, 100.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_layout() {
+        // Deterministic pseudo-random boxes.
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        let boxes: Vec<Aabb<2>> = (0..200)
+            .map(|_| {
+                let x = next();
+                let y = next();
+                Aabb::new(Point::new([x, y]), Point::new([x + 1.0 + next() * 0.05, y + 1.0]))
+            })
+            .collect();
+        let g = UniformGrid::build_auto(&boxes);
+        let mut out = Vec::new();
+        for q in boxes.iter().step_by(7) {
+            g.query(q, &mut out);
+            let brute: Vec<u32> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.intersects(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(out, brute);
+        }
+    }
+
+    #[test]
+    fn empty_grid_and_empty_query() {
+        let g = UniformGrid::<2>::build(&[], 1.0);
+        assert!(g.is_empty());
+        let mut out = vec![1, 2, 3];
+        g.query(&Aabb::empty(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let boxes: Vec<Aabb<3>> = (0..10)
+            .map(|i| {
+                let x = i as f64 * 2.0;
+                Aabb::new(Point::new([x, 0.0, 0.0]), Point::new([x + 1.0, 1.0, 1.0]))
+            })
+            .collect();
+        let g = UniformGrid::build(&boxes, 1.5);
+        let mut out = Vec::new();
+        g.query(&Aabb::new(Point::new([3.5, 0.0, 0.0]), Point::new([6.5, 1.0, 1.0])), &mut out);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Local search: proximity-based candidate contact pairs.
+//!
+//! The paper's scope is the *global* search phase; this module supplies the
+//! orthogonal local step so the library is usable end-to-end: among a set
+//! of surface elements (approximated by their bounding boxes, as in the
+//! paper's evaluation), find the pairs from *different bodies* whose
+//! inflated boxes intersect. A uniform-grid broad phase keeps it near
+//! linear in the element count.
+
+use crate::grid::UniformGrid;
+use cip_geom::Aabb;
+use rayon::prelude::*;
+
+/// A candidate contact pair of surface elements (indices into the caller's
+/// surface-element array, with `a < b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ContactPair {
+    /// First element index.
+    pub a: u32,
+    /// Second element index.
+    pub b: u32,
+}
+
+/// Finds all candidate contact pairs among `boxes`, pairing only elements
+/// of different `body` ids (self-contact within one body is excluded, as
+/// in penetration problems where a body's own faces stay connected), whose
+/// boxes inflated by `tolerance` intersect.
+///
+/// Returns pairs sorted ascending. Deterministic.
+pub fn find_contact_pairs<const D: usize>(
+    boxes: &[Aabb<D>],
+    body: &[u16],
+    tolerance: f64,
+) -> Vec<ContactPair> {
+    assert_eq!(boxes.len(), body.len(), "one body id per element");
+    let grid = UniformGrid::build_auto(boxes);
+    let mut pairs: Vec<ContactPair> = (0..boxes.len() as u32)
+        .into_par_iter()
+        .map(|a| {
+            let mut local = Vec::new();
+            let mut out = Vec::new();
+            let q = boxes[a as usize].inflate(tolerance);
+            grid.query(&q, &mut out);
+            for &b in &out {
+                if b > a && body[a as usize] != body[b as usize] {
+                    local.push(ContactPair { a, b });
+                }
+            }
+            local
+        })
+        .flatten()
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_geom::Point;
+
+    fn unit_box(x: f64, y: f64) -> Aabb<2> {
+        Aabb::new(Point::new([x, y]), Point::new([x + 1.0, y + 1.0]))
+    }
+
+    #[test]
+    fn touching_cross_body_boxes_pair_up() {
+        let boxes = vec![unit_box(0.0, 0.0), unit_box(1.05, 0.0), unit_box(10.0, 0.0)];
+        let body = vec![0, 1, 1];
+        let pairs = find_contact_pairs(&boxes, &body, 0.1);
+        assert_eq!(pairs, vec![ContactPair { a: 0, b: 1 }]);
+    }
+
+    #[test]
+    fn same_body_never_pairs() {
+        let boxes = vec![unit_box(0.0, 0.0), unit_box(0.5, 0.0)];
+        let body = vec![3, 3];
+        assert!(find_contact_pairs(&boxes, &body, 0.5).is_empty());
+    }
+
+    #[test]
+    fn tolerance_controls_capture_distance() {
+        let boxes = vec![unit_box(0.0, 0.0), unit_box(1.5, 0.0)];
+        let body = vec![0, 1];
+        assert!(find_contact_pairs(&boxes, &body, 0.1).is_empty());
+        assert_eq!(find_contact_pairs(&boxes, &body, 0.6).len(), 1);
+    }
+
+    #[test]
+    fn pairs_are_sorted_and_unique() {
+        let boxes: Vec<Aabb<2>> = (0..6).map(|i| unit_box(i as f64 * 0.5, 0.0)).collect();
+        let body = vec![0, 1, 0, 1, 0, 1];
+        let pairs = find_contact_pairs(&boxes, &body, 0.01);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+        assert!(pairs.iter().all(|p| p.a < p.b));
+    }
+}

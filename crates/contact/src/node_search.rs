@@ -1,0 +1,148 @@
+//! Node-vs-face local search.
+//!
+//! Production contact codes (the paper cites Zhong & Nilsson, Heinstein
+//! et al., Oldenburg & Nilsson) detect contact between a *slave node* and
+//! a *master face*: a node of one body penetrating (or within the capture
+//! distance of) a face of another body. This module supplies that
+//! detection mode alongside the element-pair mode of [`crate::local`];
+//! the grid broad phase keeps it near linear.
+
+use crate::grid::UniformGrid;
+use cip_geom::{Aabb, Point};
+use rayon::prelude::*;
+
+/// A candidate node-face contact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaceContact {
+    /// Index of the node in the caller's node array.
+    pub node: u32,
+    /// Index of the face in the caller's face array.
+    pub face: u32,
+    /// Squared distance from the node to the face's bounding box
+    /// (0 = inside the box).
+    pub dist2: f64,
+}
+
+/// Finds all (node, face) pairs with `body[node] != face_body[face]` whose
+/// node lies within `tolerance` of the face's bounding box.
+///
+/// Results are sorted by `(node, face)`. Deterministic.
+pub fn find_node_face_contacts<const D: usize>(
+    nodes: &[Point<D>],
+    node_body: &[u16],
+    faces: &[Aabb<D>],
+    face_body: &[u16],
+    tolerance: f64,
+) -> Vec<NodeFaceContact> {
+    assert_eq!(nodes.len(), node_body.len(), "one body per node");
+    assert_eq!(faces.len(), face_body.len(), "one body per face");
+    let grid = UniformGrid::build_auto(faces);
+    let tol2 = tolerance * tolerance;
+    let mut contacts: Vec<NodeFaceContact> = nodes
+        .par_iter()
+        .enumerate()
+        .map(|(n, p)| {
+            let mut local = Vec::new();
+            let mut out = Vec::new();
+            let q = Aabb::from_point(*p).inflate(tolerance);
+            grid.query(&q, &mut out);
+            for &f in &out {
+                if node_body[n] == face_body[f as usize] {
+                    continue;
+                }
+                let d2 = faces[f as usize].dist2_to_point(p);
+                if d2 <= tol2 {
+                    local.push(NodeFaceContact { node: n as u32, face: f, dist2: d2 });
+                }
+            }
+            local
+        })
+        .flatten()
+        .collect();
+    contacts.sort_by_key(|c| (c.node, c.face));
+    contacts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn face(x: f64, y: f64) -> Aabb<2> {
+        Aabb::new(Point::new([x, y]), Point::new([x + 1.0, y + 0.1]))
+    }
+
+    #[test]
+    fn detects_node_near_other_body_face() {
+        let nodes = vec![Point::new([0.5, 0.3]), Point::new([5.0, 5.0])];
+        let node_body = vec![1, 1];
+        let faces = vec![face(0.0, 0.0)];
+        let face_body = vec![0];
+        let hits = find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.25);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].node, 0);
+        assert_eq!(hits[0].face, 0);
+        assert!((hits[0].dist2 - 0.04).abs() < 1e-12, "0.2 above the face");
+    }
+
+    #[test]
+    fn same_body_is_ignored() {
+        let nodes = vec![Point::new([0.5, 0.05])];
+        let node_body = vec![0];
+        let faces = vec![face(0.0, 0.0)];
+        let face_body = vec![0];
+        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 1.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn tolerance_gates_detection() {
+        let nodes = vec![Point::new([0.5, 1.0])];
+        let node_body = vec![1];
+        let faces = vec![face(0.0, 0.0)]; // top at y = 0.1, node 0.9 above
+        let face_body = vec![0];
+        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.5)
+            .is_empty());
+        assert_eq!(
+            find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.95).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn penetrating_node_reports_zero_distance() {
+        let nodes = vec![Point::new([0.5, 0.05])];
+        let node_body = vec![1];
+        let faces = vec![face(0.0, 0.0)];
+        let face_body = vec![0];
+        let hits = find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dist2, 0.0, "inside the face box");
+    }
+
+    #[test]
+    fn matches_bruteforce_on_grid_of_faces() {
+        let mut faces = Vec::new();
+        let mut face_body = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                faces.push(face(i as f64 * 1.5, j as f64 * 1.5));
+                face_body.push(0);
+            }
+        }
+        let nodes: Vec<Point<2>> =
+            (0..40).map(|i| Point::new([i as f64 * 0.37, (i % 7) as f64 * 1.9])).collect();
+        let node_body = vec![1u16; nodes.len()];
+        let tol = 0.3;
+        let fast = find_node_face_contacts(&nodes, &node_body, &faces, &face_body, tol);
+        let mut brute = Vec::new();
+        for (n, p) in nodes.iter().enumerate() {
+            for (f, b) in faces.iter().enumerate() {
+                let d2 = b.dist2_to_point(p);
+                if d2 <= tol * tol {
+                    brute.push(NodeFaceContact { node: n as u32, face: f as u32, dist2: d2 });
+                }
+            }
+        }
+        assert_eq!(fast, brute);
+    }
+}

@@ -1,0 +1,301 @@
+//! Incremental tree maintenance.
+//!
+//! §4.3 of the paper keeps the partition fixed between repartitionings and
+//! re-induces the search tree every time step as the contact points move.
+//! A full re-induction re-sorts and re-sweeps everything; but between
+//! adjacent steps most points barely move, so most leaves stay pure.
+//! [`refresh`] exploits that: it re-locates every point in the existing
+//! tree, keeps the leaves that are still pure (just updating their counts
+//! and tight bounds), and re-induces **only the subtrees of leaves that
+//! became impure**. The result is a fully valid purity tree — the same
+//! contract as [`crate::induce`] — at a fraction of the work, and it
+//! directly measures the paper's observation that trees degrade as the
+//! simulation drifts away from the geometry they were built for
+//! (`grown_nodes` tracks the degradation).
+
+use crate::induce::{induce, DtreeConfig};
+use crate::tree::{DecisionTree, DtNode};
+use cip_geom::{Aabb, Point};
+
+/// Statistics of one refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Leaves that stayed pure (kept verbatim, counts updated).
+    pub kept_leaves: usize,
+    /// Leaves that became impure and were re-induced as subtrees.
+    pub reinduced_leaves: usize,
+    /// Points that now live in a re-induced subtree (the work actually
+    /// redone; compare against the total to see the savings).
+    pub reinduced_points: usize,
+    /// Node-count growth relative to the incoming tree (the paper's
+    /// tree-degradation effect: staircase subtrees accumulate as the
+    /// points drift).
+    pub grown_nodes: isize,
+}
+
+/// Refreshes a purity-stopped search tree for moved/changed points.
+///
+/// Returns a tree satisfying the same purity contract as a fresh
+/// [`induce`] over `points`/`labels`, reusing every still-pure leaf of
+/// `tree`.
+///
+/// ```
+/// use cip_dtree::{induce, refresh, DtreeConfig};
+/// use cip_geom::Point;
+///
+/// let pts = vec![Point::new([0.0, 0.0]), Point::new([10.0, 0.0])];
+/// let labels = vec![0, 1];
+/// let tree = induce(&pts, &labels, 2, &DtreeConfig::search_tree());
+///
+/// // Points drift but stay on their own side of the decision
+/// // hyperplane (x <= 0): nothing re-induces.
+/// let moved = vec![Point::new([-1.0, 0.5]), Point::new([9.0, -0.5])];
+/// let (fresh, stats) = refresh(&tree, &moved, &labels, 2, &DtreeConfig::search_tree());
+/// assert_eq!(stats.reinduced_leaves, 0);
+/// assert_eq!(fresh.locate(&moved[0]), 0);
+/// assert_eq!(fresh.locate(&moved[1]), 1);
+/// ```
+///
+/// # Panics
+/// Panics if any label is `>= k`.
+pub fn refresh<const D: usize>(
+    tree: &DecisionTree<D>,
+    points: &[Point<D>],
+    labels: &[u32],
+    k: usize,
+    cfg: &DtreeConfig,
+) -> (DecisionTree<D>, RefreshStats) {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    assert!(labels.iter().all(|&l| (l as usize) < k), "label out of range");
+
+    // Assign every point to its arena leaf.
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); tree.num_nodes()];
+    for (i, p) in points.iter().enumerate() {
+        membership[locate_arena(tree, p) as usize].push(i as u32);
+    }
+
+    let mut stats = RefreshStats {
+        kept_leaves: 0,
+        reinduced_leaves: 0,
+        reinduced_points: 0,
+        grown_nodes: 0,
+    };
+    let mut nodes: Vec<DtNode<D>> = Vec::with_capacity(tree.num_nodes());
+    rebuild(tree, 0, &membership, points, labels, k, cfg, &mut nodes, &mut stats);
+    stats.grown_nodes = nodes.len() as isize - tree.num_nodes() as isize;
+    (DecisionTree::from_nodes(nodes), stats)
+}
+
+/// Locates the *arena index* of the leaf containing `p`.
+fn locate_arena<const D: usize>(tree: &DecisionTree<D>, p: &Point<D>) -> u32 {
+    let mut at = 0u32;
+    loop {
+        match &tree.nodes()[at as usize] {
+            DtNode::Leaf { .. } => return at,
+            DtNode::Internal { plane, left, right } => {
+                at = match plane.point_side(p) {
+                    cip_geom::Side::Left => *left,
+                    _ => *right,
+                };
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rebuild<const D: usize>(
+    tree: &DecisionTree<D>,
+    at: u32,
+    membership: &[Vec<u32>],
+    points: &[Point<D>],
+    labels: &[u32],
+    k: usize,
+    cfg: &DtreeConfig,
+    out: &mut Vec<DtNode<D>>,
+    stats: &mut RefreshStats,
+) -> u32 {
+    let slot = out.len() as u32;
+    match &tree.nodes()[at as usize] {
+        DtNode::Internal { plane, left, right } => {
+            out.push(DtNode::Internal { plane: *plane, left: 0, right: 0 });
+            let l = rebuild(tree, *left, membership, points, labels, k, cfg, out, stats);
+            let r = rebuild(tree, *right, membership, points, labels, k, cfg, out, stats);
+            if let DtNode::Internal { left: lf, right: rf, .. } = &mut out[slot as usize] {
+                *lf = l;
+                *rf = r;
+            }
+        }
+        DtNode::Leaf { .. } => {
+            let members = &membership[at as usize];
+            let mut counts = vec![0u32; k];
+            for &i in members {
+                counts[labels[i as usize] as usize] += 1;
+            }
+            let distinct = counts.iter().filter(|&&c| c > 0).count();
+            if distinct <= 1 {
+                // Still pure (or empty): keep the leaf with fresh metadata.
+                stats.kept_leaves += 1;
+                let part = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, c)| *c)
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0);
+                let mut bounds = Aabb::empty();
+                for &i in members {
+                    bounds.grow(&points[i as usize]);
+                }
+                out.push(DtNode::Leaf {
+                    part,
+                    count: members.len() as u32,
+                    pure: true,
+                    others: Vec::new(),
+                    bounds,
+                });
+            } else {
+                // Impure: re-induce a subtree over just these points.
+                stats.reinduced_leaves += 1;
+                stats.reinduced_points += members.len();
+                let sub_pts: Vec<Point<D>> =
+                    members.iter().map(|&i| points[i as usize]).collect();
+                let sub_labels: Vec<u32> =
+                    members.iter().map(|&i| labels[i as usize]).collect();
+                let sub = induce(&sub_pts, &sub_labels, k, cfg);
+                splice(sub.nodes(), 0, out);
+            }
+        }
+    }
+    slot
+}
+
+/// Copies a sub-arena into `out`, fixing up child indices.
+fn splice<const D: usize>(sub: &[DtNode<D>], at: u32, out: &mut Vec<DtNode<D>>) -> u32 {
+    let slot = out.len() as u32;
+    match &sub[at as usize] {
+        DtNode::Leaf { part, count, pure, others, bounds } => {
+            out.push(DtNode::Leaf {
+                part: *part,
+                count: *count,
+                pure: *pure,
+                others: others.clone(),
+                bounds: *bounds,
+            });
+        }
+        DtNode::Internal { plane, left, right } => {
+            out.push(DtNode::Internal { plane: *plane, left: 0, right: 0 });
+            let l = splice(sub, *left, out);
+            let r = splice(sub, *right, out);
+            if let DtNode::Internal { left: lf, right: rf, .. } = &mut out[slot as usize] {
+                *lf = l;
+                *rf = r;
+            }
+        }
+    }
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded(offset: f64) -> (Vec<Point<2>>, Vec<u32>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for band in 0..3u32 {
+            for i in 0..10 {
+                pts.push(Point::new([i as f64 + offset, band as f64 * 10.0]));
+                labels.push(band);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn refresh_of_unmoved_points_is_identity_shaped() {
+        let (pts, labels) = banded(0.0);
+        let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
+        let (fresh, stats) = refresh(&tree, &pts, &labels, 3, &DtreeConfig::search_tree());
+        assert_eq!(stats.reinduced_leaves, 0);
+        assert_eq!(stats.grown_nodes, 0);
+        assert_eq!(fresh.num_nodes(), tree.num_nodes());
+        for (p, &l) in pts.iter().zip(labels.iter()) {
+            assert_eq!(fresh.locate(p), l);
+        }
+    }
+
+    #[test]
+    fn refresh_after_small_drift_stays_pure_and_valid() {
+        let (pts, labels) = banded(0.0);
+        let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
+        // Drift within the bands: leaves stay pure.
+        let (moved, _) = banded(0.3);
+        let (fresh, stats) = refresh(&tree, &moved, &labels, 3, &DtreeConfig::search_tree());
+        assert_eq!(stats.reinduced_leaves, 0, "{stats:?}");
+        for (p, &l) in moved.iter().zip(labels.iter()) {
+            assert_eq!(fresh.locate(p), l);
+        }
+    }
+
+    #[test]
+    fn refresh_reinduces_where_points_cross_boundaries() {
+        let (pts, labels) = banded(0.0);
+        let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
+        // Move band 2 down into band 1's region: those leaves go impure.
+        let mut moved = pts.clone();
+        for (i, p) in moved.iter_mut().enumerate() {
+            if labels[i] == 2 {
+                p[1] -= 10.0; // band 2 lands on band 1
+            }
+        }
+        let (fresh, stats) = refresh(&tree, &moved, &labels, 3, &DtreeConfig::search_tree());
+        assert!(stats.reinduced_leaves > 0);
+        // The refreshed tree must still satisfy the purity contract for
+        // uniquely-positioned points.
+        for (i, p) in moved.iter().enumerate() {
+            let clash = moved
+                .iter()
+                .zip(labels.iter())
+                .any(|(q, &l)| q == p && l != labels[i]);
+            if !clash {
+                assert_eq!(fresh.locate(p), labels[i], "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_handles_point_count_changes() {
+        let (pts, labels) = banded(0.0);
+        let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
+        // Drop a third of the points and add some new ones.
+        let mut new_pts: Vec<Point<2>> = pts.iter().step_by(2).copied().collect();
+        let mut new_labels: Vec<u32> =
+            labels.iter().step_by(2).copied().collect();
+        new_pts.push(Point::new([50.0, 0.0]));
+        new_labels.push(0);
+        let (fresh, _) = refresh(&tree, &new_pts, &new_labels, 3, &DtreeConfig::search_tree());
+        for (p, &l) in new_pts.iter().zip(new_labels.iter()) {
+            assert_eq!(fresh.locate(p), l);
+        }
+    }
+
+    #[test]
+    fn empty_leaves_survive_refresh() {
+        let (pts, labels) = banded(0.0);
+        let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
+        // Remove band 0 entirely: its leaf goes empty but the tree remains
+        // valid for the others.
+        let keep: Vec<usize> =
+            (0..pts.len()).filter(|&i| labels[i] != 0).collect();
+        let new_pts: Vec<Point<2>> = keep.iter().map(|&i| pts[i]).collect();
+        let new_labels: Vec<u32> = keep.iter().map(|&i| labels[i]).collect();
+        let (fresh, stats) = refresh(&tree, &new_pts, &new_labels, 3, &DtreeConfig::search_tree());
+        assert_eq!(stats.reinduced_leaves, 0);
+        for (p, &l) in new_pts.iter().zip(new_labels.iter()) {
+            assert_eq!(fresh.locate(p), l);
+        }
+        // Box queries never report the emptied band's label.
+        let mut out = Vec::new();
+        fresh.query_box(&Aabb::from_points(&new_pts), &mut out);
+        assert!(!out.contains(&0), "emptied part must not be reported: {out:?}");
+    }
+}

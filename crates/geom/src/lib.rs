@@ -1,0 +1,28 @@
+//! Geometry kernel for contact/impact mesh partitioning.
+//!
+//! This crate provides the geometric substrate shared by the rest of the
+//! workspace:
+//!
+//! * fixed-dimension points ([`Point`]) in 2D or 3D,
+//! * axis-aligned bounding boxes ([`Aabb`]) with the union / intersection /
+//!   containment operations needed by the contact-search filters,
+//! * axis-parallel hyperplanes ([`AxisPlane`]) — the decision hyperplanes of
+//!   the paper's space-partitioning trees,
+//! * recursive coordinate bisection ([`rcb`]) — the geometric partitioner
+//!   used by the ML+RCB baseline of Plimpton et al., in both its
+//!   from-scratch and incremental (cut-shifting) forms.
+//!
+//! Everything is generic over the spatial dimension `D` (2 or 3) via const
+//! generics, so the same code paths serve the paper's 2D illustrations
+//! (Figures 1 and 2) and the 3D evaluation workload.
+
+pub mod aabb;
+pub mod plane;
+pub mod point;
+mod proptests;
+pub mod rcb;
+
+pub use aabb::Aabb;
+pub use plane::{AxisPlane, Side};
+pub use point::Point;
+pub use rcb::{RcbConfig, RcbTree};

@@ -1,0 +1,167 @@
+//! Vertex-group contraction.
+//!
+//! Contraction serves two roles in the system:
+//!
+//! * the coarsening phase of the multilevel partitioner collapses matched
+//!   vertex pairs,
+//! * the DT-friendly correction step of the paper (§4.2) collapses all the
+//!   vertices of each decision-tree leaf into a single vertex of the
+//!   region graph `G'`, so that k-way refinement moves whole axis-parallel
+//!   regions between parts.
+
+use crate::csr::Graph;
+
+/// Contracts `g` according to `map`, where `map[v]` is the coarse vertex id
+/// of fine vertex `v` and coarse ids densely cover `0..cnv`.
+///
+/// Vertex-weight vectors of merged vertices are summed per constraint;
+/// parallel edges between the same coarse pair are merged by summing their
+/// weights; edges internal to a group disappear.
+///
+/// # Panics
+/// Panics if `map.len() != g.nv()` or any entry is `>= cnv`.
+pub fn contract(g: &Graph, map: &[u32], cnv: usize) -> Graph {
+    assert_eq!(map.len(), g.nv(), "one coarse id per fine vertex");
+    let ncon = g.ncon();
+
+    // Coarse vertex weights.
+    let mut cvwgt = vec![0i64; cnv * ncon];
+    for (v, &c) in map.iter().enumerate() {
+        let c = c as usize;
+        assert!(c < cnv, "coarse id {c} out of range");
+        let base = c * ncon;
+        for (j, w) in g.vwgt(v as u32).iter().enumerate() {
+            cvwgt[base + j] += w;
+        }
+    }
+
+    // Group fine vertices by coarse id (counting sort) so each coarse
+    // vertex's adjacency is assembled in one contiguous pass.
+    let mut counts = vec![0usize; cnv + 1];
+    for &c in map {
+        counts[c as usize + 1] += 1;
+    }
+    for c in 0..cnv {
+        counts[c + 1] += counts[c];
+    }
+    let mut members = vec![0u32; g.nv()];
+    let mut cursor = counts[..cnv].to_vec();
+    for (v, &c) in map.iter().enumerate() {
+        members[cursor[c as usize]] = v as u32;
+        cursor[c as usize] += 1;
+    }
+
+    // Scatter-accumulate each coarse vertex's neighbor weights. `slot[c]`
+    // remembers where neighbor `c` sits in the current adjacency segment;
+    // `stamp` avoids clearing the array between coarse vertices.
+    let mut slot = vec![0usize; cnv];
+    let mut stamp = vec![u32::MAX; cnv];
+    let mut cxadj = Vec::with_capacity(cnv + 1);
+    let mut cadjncy: Vec<u32> = Vec::with_capacity(g.adjncy().len());
+    let mut cadjwgt: Vec<i64> = Vec::with_capacity(g.adjncy().len());
+    cxadj.push(0usize);
+    for c in 0..cnv {
+        let seg_start = cadjncy.len();
+        for &v in &members[counts[c]..counts[c + 1]] {
+            for (u, w) in g.neighbors(v) {
+                let cu = map[u as usize] as usize;
+                if cu == c {
+                    continue; // internal edge vanishes
+                }
+                if stamp[cu] == c as u32 {
+                    cadjwgt[slot[cu]] += w;
+                } else {
+                    stamp[cu] = c as u32;
+                    slot[cu] = cadjncy.len();
+                    cadjncy.push(cu as u32);
+                    cadjwgt.push(w);
+                }
+            }
+        }
+        let _ = seg_start;
+        cxadj.push(cadjncy.len());
+    }
+    Graph::from_csr(ncon, cxadj, cadjncy, cadjwgt, cvwgt)
+}
+
+/// Projects a coarse-graph part assignment back onto the fine graph:
+/// `fine[v] = coarse[map[v]]`.
+pub fn project_assignment(map: &[u32], coarse: &[u32]) -> Vec<u32> {
+    map.iter().map(|&c| coarse[c as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::metrics::edge_cut;
+
+    /// Square 0-1-2-3-0 with a diagonal 0-2.
+    fn square_with_diag() -> Graph {
+        let mut b = GraphBuilder::new(4, 2);
+        for v in 0..4u32 {
+            b.set_vwgt(v, &[1, v as i64]);
+        }
+        for (u, v, w) in [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)] {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn contract_pairs() {
+        let g = square_with_diag();
+        // Merge {0,1} -> 0 and {2,3} -> 1.
+        let cg = contract(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(cg.nv(), 2);
+        assert_eq!(cg.ne(), 1);
+        // Cross edges: 1-2 (2), 3-0 (4), 0-2 (5) -> merged weight 11.
+        assert_eq!(cg.neighbors(0).next(), Some((1, 11)));
+        // Vertex weights summed per constraint.
+        assert_eq!(cg.vwgt(0), &[2, 1]);
+        assert_eq!(cg.vwgt(1), &[2, 5]);
+    }
+
+    #[test]
+    fn contraction_preserves_cut_of_projected_partition() {
+        let g = square_with_diag();
+        let map = vec![0, 0, 1, 1];
+        let cg = contract(&g, &map, 2);
+        let coarse_asg = vec![0u32, 1u32];
+        let fine_asg = project_assignment(&map, &coarse_asg);
+        assert_eq!(edge_cut(&cg, &coarse_asg), edge_cut(&g, &fine_asg));
+    }
+
+    #[test]
+    fn identity_contraction_is_isomorphic() {
+        let g = square_with_diag();
+        let map: Vec<u32> = (0..4).collect();
+        let cg = contract(&g, &map, 4);
+        assert_eq!(cg.nv(), g.nv());
+        assert_eq!(cg.ne(), g.ne());
+        for v in 0..4u32 {
+            assert_eq!(cg.vwgt(v), g.vwgt(v));
+            let mut a: Vec<_> = cg.neighbors(v).collect();
+            let mut b: Vec<_> = g.neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn contract_to_single_vertex() {
+        let g = square_with_diag();
+        let cg = contract(&g, &[0, 0, 0, 0], 1);
+        assert_eq!(cg.nv(), 1);
+        assert_eq!(cg.ne(), 0);
+        assert_eq!(cg.vwgt(0), &[4, 6]);
+    }
+
+    #[test]
+    fn total_vwgt_invariant_under_contraction() {
+        let g = square_with_diag();
+        let cg = contract(&g, &[1, 0, 1, 0], 2);
+        assert_eq!(cg.total_vwgt(), g.total_vwgt());
+    }
+}

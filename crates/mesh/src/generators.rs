@@ -1,0 +1,122 @@
+//! Structured mesh generators.
+//!
+//! The synthetic workload (and much of the test suite) is built from
+//! structured boxes: plates are flat hex boxes, the projectile is a tall
+//! thin one. Node and element orderings are lexicographic so generated
+//! meshes are deterministic.
+
+use crate::element::Element;
+use crate::mesh::Mesh;
+use cip_geom::Point;
+
+/// Generates an `nx x ny` structured quadrilateral grid whose lower-left
+/// corner is `origin` and whose cells measure `cell[0] x cell[1]`.
+pub fn quad_grid(n: [usize; 2], origin: Point<2>, cell: [f64; 2], body: u16) -> Mesh<2> {
+    let [nx, ny] = n;
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    let mut points = Vec::with_capacity((nx + 1) * (ny + 1));
+    for j in 0..=ny {
+        for i in 0..=nx {
+            points.push(Point::new([
+                origin[0] + i as f64 * cell[0],
+                origin[1] + j as f64 * cell[1],
+            ]));
+        }
+    }
+    let node = |i: usize, j: usize| (j * (nx + 1) + i) as u32;
+    let mut elements = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            elements.push(Element::quad4([
+                node(i, j),
+                node(i + 1, j),
+                node(i + 1, j + 1),
+                node(i, j + 1),
+            ]));
+        }
+    }
+    let ne = elements.len();
+    Mesh::with_bodies(points, elements, vec![body; ne])
+}
+
+/// Generates an `nx x ny x nz` structured hexahedral box whose minimum
+/// corner is `origin` and whose cells measure `cell[0] x cell[1] x cell[2]`.
+pub fn hex_box(n: [usize; 3], origin: Point<3>, cell: [f64; 3], body: u16) -> Mesh<3> {
+    let [nx, ny, nz] = n;
+    assert!(nx > 0 && ny > 0 && nz > 0, "box dimensions must be positive");
+    let mut points = Vec::with_capacity((nx + 1) * (ny + 1) * (nz + 1));
+    for k in 0..=nz {
+        for j in 0..=ny {
+            for i in 0..=nx {
+                points.push(Point::new([
+                    origin[0] + i as f64 * cell[0],
+                    origin[1] + j as f64 * cell[1],
+                    origin[2] + k as f64 * cell[2],
+                ]));
+            }
+        }
+    }
+    let node = |i: usize, j: usize, k: usize| (k * (ny + 1) * (nx + 1) + j * (nx + 1) + i) as u32;
+    let mut elements = Vec::with_capacity(nx * ny * nz);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                elements.push(Element::hex8([
+                    node(i, j, k),
+                    node(i + 1, j, k),
+                    node(i + 1, j + 1, k),
+                    node(i, j + 1, k),
+                    node(i, j, k + 1),
+                    node(i + 1, j, k + 1),
+                    node(i + 1, j + 1, k + 1),
+                    node(i, j + 1, k + 1),
+                ]));
+            }
+        }
+    }
+    let ne = elements.len();
+    Mesh::with_bodies(points, elements, vec![body; ne])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_grid_counts() {
+        let m = quad_grid([4, 3], Point::new([0.0, 0.0]), [1.0, 1.0], 0);
+        assert_eq!(m.num_nodes(), 5 * 4);
+        assert_eq!(m.num_elements(), 12);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn hex_box_counts() {
+        let m = hex_box([2, 3, 4], Point::new([0.0, 0.0, 0.0]), [1.0, 1.0, 1.0], 1);
+        assert_eq!(m.num_nodes(), 3 * 4 * 5);
+        assert_eq!(m.num_elements(), 24);
+        assert!(m.body.iter().all(|&b| b == 1));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_respects_origin_and_cell() {
+        let m = quad_grid([2, 2], Point::new([10.0, -5.0]), [0.5, 2.0], 0);
+        let b = m.bounds();
+        assert_eq!(b.min, Point::new([10.0, -5.0]));
+        assert_eq!(b.max, Point::new([11.0, -1.0]));
+    }
+
+    #[test]
+    fn hex_elements_have_positive_volume_ordering() {
+        // Bottom face counter-clockwise seen from +z: the centroid of the
+        // top face must be directly above the bottom face.
+        let m = hex_box([1, 1, 1], Point::new([0.0, 0.0, 0.0]), [2.0, 2.0, 2.0], 0);
+        let el = &m.elements[0];
+        let nodes = el.nodes();
+        let bottom_z: f64 =
+            nodes[..4].iter().map(|&n| m.points[n as usize][2]).sum::<f64>() / 4.0;
+        let top_z: f64 = nodes[4..].iter().map(|&n| m.points[n as usize][2]).sum::<f64>() / 4.0;
+        assert!(top_z > bottom_z);
+    }
+}

@@ -1,0 +1,263 @@
+//! Nodal- and dual-graph construction (§2 of the paper).
+//!
+//! The partitioner in this system operates on the **nodal graph**: one
+//! vertex per (live) mesh node, one edge per mesh edge of a live element.
+//! For the contact/impact model of §4.2 the nodal graph carries
+//!
+//! * two vertex weights — `w1(v) = 1` (finite-element work) for every node
+//!   and `w2(v) = 1` for contact nodes, 0 otherwise (contact-search work);
+//! * boosted edge weights between pairs of contact nodes (the paper uses 5),
+//!   since cutting such an edge costs communication in *both* phases.
+//!
+//! The **dual graph** (one vertex per element, edges across shared facets)
+//! is also provided for completeness and for element-based decompositions.
+
+use crate::mesh::Mesh;
+use cip_graph::{Graph, GraphBuilder};
+
+/// Options controlling nodal-graph construction.
+#[derive(Debug, Clone, Copy)]
+pub struct NodalGraphOptions {
+    /// Number of vertex-weight constraints: 1 (FE work only — the ML
+    /// baseline) or 2 (FE + contact work — the paper's MCML formulation).
+    pub ncon: usize,
+    /// Weight of edges connecting two contact nodes (paper: 5).
+    pub contact_edge_weight: i64,
+    /// Weight of all other edges (paper: 1).
+    pub normal_edge_weight: i64,
+}
+
+impl Default for NodalGraphOptions {
+    fn default() -> Self {
+        Self { ncon: 2, contact_edge_weight: 5, normal_edge_weight: 1 }
+    }
+}
+
+impl NodalGraphOptions {
+    /// The single-constraint, uniform-edge-weight options used when
+    /// partitioning for the ML+RCB baseline's FE phase.
+    pub fn single_constraint() -> Self {
+        Self { ncon: 1, contact_edge_weight: 1, normal_edge_weight: 1 }
+    }
+}
+
+/// A nodal graph together with its mesh-node <-> graph-vertex mappings.
+///
+/// Only nodes referenced by at least one live element become graph
+/// vertices, so eroded regions do not pollute the balance constraints.
+#[derive(Debug, Clone)]
+pub struct NodalGraph {
+    /// The graph (vertices = live mesh nodes).
+    pub graph: Graph,
+    /// `node_of_vertex[gv] = mesh node id`.
+    pub node_of_vertex: Vec<u32>,
+    /// `vertex_of_node[n] = graph vertex id`, or `u32::MAX` for dead nodes.
+    pub vertex_of_node: Vec<u32>,
+}
+
+impl NodalGraph {
+    /// Translates a graph-vertex assignment into a mesh-node assignment
+    /// (dead nodes receive `u32::MAX`).
+    pub fn assignment_on_nodes(&self, assignment: &[u32]) -> Vec<u32> {
+        let mut out = vec![u32::MAX; self.vertex_of_node.len()];
+        for (gv, &n) in self.node_of_vertex.iter().enumerate() {
+            out[n as usize] = assignment[gv];
+        }
+        out
+    }
+}
+
+/// Builds the nodal graph of the live part of `mesh`.
+///
+/// `contact_mask[n]` marks mesh node `n` as a contact node (see
+/// [`crate::surface::Surface::contact_node_mask`]).
+pub fn nodal_graph<const D: usize>(
+    mesh: &Mesh<D>,
+    contact_mask: &[bool],
+    opts: NodalGraphOptions,
+) -> NodalGraph {
+    assert!(opts.ncon == 1 || opts.ncon == 2, "nodal graphs support 1 or 2 constraints");
+    assert_eq!(contact_mask.len(), mesh.num_nodes(), "one contact flag per node");
+    let live = mesh.live_node_mask();
+    let mut node_of_vertex = Vec::new();
+    let mut vertex_of_node = vec![u32::MAX; mesh.num_nodes()];
+    for n in 0..mesh.num_nodes() {
+        if live[n] {
+            vertex_of_node[n] = node_of_vertex.len() as u32;
+            node_of_vertex.push(n as u32);
+        }
+    }
+
+    let mut b = GraphBuilder::new(node_of_vertex.len(), opts.ncon);
+    for (gv, &n) in node_of_vertex.iter().enumerate() {
+        if opts.ncon == 2 {
+            b.set_vwgt(gv as u32, &[1, i64::from(contact_mask[n as usize])]);
+        } else {
+            b.set_vwgt(gv as u32, &[1]);
+        }
+    }
+    // Collect unique mesh edges first: an edge shared by several elements
+    // must appear once (the builder would otherwise sum duplicate weights).
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (_, el) in mesh.live_elements() {
+        for (a, c) in el.edges() {
+            edges.push(if a < c { (a, c) } else { (c, a) });
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    for (a, c) in edges {
+        let (ga, gc) = (vertex_of_node[a as usize], vertex_of_node[c as usize]);
+        let w = if contact_mask[a as usize] && contact_mask[c as usize] {
+            opts.contact_edge_weight
+        } else {
+            opts.normal_edge_weight
+        };
+        b.add_edge(ga, gc, w);
+    }
+    NodalGraph { graph: b.build(), node_of_vertex, vertex_of_node }
+}
+
+/// Builds the dual graph of the live part of `mesh`: one vertex per live
+/// element, edges between elements sharing a facet. Returns the graph and
+/// the `element_of_vertex` mapping.
+pub fn dual_graph<const D: usize>(mesh: &Mesh<D>) -> (Graph, Vec<u32>) {
+    let mut element_of_vertex = Vec::new();
+    let mut vertex_of_element = vec![u32::MAX; mesh.num_elements()];
+    for (e, _) in mesh.live_elements() {
+        vertex_of_element[e as usize] = element_of_vertex.len() as u32;
+        element_of_vertex.push(e);
+    }
+
+    // Sort facet records; runs of length 2 are interior facets = dual edges.
+    let mut recs: Vec<([u32; 4], u32)> = Vec::new();
+    for (e, el) in mesh.live_elements() {
+        for f in 0..el.kind.num_faces() {
+            recs.push((el.face(f).key(), vertex_of_element[e as usize]));
+        }
+    }
+    recs.sort_unstable_by_key(|a| a.0);
+
+    let mut b = GraphBuilder::new(element_of_vertex.len(), 1);
+    for gv in 0..element_of_vertex.len() as u32 {
+        b.set_vwgt(gv, &[1]);
+    }
+    let mut i = 0;
+    while i < recs.len() {
+        let mut j = i + 1;
+        while j < recs.len() && recs[j].0 == recs[i].0 {
+            j += 1;
+        }
+        if j - i == 2 {
+            b.add_edge(recs[i].1, recs[i + 1].1, 1);
+        }
+        i = j;
+    }
+    (b.build(), element_of_vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::surface::extract_surface;
+    use cip_geom::Point;
+
+    fn grid3x3() -> Mesh<2> {
+        generators::quad_grid([3, 3], Point::new([0.0, 0.0]), [1.0, 1.0], 0)
+    }
+
+    #[test]
+    fn nodal_graph_counts() {
+        let m = grid3x3();
+        let s = extract_surface(&m);
+        let ng = nodal_graph(&m, &s.contact_node_mask(m.num_nodes()), Default::default());
+        assert_eq!(ng.graph.nv(), 16);
+        // 4x4 grid of nodes: 2 * 3 * 4 = 24 distinct mesh edges.
+        assert_eq!(ng.graph.ne(), 24);
+        assert_eq!(ng.graph.ncon(), 2);
+    }
+
+    #[test]
+    fn contact_weights_follow_mask() {
+        let m = grid3x3();
+        let s = extract_surface(&m);
+        let mask = s.contact_node_mask(m.num_nodes());
+        let ng = nodal_graph(&m, &mask, Default::default());
+        // The single interior node of a 3x3 quad grid is node (1+4*... ) —
+        // find via mask: exactly 4 interior nodes? No: 4x4 nodes, boundary
+        // ring has 12, interior 4.
+        let interior: Vec<u32> =
+            (0..m.num_nodes() as u32).filter(|&n| !mask[n as usize]).collect();
+        assert_eq!(interior.len(), 4);
+        for gv in 0..ng.graph.nv() as u32 {
+            let n = ng.node_of_vertex[gv as usize];
+            let expect = [1, i64::from(mask[n as usize])];
+            assert_eq!(ng.graph.vwgt(gv), &expect);
+        }
+        // Edges between two boundary (contact) nodes get weight 5.
+        for gv in 0..ng.graph.nv() as u32 {
+            let n = ng.node_of_vertex[gv as usize];
+            for (gu, w) in ng.graph.neighbors(gv) {
+                let u = ng.node_of_vertex[gu as usize];
+                let both = mask[n as usize] && mask[u as usize];
+                assert_eq!(w, if both { 5 } else { 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn single_constraint_option() {
+        let m = grid3x3();
+        let s = extract_surface(&m);
+        let ng = nodal_graph(
+            &m,
+            &s.contact_node_mask(m.num_nodes()),
+            NodalGraphOptions::single_constraint(),
+        );
+        assert_eq!(ng.graph.ncon(), 1);
+        assert!(ng.graph.adjwgt().iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn eroded_nodes_excluded() {
+        let mut m = grid3x3();
+        // Erode the corner element (element 0). Node 0 dies.
+        m.erode(0);
+        let s = extract_surface(&m);
+        let ng = nodal_graph(&m, &s.contact_node_mask(m.num_nodes()), Default::default());
+        assert_eq!(ng.graph.nv(), 15);
+        assert_eq!(ng.vertex_of_node[0], u32::MAX);
+        let nodes = ng.assignment_on_nodes(&vec![3; ng.graph.nv()]);
+        assert_eq!(nodes[0], u32::MAX);
+        assert!(nodes[1..].iter().all(|&p| p == 3));
+    }
+
+    #[test]
+    fn dual_graph_of_grid() {
+        let m = grid3x3();
+        let (dg, eov) = dual_graph(&m);
+        assert_eq!(dg.nv(), 9);
+        // 3x3 quad grid: 2 * 3 * 2 = 12 element adjacencies.
+        assert_eq!(dg.ne(), 12);
+        assert_eq!(eov.len(), 9);
+    }
+
+    #[test]
+    fn dual_graph_respects_erosion() {
+        let mut m = grid3x3();
+        m.erode(4); // center element
+        let (dg, _) = dual_graph(&m);
+        assert_eq!(dg.nv(), 8);
+        assert_eq!(dg.ne(), 8, "the four adjacencies of the center vanish");
+    }
+
+    #[test]
+    fn hex_box_dual_graph() {
+        let m = generators::hex_box([2, 2, 2], Point::new([0.0, 0.0, 0.0]), [1.0; 3], 0);
+        let (dg, _) = dual_graph(&m);
+        assert_eq!(dg.nv(), 8);
+        // 2x2x2 box: 4 interior faces per axis pair = 12 adjacencies.
+        assert_eq!(dg.ne(), 12);
+    }
+}

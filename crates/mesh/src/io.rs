@@ -1,0 +1,305 @@
+//! Plain-text mesh I/O.
+//!
+//! A small line-oriented format (`cipmesh 1`) so meshes can be moved in
+//! and out of the library without JSON tooling — the adoption path for
+//! simulation codes that dump their own meshes:
+//!
+//! ```text
+//! cipmesh 1
+//! dim 3
+//! nodes 2
+//! 0.0 0.0 0.0
+//! 1.0 0.0 0.0
+//! elements 1
+//! hex8 0 0 1 2 3 4 5 6 7
+//! eroded 0
+//! ```
+//!
+//! * `dim` is 2 or 3; node lines carry that many coordinates;
+//! * element lines are `<kind> <body> <node ids...>` with kinds `tri3`,
+//!   `quad4`, `tet4`, `hex8`;
+//! * `eroded` lists the ids of dead elements (erosion state survives the
+//!   round-trip).
+
+use crate::element::{Element, ElementKind};
+use crate::mesh::Mesh;
+use cip_geom::Point;
+use std::fmt::Write as _;
+
+/// Errors produced by the text-format reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshIoError {
+    /// The header line is missing or not `cipmesh 1`.
+    BadHeader,
+    /// The dimension does not match the requested `D`.
+    DimensionMismatch {
+        /// Dimension declared in the file.
+        found: usize,
+        /// Dimension the caller asked for.
+        expected: usize,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file ended before the declared counts were satisfied.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for MeshIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshIoError::BadHeader => write!(f, "missing or invalid 'cipmesh 1' header"),
+            MeshIoError::DimensionMismatch { found, expected } => {
+                write!(f, "mesh is {found}D but {expected}D was requested")
+            }
+            MeshIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            MeshIoError::UnexpectedEof => write!(f, "unexpected end of file"),
+        }
+    }
+}
+
+impl std::error::Error for MeshIoError {}
+
+fn kind_name(kind: ElementKind) -> &'static str {
+    match kind {
+        ElementKind::Tri3 => "tri3",
+        ElementKind::Quad4 => "quad4",
+        ElementKind::Tet4 => "tet4",
+        ElementKind::Hex8 => "hex8",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<ElementKind> {
+    match name {
+        "tri3" => Some(ElementKind::Tri3),
+        "quad4" => Some(ElementKind::Quad4),
+        "tet4" => Some(ElementKind::Tet4),
+        "hex8" => Some(ElementKind::Hex8),
+        _ => None,
+    }
+}
+
+/// Serializes a mesh to the text format.
+pub fn write_text<const D: usize>(mesh: &Mesh<D>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "cipmesh 1");
+    let _ = writeln!(s, "dim {D}");
+    let _ = writeln!(s, "nodes {}", mesh.num_nodes());
+    for p in &mesh.points {
+        for d in 0..D {
+            if d > 0 {
+                s.push(' ');
+            }
+            let _ = write!(s, "{}", p[d]);
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "elements {}", mesh.num_elements());
+    for (e, el) in mesh.elements.iter().enumerate() {
+        let _ = write!(s, "{} {}", kind_name(el.kind), mesh.body[e]);
+        for &n in el.nodes() {
+            let _ = write!(s, " {n}");
+        }
+        s.push('\n');
+    }
+    let eroded: Vec<usize> =
+        mesh.alive.iter().enumerate().filter(|(_, &a)| !a).map(|(e, _)| e).collect();
+    let _ = writeln!(s, "eroded {}", eroded.len());
+    for e in eroded {
+        let _ = writeln!(s, "{e}");
+    }
+    s
+}
+
+/// Parses a mesh from the text format.
+pub fn read_text<const D: usize>(input: &str) -> Result<Mesh<D>, MeshIoError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let mut next = || lines.next().ok_or(MeshIoError::UnexpectedEof);
+
+    // Header.
+    let (lineno, header) = next()?;
+    if header != "cipmesh 1" {
+        let _ = lineno;
+        return Err(MeshIoError::BadHeader);
+    }
+    let (lineno, dim_line) = next()?;
+    let dim: usize = dim_line
+        .strip_prefix("dim ")
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| MeshIoError::Parse { line: lineno, message: "expected 'dim <n>'".into() })?;
+    if dim != D {
+        return Err(MeshIoError::DimensionMismatch { found: dim, expected: D });
+    }
+
+    // Nodes.
+    let (lineno, nodes_line) = next()?;
+    let num_nodes: usize =
+        nodes_line.strip_prefix("nodes ").and_then(|d| d.parse().ok()).ok_or_else(|| {
+            MeshIoError::Parse { line: lineno, message: "expected 'nodes <count>'".into() }
+        })?;
+    let mut points = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let (lineno, line) = next()?;
+        let mut coords = [0.0f64; D];
+        let mut it = line.split_whitespace();
+        for c in coords.iter_mut() {
+            *c = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| MeshIoError::Parse {
+                    line: lineno,
+                    message: format!("expected {D} coordinates"),
+                })?;
+        }
+        points.push(Point::new(coords));
+    }
+
+    // Elements.
+    let (lineno, elems_line) = next()?;
+    let num_elements: usize =
+        elems_line.strip_prefix("elements ").and_then(|d| d.parse().ok()).ok_or_else(|| {
+            MeshIoError::Parse { line: lineno, message: "expected 'elements <count>'".into() }
+        })?;
+    let mut elements = Vec::with_capacity(num_elements);
+    let mut body = Vec::with_capacity(num_elements);
+    for _ in 0..num_elements {
+        let (lineno, line) = next()?;
+        let mut it = line.split_whitespace();
+        let kind = it
+            .next()
+            .and_then(kind_from_name)
+            .ok_or_else(|| MeshIoError::Parse {
+                line: lineno,
+                message: "unknown element kind".into(),
+            })?;
+        let b: u16 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+            MeshIoError::Parse { line: lineno, message: "expected body id".into() }
+        })?;
+        let mut nodes = Vec::with_capacity(kind.num_nodes());
+        for _ in 0..kind.num_nodes() {
+            let n: u32 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                MeshIoError::Parse {
+                    line: lineno,
+                    message: format!("expected {} node ids", kind.num_nodes()),
+                }
+            })?;
+            if n as usize >= num_nodes {
+                return Err(MeshIoError::Parse {
+                    line: lineno,
+                    message: format!("node id {n} out of range"),
+                });
+            }
+            nodes.push(n);
+        }
+        elements.push(Element::new(kind, &nodes));
+        body.push(b);
+    }
+
+    // Erosion state.
+    let (lineno, eroded_line) = next()?;
+    let num_eroded: usize =
+        eroded_line.strip_prefix("eroded ").and_then(|d| d.parse().ok()).ok_or_else(|| {
+            MeshIoError::Parse { line: lineno, message: "expected 'eroded <count>'".into() }
+        })?;
+    let mut mesh = Mesh::with_bodies(points, elements, body);
+    for _ in 0..num_eroded {
+        let (lineno, line) = next()?;
+        let e: u32 = line.parse().map_err(|_| MeshIoError::Parse {
+            line: lineno,
+            message: "expected an element id".into(),
+        })?;
+        if e as usize >= num_elements {
+            return Err(MeshIoError::Parse {
+                line: lineno,
+                message: format!("eroded element id {e} out of range"),
+            });
+        }
+        mesh.erode(e);
+    }
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_3d_with_erosion() {
+        let mut m = generators::hex_box([2, 2, 2], Point::new([0.0; 3]), [1.0; 3], 1);
+        m.erode(3);
+        let text = write_text(&m);
+        let back: Mesh<3> = read_text(&text).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.num_nodes(), m.num_nodes());
+        assert_eq!(back.num_elements(), m.num_elements());
+        assert_eq!(back.alive, m.alive);
+        assert_eq!(back.body, m.body);
+        assert_eq!(back.points, m.points);
+        for (a, b) in m.elements.iter().zip(back.elements.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let m = generators::quad_grid([3, 2], Point::new([0.5, -1.0]), [0.5, 2.0], 0);
+        let back: Mesh<2> = read_text(&write_text(&m)).unwrap();
+        assert_eq!(back.points, m.points);
+        assert_eq!(back.num_elements(), 6);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ncipmesh 1\ndim 2\nnodes 3\n0 0\n1 0\n0 1\n\
+                    # elements next\nelements 1\ntri3 2 0 1 2\neroded 0\n";
+        let m: Mesh<2> = read_text(text).unwrap();
+        assert_eq!(m.num_nodes(), 3);
+        assert_eq!(m.body[0], 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(read_text::<2>("hello\n").err(), Some(MeshIoError::BadHeader));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let text = "cipmesh 1\ndim 3\nnodes 0\nelements 0\neroded 0\n";
+        assert_eq!(
+            read_text::<2>(text).err(),
+            Some(MeshIoError::DimensionMismatch { found: 3, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let text = "cipmesh 1\ndim 2\nnodes 2\n0 0\n1 0\nelements 1\ntri3 0 0 1 7\neroded 0\n";
+        match read_text::<2>(text) {
+            Err(MeshIoError::Parse { message, .. }) => {
+                assert!(message.contains("out of range"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let text = "cipmesh 1\ndim 2\nnodes 5\n0 0\n";
+        assert_eq!(read_text::<2>(text).err(), Some(MeshIoError::UnexpectedEof));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MeshIoError::Parse { line: 7, message: "boom".into() };
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+}

@@ -1,0 +1,199 @@
+//! Element geometry and quality measures.
+//!
+//! Contact codes monitor element quality because the deformation field
+//! distorts cells near the crater; severely distorted or inverted
+//! elements are erosion candidates. This module provides the volume
+//! (area) and aspect-ratio measures used by the simulation's diagnostics
+//! and by downstream users validating their own meshes.
+
+use crate::element::ElementKind;
+use crate::mesh::Mesh;
+use cip_geom::Point;
+
+/// Signed area of a 2D polygonal element (shoelace formula; positive for
+/// counter-clockwise node ordering).
+fn polygon_area(points: &[Point<2>]) -> f64 {
+    let n = points.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        let a = &points[i];
+        let b = &points[(i + 1) % n];
+        acc += a[0] * b[1] - b[0] * a[1];
+    }
+    0.5 * acc
+}
+
+/// Signed volume of a tetrahedron.
+fn tet_volume(p: &[Point<3>; 4]) -> f64 {
+    let a = p[1].sub(&p[0]);
+    let b = p[2].sub(&p[0]);
+    let c = p[3].sub(&p[0]);
+    let cross = [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ];
+    (cross[0] * c[0] + cross[1] * c[1] + cross[2] * c[2]) / 6.0
+}
+
+/// Signed measure (area in 2D embedded meshes, volume in 3D) of element
+/// `e`. Hexahedra are decomposed into five tetrahedra; quadrilaterals use
+/// the shoelace formula. Negative values indicate inverted elements.
+pub fn element_measure_3d(mesh: &Mesh<3>, e: u32) -> f64 {
+    let el = &mesh.elements[e as usize];
+    let p = |i: usize| mesh.points[el.nodes()[i] as usize];
+    match el.kind {
+        ElementKind::Tet4 => tet_volume(&[p(0), p(1), p(2), p(3)]),
+        ElementKind::Hex8 => {
+            // Standard 5-tet decomposition of a hexahedron.
+            let tets = [
+                [0, 1, 3, 4],
+                [1, 2, 3, 6],
+                [1, 4, 5, 6],
+                [3, 4, 6, 7],
+                [1, 3, 4, 6],
+            ];
+            tets.iter()
+                .map(|&[a, b, c, d]| tet_volume(&[p(a), p(b), p(c), p(d)]))
+                .sum()
+        }
+        other => panic!("element kind {other:?} is not a 3D volume element"),
+    }
+}
+
+/// Signed area of a 2D element.
+pub fn element_measure_2d(mesh: &Mesh<2>, e: u32) -> f64 {
+    let el = &mesh.elements[e as usize];
+    let pts: Vec<Point<2>> = el.nodes().iter().map(|&n| mesh.points[n as usize]).collect();
+    match el.kind {
+        ElementKind::Tri3 | ElementKind::Quad4 => polygon_area(&pts),
+        other => panic!("element kind {other:?} is not a 2D element"),
+    }
+}
+
+/// Aspect ratio of element `e`: longest edge over shortest edge (≥ 1;
+/// 1 for a perfectly regular element).
+pub fn aspect_ratio<const D: usize>(mesh: &Mesh<D>, e: u32) -> f64 {
+    let el = &mesh.elements[e as usize];
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    for (a, b) in el.edges() {
+        let len = mesh.points[a as usize].dist(&mesh.points[b as usize]);
+        lo = lo.min(len);
+        hi = hi.max(len);
+    }
+    if lo <= 0.0 {
+        f64::INFINITY
+    } else {
+        hi / lo
+    }
+}
+
+/// Summary of the live elements' quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Total measure (volume/area) of live elements.
+    pub total_measure: f64,
+    /// Smallest element measure (negative = inverted element present).
+    pub min_measure: f64,
+    /// Worst (largest) aspect ratio.
+    pub max_aspect: f64,
+    /// Number of inverted (non-positive measure) live elements.
+    pub inverted: usize,
+}
+
+/// Computes the quality report of a 3D mesh's live elements.
+pub fn quality_report(mesh: &Mesh<3>) -> QualityReport {
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max_aspect: f64 = 0.0;
+    let mut inverted = 0;
+    for (e, _) in mesh.live_elements() {
+        let m = element_measure_3d(mesh, e);
+        total += m;
+        min = min.min(m);
+        if m <= 0.0 {
+            inverted += 1;
+        }
+        max_aspect = max_aspect.max(aspect_ratio(mesh, e));
+    }
+    QualityReport { total_measure: total, min_measure: min, max_aspect, inverted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::generators;
+
+    #[test]
+    fn unit_cube_has_unit_volume() {
+        let m = generators::hex_box([1, 1, 1], Point::new([0.0; 3]), [1.0; 3], 0);
+        assert!((element_measure_3d(&m, 0) - 1.0).abs() < 1e-12);
+        assert!((aspect_ratio(&m, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_box_volume_and_aspect() {
+        let m = generators::hex_box([1, 1, 1], Point::new([0.0; 3]), [2.0, 1.0, 4.0], 0);
+        assert!((element_measure_3d(&m, 0) - 8.0).abs() < 1e-12);
+        assert!((aspect_ratio(&m, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_quad_area() {
+        let m = generators::quad_grid([1, 1], Point::new([0.0, 0.0]), [1.0, 1.0], 0);
+        assert!((element_measure_2d(&m, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_quad_has_negative_area() {
+        // Clockwise node order inverts the sign.
+        let m = Mesh::<2>::new(
+            vec![
+                Point::new([0.0, 0.0]),
+                Point::new([0.0, 1.0]),
+                Point::new([1.0, 1.0]),
+                Point::new([1.0, 0.0]),
+            ],
+            vec![Element::quad4([0, 1, 2, 3])],
+        );
+        assert!(element_measure_2d(&m, 0) < 0.0);
+    }
+
+    #[test]
+    fn tet_volume_correct() {
+        let m = Mesh::<3>::new(
+            vec![
+                Point::new([0.0, 0.0, 0.0]),
+                Point::new([1.0, 0.0, 0.0]),
+                Point::new([0.0, 1.0, 0.0]),
+                Point::new([0.0, 0.0, 1.0]),
+            ],
+            vec![Element::tet4([0, 1, 2, 3])],
+        );
+        assert!((element_measure_3d(&m, 0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_sums_live_elements_only() {
+        let mut m = generators::hex_box([2, 1, 1], Point::new([0.0; 3]), [1.0; 3], 0);
+        let r0 = quality_report(&m);
+        assert!((r0.total_measure - 2.0).abs() < 1e-12);
+        assert_eq!(r0.inverted, 0);
+        m.erode(0);
+        let r1 = quality_report(&m);
+        assert!((r1.total_measure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_never_inverts_elements() {
+        // The bounded deformation field must keep every element valid.
+        use cip_geom::Point as P;
+        let _ = P::<3>::origin();
+        let sim_mesh = generators::hex_box([4, 4, 2], Point::new([-2.0, -2.0, -2.0]), [1.0; 3], 0);
+        let r = quality_report(&sim_mesh);
+        assert_eq!(r.inverted, 0);
+        assert!(r.min_measure > 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Coarsening: heavy-edge matching and contraction.
+//!
+//! Each coarsening level matches vertices with their heaviest-edge
+//! unmatched neighbor (HEM) and contracts matched pairs. For
+//! multi-constraint graphs the tiebreak among equally heavy edges prefers
+//! the neighbor whose weight vector best *complements* the vertex's own
+//! (Karypis–Kumar "balanced matching"), which keeps coarse vertex-weight
+//! vectors homogeneous and makes the coarsest-level balance problem
+//! tractable.
+
+use cip_graph::{contract, Graph};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One coarsening level: the coarse graph plus the fine-to-coarse map.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The coarse graph produced by this level.
+    pub graph: Graph,
+    /// `map[fine_vertex] = coarse_vertex` into `graph`.
+    pub map: Vec<u32>,
+}
+
+/// A full coarsening hierarchy. `levels[0].graph` is one step coarser than
+/// the input; `levels.last()` is the coarsest graph.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Successive coarsening levels (possibly empty if the input was
+    /// already small).
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph, or `None` if no coarsening step was taken.
+    pub fn coarsest(&self) -> Option<&Graph> {
+        self.levels.last().map(|l| &l.graph)
+    }
+}
+
+/// Computes a heavy-edge matching of `g` and returns the fine-to-coarse map
+/// together with the number of coarse vertices.
+///
+/// Visit order is randomized (seeded) so repeated runs explore different
+/// matchings; unmatched vertices map to singleton coarse vertices.
+pub fn heavy_edge_matching(g: &Graph, seed: u64) -> (Vec<u32>, usize) {
+    let nv = g.nv();
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut mate = vec![u32::MAX; nv];
+    for &v in &order {
+        if mate[v as usize] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(i64, i64, u32)> = None;
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] != u32::MAX {
+                continue;
+            }
+            // Primary key: heaviest edge. Secondary key (maximized):
+            // complementarity of the weight vectors — prefer merging a
+            // contact-heavy vertex with a contact-light one so coarse
+            // weight vectors stay homogeneous. We use the negative dot
+            // product of the weight vectors as the score.
+            let dot: i64 = g
+                .vwgt(v)
+                .iter()
+                .zip(g.vwgt(u))
+                .map(|(a, b)| a * b)
+                .sum();
+            let key = (w, -dot, u);
+            match best {
+                Some((bw, bdot, _)) if (bw, bdot) >= (w, -dot) => {}
+                _ => best = Some(key),
+            }
+        }
+        if let Some((_, _, u)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        } else {
+            mate[v as usize] = v; // matched with itself
+        }
+    }
+
+    // Assign coarse ids: each matched pair (or singleton) gets one id.
+    let mut map = vec![u32::MAX; nv];
+    let mut cnv = 0usize;
+    for v in 0..nv {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        map[v] = cnv as u32;
+        let m = mate[v] as usize;
+        if m != v {
+            map[m] = cnv as u32;
+        }
+        cnv += 1;
+    }
+    (map, cnv)
+}
+
+/// Coarsens `g` until it has at most `coarsen_to` vertices or shrinkage
+/// stalls (a level removing < 10% of vertices stops the process).
+pub fn coarsen(g: &Graph, coarsen_to: usize, seed: u64) -> Hierarchy {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut level_seed = seed;
+    while current.nv() > coarsen_to {
+        let (map, cnv) = heavy_edge_matching(&current, level_seed);
+        if cnv as f64 > current.nv() as f64 * 0.95 {
+            break; // matching stalled (e.g. star graphs)
+        }
+        let coarse = contract(&current, &map, cnv);
+        levels.push(Level { graph: coarse.clone(), map });
+        current = coarse;
+        level_seed = level_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_graph::GraphBuilder;
+
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let mut b = GraphBuilder::new(nx * ny, 2);
+        let id = |i: usize, j: usize| (j * nx + i) as u32;
+        for j in 0..ny {
+            for i in 0..nx {
+                // Border nodes get a contact weight, like a mesh surface.
+                let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+                b.set_vwgt(id(i, j), &[1, i64::from(border)]);
+                if i + 1 < nx {
+                    b.add_edge(id(i, j), id(i + 1, j), 1);
+                }
+                if j + 1 < ny {
+                    b.add_edge(id(i, j), id(i, j + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matching_is_a_valid_pairing() {
+        let g = grid(10, 10);
+        let (map, cnv) = heavy_edge_matching(&g, 7);
+        assert!(cnv >= g.nv() / 2);
+        assert!(cnv < g.nv());
+        // Each coarse id has 1 or 2 members.
+        let mut counts = vec![0; cnv];
+        for &c in &map {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1 || c == 2));
+        // Matched pairs must be adjacent.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cnv];
+        for (v, &c) in map.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+        for m in members.iter().filter(|m| m.len() == 2) {
+            assert!(
+                g.adj(m[0]).contains(&m[1]),
+                "matched vertices {m:?} are not adjacent"
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight() {
+        let g = grid(16, 16);
+        let h = coarsen(&g, 20, 3);
+        assert!(!h.levels.is_empty());
+        let coarsest = h.coarsest().unwrap();
+        assert_eq!(coarsest.total_vwgt(), g.total_vwgt());
+        assert!(coarsest.nv() <= g.nv() / 2);
+    }
+
+    #[test]
+    fn coarsening_terminates_on_small_graph() {
+        let g = grid(3, 3);
+        let h = coarsen(&g, 100, 1);
+        assert!(h.levels.is_empty());
+        assert!(h.coarsest().is_none());
+    }
+
+    #[test]
+    fn coarsening_is_deterministic_per_seed() {
+        let g = grid(12, 12);
+        let h1 = coarsen(&g, 30, 9);
+        let h2 = coarsen(&g, 30, 9);
+        assert_eq!(h1.levels.len(), h2.levels.len());
+        for (a, b) in h1.levels.iter().zip(h2.levels.iter()) {
+            assert_eq!(a.map, b.map);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully() {
+        let g = Graph::edgeless(50, 1);
+        let h = coarsen(&g, 10, 5);
+        // No edges -> no matches -> stall detection stops immediately.
+        assert!(h.levels.is_empty());
+    }
+}

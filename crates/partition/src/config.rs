@@ -1,0 +1,88 @@
+//! Partitioner configuration.
+
+/// Tuning knobs for the multilevel partitioner.
+///
+/// The defaults follow METIS conventions: 5% imbalance tolerance on the
+/// primary constraint, a somewhat looser 15% on secondary constraints
+/// (the contact constraint is sparse and lumpy — a handful of surface
+/// nodes per element — so exact balance is neither achievable nor needed),
+/// coarsening down to a few hundred vertices, a small portfolio of random
+/// initial bisections, and a few FM passes per uncoarsening level.
+#[derive(Debug, Clone)]
+pub struct PartitionerConfig {
+    /// Allowed imbalance per constraint: constraint `j` must satisfy
+    /// `LoadImbalance(P, j) <= 1 + eps(j)`. If the vector is shorter than
+    /// `ncon`, the last entry is broadcast.
+    pub eps: Vec<f64>,
+    /// RNG seed (the partitioner is fully deterministic given the seed).
+    pub seed: u64,
+    /// Stop coarsening once the graph has at most this many vertices.
+    pub coarsen_to: usize,
+    /// Number of random greedy-growing attempts for the initial bisection.
+    pub init_tries: usize,
+    /// Maximum FM passes per uncoarsening level.
+    pub fm_passes: usize,
+    /// Maximum greedy k-way refinement passes on the full graph.
+    pub kway_passes: usize,
+}
+
+impl Default for PartitionerConfig {
+    fn default() -> Self {
+        Self {
+            eps: vec![0.05, 0.15],
+            seed: 1,
+            coarsen_to: 160,
+            init_tries: 6,
+            fm_passes: 4,
+            kway_passes: 6,
+        }
+    }
+}
+
+impl PartitionerConfig {
+    /// A config with the given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The imbalance tolerance for constraint `j` (broadcasting the last
+    /// entry when `eps` is shorter than the constraint count).
+    pub fn eps_for(&self, j: usize) -> f64 {
+        *self.eps.get(j).unwrap_or_else(|| self.eps.last().expect("eps must be non-empty"))
+    }
+
+    /// Derives a child seed for an independent sub-problem (recursive
+    /// bisection sides, initial-partition retries) without correlating
+    /// their random streams.
+    pub fn child_seed(&self, salt: u64) -> u64 {
+        // SplitMix64 step: well-distributed and cheap.
+        let mut z = self.seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_broadcasts_last_entry() {
+        let cfg = PartitionerConfig { eps: vec![0.05, 0.2], ..Default::default() };
+        assert_eq!(cfg.eps_for(0), 0.05);
+        assert_eq!(cfg.eps_for(1), 0.2);
+        assert_eq!(cfg.eps_for(5), 0.2);
+    }
+
+    #[test]
+    fn child_seeds_differ() {
+        let cfg = PartitionerConfig::with_seed(42);
+        let a = cfg.child_seed(1);
+        let b = cfg.child_seed(2);
+        assert_ne!(a, b);
+        assert_ne!(a, 42);
+        // Deterministic.
+        assert_eq!(a, cfg.child_seed(1));
+    }
+}

@@ -1,0 +1,161 @@
+//! Diffusion-based repartitioning.
+//!
+//! The paper's §4.3 cites the multilevel diffusion repartitioners of
+//! Schloegel, Karypis & Kumar as the way to update a decomposition after
+//! the mesh changes. This module implements the *local diffusion* family:
+//! rather than partitioning from scratch and remapping labels
+//! ([`crate::repart`]), start from the previous assignment and migrate
+//! weight locally, part-to-part, until every constraint is balanced again,
+//! then polish the cut with k-way refinement.
+//!
+//! Compared with scratch-remap, diffusion migrates far fewer vertices when
+//! the imbalance is small (the common case between adjacent time steps of
+//! a contact simulation) at the price of a slightly worse cut — the
+//! classical repartitioning trade-off the paper's §2 describes.
+
+use crate::config::PartitionerConfig;
+use crate::kway::{balance_kway, refine_kway};
+use cip_graph::Graph;
+
+/// Repartitions by local diffusion from the previous assignment `old`.
+///
+/// Entries of `old` equal to `u32::MAX` (vertices with no previous home,
+/// e.g. newly exposed nodes) are first adopted by the neighboring part
+/// with the strongest connection (or part 0 for isolated vertices); then
+/// weight diffuses out of over-capacity parts and the cut is refined.
+pub fn diffusion_repartition(
+    g: &Graph,
+    k: usize,
+    old: &[u32],
+    cfg: &PartitionerConfig,
+) -> Vec<u32> {
+    assert_eq!(old.len(), g.nv(), "one previous part per vertex");
+    let mut asg: Vec<u32> = old.to_vec();
+
+    // Adopt orphans: strongest-connected neighbor part wins; isolated
+    // orphans go to part 0.
+    let mut conn = vec![0i64; k];
+    #[allow(clippy::needless_range_loop)] // v indexes asg and is a vertex id
+    for v in 0..g.nv() {
+        if asg[v] != u32::MAX {
+            debug_assert!((asg[v] as usize) < k, "old part id out of range");
+            continue;
+        }
+        conn.iter_mut().for_each(|c| *c = 0);
+        let mut best: Option<(i64, u32)> = None;
+        for (u, w) in g.neighbors(v as u32) {
+            let p = old[u as usize];
+            if p == u32::MAX {
+                continue;
+            }
+            conn[p as usize] += w;
+            let c = conn[p as usize];
+            if best.is_none_or(|(bc, _)| c > bc) {
+                best = Some((c, p));
+            }
+        }
+        asg[v] = best.map_or(0, |(_, p)| p);
+    }
+
+    // Diffuse weight out of overloaded parts, then polish.
+    balance_kway(g, k, &mut asg, cfg);
+    refine_kway(g, k, &mut asg, cfg);
+    balance_kway(g, k, &mut asg, cfg);
+    asg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repart::{migration_count, repartition};
+    use cip_graph::{GraphBuilder, Partition};
+
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let mut b = GraphBuilder::new(nx * ny, 1);
+        let id = |i: usize, j: usize| (j * nx + i) as u32;
+        for j in 0..ny {
+            for i in 0..nx {
+                b.set_vwgt(id(i, j), &[1]);
+                if i + 1 < nx {
+                    b.add_edge(id(i, j), id(i + 1, j), 1);
+                }
+                if j + 1 < ny {
+                    b.add_edge(id(i, j), id(i, j + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn balanced_input_is_barely_touched() {
+        let g = grid(12, 12);
+        // Perfect halves.
+        let old: Vec<u32> = (0..144).map(|v| u32::from(v % 12 >= 6)).collect();
+        let cfg = PartitionerConfig::with_seed(3);
+        let new = diffusion_repartition(&g, 2, &old, &cfg);
+        assert_eq!(migration_count(&old, &new), 0, "already balanced and optimal");
+    }
+
+    #[test]
+    fn mild_imbalance_migrates_little() {
+        let g = grid(12, 12);
+        // Slightly lopsided split: 84 / 60.
+        let old: Vec<u32> = (0..144).map(|v| u32::from(v % 12 >= 7)).collect();
+        let cfg = PartitionerConfig::with_seed(5);
+        let new = diffusion_repartition(&g, 2, &old, &cfg);
+        let p = Partition::from_assignment(&g, 2, new.clone());
+        assert!(p.imbalance(0) <= 1.06, "imbalance {}", p.imbalance(0));
+        let moved = migration_count(&old, &new);
+        // Only the excess (~12 vertices) needs to move, plus slack.
+        assert!(moved <= 30, "diffusion moved {moved} vertices");
+    }
+
+    #[test]
+    fn diffusion_migrates_less_than_scratch_remap_under_mild_change() {
+        let g = grid(16, 16);
+        let k = 4;
+        let cfg = PartitionerConfig::with_seed(7);
+        let base = crate::rb::partition_kway(&g, k, &cfg);
+        // Perturb: move one column's worth of vertices to the wrong part.
+        let mut old = base.clone();
+        for v in 0..16 {
+            old[v * 16] = (old[v * 16] + 1) % k as u32;
+        }
+        let diff = diffusion_repartition(&g, k, &old, &cfg);
+        let scratch = repartition(&g, k, &old, &PartitionerConfig::with_seed(8));
+        let dm = migration_count(&old, &diff);
+        let sm = migration_count(&old, &scratch);
+        assert!(
+            dm <= sm,
+            "diffusion ({dm}) should not migrate more than scratch-remap ({sm})"
+        );
+        let p = Partition::from_assignment(&g, k, diff);
+        assert!(p.imbalance(0) <= 1.08, "imbalance {}", p.imbalance(0));
+    }
+
+    #[test]
+    fn orphans_are_adopted_by_connected_parts() {
+        let g = grid(6, 6);
+        let mut old: Vec<u32> = (0..36).map(|v| u32::from(v % 6 >= 3)).collect();
+        // Orphan an interior vertex of the left half.
+        old[7] = u32::MAX;
+        let cfg = PartitionerConfig::with_seed(1);
+        let new = diffusion_repartition(&g, 2, &old, &cfg);
+        assert!(new.iter().all(|&p| p < 2));
+        // Vertex 7 is surrounded by part-0 vertices; it must join part 0.
+        assert_eq!(new[7], 0);
+    }
+
+    #[test]
+    fn fully_orphaned_input_still_yields_valid_partition() {
+        let g = grid(8, 8);
+        let old = vec![u32::MAX; 64];
+        let cfg = PartitionerConfig::with_seed(2);
+        let new = diffusion_repartition(&g, 4, &old, &cfg);
+        assert!(new.iter().all(|&p| p < 4));
+        let p = Partition::from_assignment(&g, 4, new);
+        // Everything collapsed to part 0 first; balancing must spread it.
+        assert!(p.imbalance(0) <= 1.10, "imbalance {}", p.imbalance(0));
+    }
+}

@@ -1,0 +1,401 @@
+//! 2-way Fiduccia–Mattheyses refinement with multi-constraint feasibility.
+//!
+//! The FM pass tentatively moves the best-gain vertex (allowing negative
+//! gains — hill climbing), tracks the best feasible prefix of the move
+//! sequence, and rolls back the rest. Feasibility is the multi-constraint
+//! condition: each side's weight must stay within its per-constraint cap.
+//! When a bisection *starts* infeasible (e.g. after projecting a coarse
+//! partition, or after the paper's majority-relabel step), moves that
+//! reduce the total violation are admitted even if the destination is over
+//! cap, so refinement doubles as balance repair.
+
+use cip_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Balance targets for a bisection.
+///
+/// Side 0 should receive fraction `frac0` of the total weight of every
+/// constraint (recursive bisection splits `k` into `k1 + k2`, so
+/// `frac0 = k1 / k` rather than always one half).
+#[derive(Debug, Clone)]
+pub struct BisectTargets {
+    /// Total vertex weight per constraint.
+    pub totals: Vec<i64>,
+    /// Target fraction of every constraint's weight for side 0.
+    pub frac0: f64,
+    /// Per-constraint imbalance tolerance (cap multiplier is `1 + eps`).
+    pub eps: Vec<f64>,
+}
+
+impl BisectTargets {
+    /// Builds targets for bisecting `g` with side-0 fraction `frac0`.
+    pub fn new(g: &Graph, frac0: f64, eps: &[f64]) -> Self {
+        let ncon = g.ncon();
+        let eps_vec: Vec<f64> =
+            (0..ncon).map(|j| *eps.get(j).unwrap_or_else(|| eps.last().unwrap())).collect();
+        Self { totals: g.total_vwgt(), frac0, eps: eps_vec }
+    }
+
+    /// Number of constraints.
+    pub fn ncon(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// The weight cap of `side` for constraint `j`.
+    pub fn cap(&self, side: usize, j: usize) -> i64 {
+        let frac = if side == 0 { self.frac0 } else { 1.0 - self.frac0 };
+        ((1.0 + self.eps[j]) * frac * self.totals[j] as f64).ceil() as i64
+    }
+
+    /// Total violation of a side-weight vector (`2 * ncon` entries,
+    /// side-major), normalized per constraint so different scales compose.
+    pub fn violation(&self, side_weights: &[i64]) -> f64 {
+        let ncon = self.ncon();
+        let mut v = 0.0;
+        for side in 0..2 {
+            for j in 0..ncon {
+                if self.totals[j] == 0 {
+                    continue;
+                }
+                let over = side_weights[side * ncon + j] - self.cap(side, j);
+                if over > 0 {
+                    v += over as f64 / self.totals[j] as f64;
+                }
+            }
+        }
+        v
+    }
+
+    /// Whether a side-weight vector satisfies every cap.
+    pub fn feasible(&self, side_weights: &[i64]) -> bool {
+        self.violation(side_weights) == 0.0
+    }
+}
+
+/// Side weights (`2 * ncon`, side-major) of a bisection assignment.
+pub fn side_weights(g: &Graph, asg: &[u32]) -> Vec<i64> {
+    let ncon = g.ncon();
+    let mut w = vec![0i64; 2 * ncon];
+    for (v, &s) in asg.iter().enumerate() {
+        let base = s as usize * ncon;
+        for (j, x) in g.vwgt(v as u32).iter().enumerate() {
+            w[base + j] += x;
+        }
+    }
+    w
+}
+
+/// Edge-cut of a bisection.
+pub fn bisection_cut(g: &Graph, asg: &[u32]) -> i64 {
+    cip_graph::edge_cut(g, asg)
+}
+
+/// FM gain of moving `v` to the other side: external minus internal degree.
+fn gain_of(g: &Graph, asg: &[u32], v: u32) -> i64 {
+    let side = asg[v as usize];
+    let mut gain = 0i64;
+    for (u, w) in g.neighbors(v) {
+        if asg[u as usize] == side {
+            gain -= w;
+        } else {
+            gain += w;
+        }
+    }
+    gain
+}
+
+/// Runs up to `passes` FM passes on the bisection `asg`, returning the
+/// final cut. `asg` must contain only sides 0 and 1.
+pub fn fm_refine(
+    g: &Graph,
+    asg: &mut [u32],
+    targets: &BisectTargets,
+    passes: usize,
+) -> i64 {
+    let mut cut = bisection_cut(g, asg);
+    let mut sw = side_weights(g, asg);
+    for _ in 0..passes {
+        let improved = fm_pass(g, asg, targets, &mut sw, &mut cut);
+        if !improved {
+            break;
+        }
+    }
+    debug_assert_eq!(cut, bisection_cut(g, asg));
+    cut
+}
+
+/// One FM pass. Returns whether the pass strictly improved
+/// (cut, violation) lexicographically with violation first.
+fn fm_pass(
+    g: &Graph,
+    asg: &mut [u32],
+    targets: &BisectTargets,
+    sw: &mut [i64],
+    cut: &mut i64,
+) -> bool {
+    let nv = g.nv();
+    let ncon = g.ncon();
+    let mut gains: Vec<i64> = (0..nv as u32).map(|v| gain_of(g, asg, v)).collect();
+    let mut moved = vec![false; nv];
+
+    // Seed the queue with boundary vertices; interior vertices enter when a
+    // neighbor's move puts them on the boundary (or when balance repair
+    // needs them — they enter with their negative gain and are simply less
+    // attractive).
+    let mut heap: BinaryHeap<(i64, Reverse<u32>)> = BinaryHeap::new();
+    for v in 0..nv as u32 {
+        let on_boundary = g.adj(v).iter().any(|&u| asg[u as usize] != asg[v as usize]);
+        if on_boundary {
+            heap.push((gains[v as usize], Reverse(v)));
+        }
+    }
+
+    let start_violation = targets.violation(sw);
+    let start_cut = *cut;
+    // Best state seen: (violation, cut) lexicographic, preferring lower
+    // violation, then lower cut. Index = number of applied moves.
+    let mut best_key = (start_violation, start_cut);
+    let mut best_len = 0usize;
+    let mut log: Vec<u32> = Vec::new();
+    let limit = (nv / 50).clamp(32, 2048);
+
+    while let Some((gain, Reverse(v))) = heap.pop() {
+        if moved[v as usize] || gains[v as usize] != gain {
+            continue; // stale entry
+        }
+        let from = asg[v as usize] as usize;
+        let to = 1 - from;
+
+        // Tentative side weights after the move.
+        for j in 0..ncon {
+            let w = g.vwgt(v)[j];
+            sw[from * ncon + j] -= w;
+            sw[to * ncon + j] += w;
+        }
+        let violation_after = targets.violation(sw);
+        // Roll the weights back; we only commit below.
+        for j in 0..ncon {
+            let w = g.vwgt(v)[j];
+            sw[from * ncon + j] += w;
+            sw[to * ncon + j] -= w;
+        }
+        let violation_now = targets.violation(sw);
+        // Admissible moves either keep the violation from growing (within-
+        // cap moves always qualify, and over-cap starts can still be
+        // repaired) or incur only a small *transient* violation — the pass
+        // may cross the balance line while hill-climbing, because the
+        // best-prefix rollback below never commits to a state less
+        // feasible than the start.
+        const TRANSIENT_VIOLATION: f64 = 0.02;
+        if violation_after > violation_now + 1e-12 && violation_after > TRANSIENT_VIOLATION {
+            continue;
+        }
+
+        // Commit the move.
+        for j in 0..ncon {
+            let w = g.vwgt(v)[j];
+            sw[from * ncon + j] -= w;
+            sw[to * ncon + j] += w;
+        }
+        asg[v as usize] = to as u32;
+        *cut -= gain;
+        moved[v as usize] = true;
+        log.push(v);
+
+        for (u, w) in g.neighbors(v) {
+            if moved[u as usize] {
+                continue;
+            }
+            // v left `from`: edges to same-side (from) neighbors become
+            // external (+2w to their gain); edges to `to`-side neighbors
+            // become internal (-2w).
+            if asg[u as usize] as usize == from {
+                gains[u as usize] += 2 * w;
+            } else {
+                gains[u as usize] -= 2 * w;
+            }
+            heap.push((gains[u as usize], Reverse(u)));
+        }
+
+        let key = (violation_after, *cut);
+        if key < best_key {
+            best_key = key;
+            best_len = log.len();
+        }
+        if log.len() - best_len > limit {
+            break; // hill climb exhausted
+        }
+    }
+
+    // Roll back every move after the best prefix.
+    for &v in log[best_len..].iter().rev() {
+        let from = asg[v as usize] as usize;
+        let to = 1 - from;
+        for j in 0..ncon {
+            let w = g.vwgt(v)[j];
+            sw[from * ncon + j] -= w;
+            sw[to * ncon + j] += w;
+        }
+        asg[v as usize] = to as u32;
+    }
+    // Recompute the cut exactly after rollback (cheap relative to the pass).
+    *cut = bisection_cut(g, asg);
+
+    (targets.violation(sw), *cut) < (start_violation, start_cut)
+}
+
+/// Balance repair: greedily moves vertices off over-cap sides, choosing the
+/// highest-gain vertex that strictly reduces total violation. Used when the
+/// initial bisection or a projected partition is infeasible.
+pub fn rebalance_bisection(g: &Graph, asg: &mut [u32], targets: &BisectTargets) {
+    let ncon = g.ncon();
+    let mut sw = side_weights(g, asg);
+    let mut budget = 2 * g.nv();
+    while budget > 0 {
+        budget -= 1;
+        let violation = targets.violation(&sw);
+        if violation == 0.0 {
+            return;
+        }
+        // Find the most violated (side, constraint).
+        let mut worst: Option<(f64, usize, usize)> = None;
+        for side in 0..2 {
+            for j in 0..ncon {
+                if targets.totals[j] == 0 {
+                    continue;
+                }
+                let over = sw[side * ncon + j] - targets.cap(side, j);
+                if over > 0 {
+                    let score = over as f64 / targets.totals[j] as f64;
+                    if worst.is_none_or(|(s, _, _)| score > s) {
+                        worst = Some((score, side, j));
+                    }
+                }
+            }
+        }
+        let Some((_, side, j)) = worst else { return };
+
+        // Candidate: vertex on `side` with positive weight in `j` whose move
+        // reduces total violation the most; break ties by FM gain.
+        let mut best: Option<(f64, i64, u32)> = None;
+        for v in 0..g.nv() as u32 {
+            if asg[v as usize] as usize != side || g.vwgt(v)[j] <= 0 {
+                continue;
+            }
+            let mut trial = sw.clone();
+            for (jj, w) in g.vwgt(v).iter().enumerate() {
+                trial[side * ncon + jj] -= w;
+                trial[(1 - side) * ncon + jj] += w;
+            }
+            let v_after = targets.violation(&trial);
+            if v_after >= violation {
+                continue;
+            }
+            let gain = gain_of(g, asg, v);
+            let key = (violation - v_after, gain, v);
+            if best.is_none_or(|(d, bg, _)| (key.0, key.1) > (d, bg)) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, v)) = best else { return };
+        for (jj, w) in g.vwgt(v).iter().enumerate() {
+            sw[side * ncon + jj] -= w;
+            sw[(1 - side) * ncon + jj] += w;
+        }
+        asg[v as usize] = 1 - side as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_graph::GraphBuilder;
+
+    /// Path of 8 vertices, unit weights.
+    fn path8() -> Graph {
+        let mut b = GraphBuilder::new(8, 1);
+        for v in 0..8u32 {
+            b.set_vwgt(v, &[1]);
+        }
+        for v in 0..7u32 {
+            b.add_edge(v, v + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fm_fixes_interleaved_partition() {
+        let g = path8();
+        // Alternating sides: cut = 7. Optimal balanced cut = 1.
+        let mut asg: Vec<u32> = (0..8).map(|v| (v % 2) as u32).collect();
+        let targets = BisectTargets::new(&g, 0.5, &[0.05]);
+        let cut = fm_refine(&g, &mut asg, &targets, 8);
+        assert_eq!(cut, 1, "assignment: {asg:?}");
+        let sw = side_weights(&g, &asg);
+        assert!(targets.feasible(&sw));
+    }
+
+    #[test]
+    fn fm_does_not_worsen_an_optimal_partition() {
+        let g = path8();
+        let mut asg = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let targets = BisectTargets::new(&g, 0.5, &[0.05]);
+        let cut = fm_refine(&g, &mut asg, &targets, 4);
+        assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn rebalance_repairs_lopsided_bisection() {
+        let g = path8();
+        let mut asg = vec![0, 0, 0, 0, 0, 0, 0, 1];
+        let targets = BisectTargets::new(&g, 0.5, &[0.05]);
+        rebalance_bisection(&g, &mut asg, &targets);
+        let sw = side_weights(&g, &asg);
+        assert!(targets.feasible(&sw), "side weights {sw:?}");
+    }
+
+    #[test]
+    fn rebalance_handles_two_constraints() {
+        // 8 vertices, second constraint only on vertices 0..4 (like contact
+        // nodes clustered on one side of a mesh).
+        let mut b = GraphBuilder::new(8, 2);
+        for v in 0..8u32 {
+            b.set_vwgt(v, &[1, i64::from(v < 4)]);
+        }
+        for v in 0..7u32 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        // All contact vertices on side 0 -> constraint 1 fully unbalanced.
+        let mut asg = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.05]);
+        let sw0 = side_weights(&g, &asg);
+        assert!(!targets.feasible(&sw0));
+        rebalance_bisection(&g, &mut asg, &targets);
+        fm_refine(&g, &mut asg, &targets, 4);
+        let sw = side_weights(&g, &asg);
+        // Constraint 1 must now be split 2/2 (cap = ceil(1.05 * 2) = 3).
+        assert!(sw[1] <= 3 && sw[3] <= 3, "contact weights {sw:?}");
+    }
+
+    #[test]
+    fn asymmetric_target_fraction() {
+        let g = path8();
+        let targets = BisectTargets::new(&g, 0.25, &[0.2]);
+        // frac0 = 0.25 of 8 = 2 vertices (cap ~ ceil(1.2*2) = 3).
+        let mut asg = vec![0; 8];
+        rebalance_bisection(&g, &mut asg, &targets);
+        let sw = side_weights(&g, &asg);
+        assert!(targets.feasible(&sw), "side weights {sw:?}");
+        assert!(sw[0] <= 3);
+    }
+
+    #[test]
+    fn side_weights_and_cut_agree_with_bruteforce() {
+        let g = path8();
+        let asg = vec![0, 1, 1, 0, 0, 1, 0, 1];
+        assert_eq!(side_weights(&g, &asg), vec![4, 4]);
+        assert_eq!(bisection_cut(&g, &asg), 5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Exact maximum-weight assignment (Hungarian algorithm).
+//!
+//! Used in two places:
+//!
+//! * **scratch-remap repartitioning** — relabel the parts of a freshly
+//!   computed partition so they overlap the previous partition as much as
+//!   possible, minimizing data migration;
+//! * **the ML+RCB baseline's M2MComm metric** — the paper optimizes the
+//!   mapping between the FE partition and the RCB partition with a maximal
+//!   weight matching before counting the contact points that still live on
+//!   different processors in the two decompositions.
+//!
+//! The implementation is the classical O(n³) potentials formulation on a
+//! dense cost matrix; `k` is at most a few hundred parts, so this is
+//! microseconds in practice.
+
+/// Computes a perfect matching of rows to columns of the square weight
+/// matrix `w` (row-major, `n x n`) that **maximizes** the total weight.
+///
+/// Returns `assignment` with `assignment[row] = col`.
+///
+/// ```
+/// use cip_partition::max_weight_assignment;
+///
+/// // Overlap counts between an old and a new 3-way partition.
+/// let overlap = vec![
+///     1, 9, 2, // new part 0 overlaps old part 1 the most
+///     8, 1, 1, // new part 1 overlaps old part 0 the most
+///     0, 2, 7, // new part 2 keeps its label
+/// ];
+/// assert_eq!(max_weight_assignment(3, &overlap), vec![1, 0, 2]);
+/// ```
+///
+/// # Panics
+/// Panics if `w.len() != n * n`.
+pub fn max_weight_assignment(n: usize, w: &[i64]) -> Vec<usize> {
+    assert_eq!(w.len(), n * n, "weight matrix must be n x n");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Convert to min-cost: cost = max_entry - w (all costs >= 0).
+    let max_entry = *w.iter().max().unwrap();
+    let cost = |r: usize, c: usize| max_entry - w[r * n + c];
+
+    // Classical Hungarian with potentials; 1-based helper arrays.
+    const INF: i64 = i64::MAX / 4;
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (1-based)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// The total weight achieved by an assignment on matrix `w`.
+pub fn assignment_weight(n: usize, w: &[i64], assignment: &[usize]) -> i64 {
+    assignment.iter().enumerate().map(|(r, &c)| w[r * n + c]).sum()
+}
+
+/// Brute-force optimum by permutation enumeration — test oracle only.
+#[cfg(test)]
+fn brute_force(n: usize, w: &[i64]) -> i64 {
+    fn rec(n: usize, w: &[i64], row: usize, used: &mut Vec<bool>, acc: i64, best: &mut i64) {
+        if row == n {
+            *best = (*best).max(acc);
+            return;
+        }
+        for c in 0..n {
+            if !used[c] {
+                used[c] = true;
+                rec(n, w, row + 1, used, acc + w[row * n + c], best);
+                used[c] = false;
+            }
+        }
+    }
+    let mut best = i64::MIN;
+    rec(n, w, 0, &mut vec![false; n], 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_preferred_on_diagonal_matrix() {
+        let n = 4;
+        let mut w = vec![0i64; n * n];
+        for i in 0..n {
+            w[i * n + i] = 10;
+        }
+        let a = max_weight_assignment(n, &w);
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(assignment_weight(n, &w, &a), 40);
+    }
+
+    #[test]
+    fn antidiagonal() {
+        let n = 3;
+        let mut w = vec![0i64; n * n];
+        for i in 0..n {
+            w[i * n + (n - 1 - i)] = 5;
+        }
+        let a = max_weight_assignment(n, &w);
+        assert_eq!(a, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices (no rand dependency needed).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as i64
+        };
+        for n in 1..=5usize {
+            for _ in 0..20 {
+                let w: Vec<i64> = (0..n * n).map(|_| next()).collect();
+                let a = max_weight_assignment(n, &w);
+                // Valid permutation.
+                let mut seen = vec![false; n];
+                for &c in &a {
+                    assert!(!seen[c]);
+                    seen[c] = true;
+                }
+                assert_eq!(assignment_weight(n, &w, &a), brute_force(n, &w), "n={n} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_weights() {
+        let n = 2;
+        let w = vec![-5, -1, -2, -10];
+        let a = max_weight_assignment(n, &w);
+        // Best: (0,1) + (1,0) = -1 + -2 = -3 vs diagonal -15.
+        assert_eq!(assignment_weight(n, &w, &a), -3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(max_weight_assignment(0, &[]).is_empty());
+    }
+}

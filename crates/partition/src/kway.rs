@@ -1,0 +1,253 @@
+//! Greedy multi-constraint `k`-way refinement and balancing.
+//!
+//! This is the refinement primitive the paper's §4.2 relies on twice:
+//! once as the final polish of the initial multi-constraint partitioning,
+//! and once on the leaf-contracted region graph `G'` after the
+//! majority-relabel step, where each vertex is a whole axis-parallel
+//! region, so every move provably preserves the piecewise axes-parallel
+//! boundary geometry.
+
+use crate::config::PartitionerConfig;
+use cip_graph::{Graph, Partition};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-part weight caps for a uniform `k`-way partition.
+fn caps(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<i64> {
+    let totals = g.total_vwgt();
+    (0..k)
+        .flat_map(|_| {
+            totals
+                .iter()
+                .enumerate()
+                .map(|(j, &t)| ((1.0 + cfg.eps_for(j)) * t as f64 / k as f64).ceil() as i64)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The connectivity of `v` to each part among its neighbors:
+/// returns (part, total edge weight) pairs, unsorted.
+fn connectivity(g: &Graph, asg: &[u32], v: u32, out: &mut Vec<(u32, i64)>) {
+    out.clear();
+    for (u, w) in g.neighbors(v) {
+        let p = asg[u as usize];
+        match out.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, acc)) => *acc += w,
+            None => out.push((p, w)),
+        }
+    }
+}
+
+/// Greedy `k`-way refinement: repeatedly sweeps the boundary vertices in
+/// random order, moving each to the adjacent part with the highest positive
+/// gain that keeps every constraint within its cap. Stops when a sweep
+/// makes no move or after `cfg.kway_passes` sweeps.
+///
+/// Never worsens the edge-cut and never moves a vertex into a part that
+/// would exceed its cap (moves out of over-cap parts are always allowed).
+pub fn refine_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig) {
+    let ncon = g.ncon();
+    let caps = caps(g, k, cfg);
+    let mut part = Partition::from_assignment(g, k, asg.to_vec());
+    let mut rng = SmallRng::seed_from_u64(cfg.child_seed(0x4EF1E));
+    let mut conn: Vec<(u32, i64)> = Vec::with_capacity(16);
+
+    for _pass in 0..cfg.kway_passes.max(1) {
+        let mut boundary: Vec<u32> = (0..g.nv() as u32)
+            .filter(|&v| {
+                let pv = part.part(v);
+                g.adj(v).iter().any(|&u| part.part(u) != pv)
+            })
+            .collect();
+        boundary.shuffle(&mut rng);
+
+        let mut moves = 0usize;
+        for &v in &boundary {
+            let from = part.part(v);
+            connectivity(g, part.assignment(), v, &mut conn);
+            let id_w = conn.iter().find(|(p, _)| *p == from).map_or(0, |(_, w)| *w);
+            // Best strictly-improving feasible target part.
+            let mut best: Option<(i64, u32)> = None;
+            for &(p, w) in conn.iter() {
+                if p == from {
+                    continue;
+                }
+                let gain = w - id_w;
+                if gain <= 0 {
+                    continue;
+                }
+                let fits = (0..ncon).all(|j| {
+                    part.part_weight(p, j) + g.vwgt(v)[j] <= caps[p as usize * ncon + j]
+                });
+                if fits && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((_, p)) = best {
+                part.move_vertex(g, v, p);
+                moves += 1;
+            }
+        }
+        if moves == 0 {
+            break;
+        }
+    }
+    asg.copy_from_slice(part.assignment());
+}
+
+/// Balance enforcement: for every constraint whose imbalance exceeds the
+/// tolerance, moves weight out of over-cap parts into parts with headroom,
+/// choosing the (vertex, destination) with the least cut damage. Bounded
+/// effort; leaves the partition as balanced as it could make it.
+pub fn balance_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig) {
+    let ncon = g.ncon();
+    let caps = caps(g, k, cfg);
+    let mut part = Partition::from_assignment(g, k, asg.to_vec());
+    let mut conn: Vec<(u32, i64)> = Vec::with_capacity(16);
+
+    for j in 0..ncon {
+        if part.total_weight(j) == 0 {
+            continue;
+        }
+        let mut budget = g.nv();
+        loop {
+            // Most overloaded part under constraint j.
+            let over: Option<u32> = (0..k as u32)
+                .filter(|&p| part.part_weight(p, j) > caps[p as usize * ncon + j])
+                .max_by_key(|&p| part.part_weight(p, j) - caps[p as usize * ncon + j]);
+            let Some(from) = over else { break };
+            if budget == 0 {
+                break;
+            }
+
+            // Candidate vertices: members of `from` carrying weight in j;
+            // prefer boundary vertices and small cut damage.
+            let mut best: Option<(i64, u32, u32)> = None; // (damage, v, to)
+            for v in 0..g.nv() as u32 {
+                if part.part(v) != from || g.vwgt(v)[j] <= 0 {
+                    continue;
+                }
+                connectivity(g, part.assignment(), v, &mut conn);
+                let id_w = conn.iter().find(|(p, _)| *p == from).map_or(0, |(_, w)| *w);
+                // Destinations: neighbor parts first, then the globally
+                // least-loaded part as a fallback for interior vertices.
+                let try_part = |p: u32, best: &mut Option<(i64, u32, u32)>| {
+                    if p == from {
+                        return;
+                    }
+                    let fits = (0..ncon).all(|jj| {
+                        part.part_weight(p, jj) + g.vwgt(v)[jj]
+                            <= caps[p as usize * ncon + jj]
+                    });
+                    if !fits {
+                        return;
+                    }
+                    let ext = conn.iter().find(|(q, _)| *q == p).map_or(0, |(_, w)| *w);
+                    let damage = id_w - ext; // negative damage = cut improves
+                    if best.is_none_or(|(bd, _, _)| damage < bd) {
+                        *best = Some((damage, v, p));
+                    }
+                };
+                for &(p, _) in conn.iter() {
+                    try_part(p, &mut best);
+                }
+                let least: u32 = (0..k as u32)
+                    .min_by_key(|&p| part.part_weight(p, j))
+                    .unwrap();
+                try_part(least, &mut best);
+            }
+            let Some((_, v, to)) = best else { break };
+            part.move_vertex(g, v, to);
+            budget -= 1;
+        }
+    }
+    asg.copy_from_slice(part.assignment());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_graph::{edge_cut, GraphBuilder};
+
+    fn grid(nx: usize, ny: usize, ncon: usize) -> Graph {
+        let mut b = GraphBuilder::new(nx * ny, ncon);
+        let id = |i: usize, j: usize| (j * nx + i) as u32;
+        for j in 0..ny {
+            for i in 0..nx {
+                let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+                let w: Vec<i64> =
+                    (0..ncon).map(|c| if c == 0 { 1 } else { i64::from(border) }).collect();
+                b.set_vwgt(id(i, j), &w);
+                if i + 1 < nx {
+                    b.add_edge(id(i, j), id(i + 1, j), 1);
+                }
+                if j + 1 < ny {
+                    b.add_edge(id(i, j), id(i, j + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Columns-of-the-grid assignment: balanced but high-cut for k=2 when
+    /// interleaved.
+    #[test]
+    fn refinement_reduces_cut_without_breaking_balance() {
+        let g = grid(12, 12, 1);
+        // Striped assignment: columns alternate parts -> terrible cut.
+        let mut asg: Vec<u32> = (0..144).map(|v| ((v % 12) % 2) as u32).collect();
+        let before = edge_cut(&g, &asg);
+        let cfg = PartitionerConfig::with_seed(4);
+        refine_kway(&g, 2, &mut asg, &cfg);
+        let after = edge_cut(&g, &asg);
+        assert!(after < before, "cut {before} -> {after}");
+        let p = Partition::from_assignment(&g, 2, asg);
+        assert!(p.max_imbalance() <= 1.06);
+    }
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = grid(10, 10, 1);
+        let mut asg: Vec<u32> = (0..100).map(|v| if v < 50 { 0 } else { 1 }).collect();
+        let before = edge_cut(&g, &asg);
+        refine_kway(&g, 2, &mut asg, &PartitionerConfig::with_seed(8));
+        assert!(edge_cut(&g, &asg) <= before);
+    }
+
+    #[test]
+    fn balance_fixes_overloaded_part() {
+        let g = grid(10, 10, 1);
+        // 80/20 split: part 0 overloaded (cap = ceil(1.05 * 50) = 53).
+        let mut asg: Vec<u32> = (0..100).map(|v| if v < 80 { 0 } else { 1 }).collect();
+        let cfg = PartitionerConfig::with_seed(2);
+        balance_kway(&g, 2, &mut asg, &cfg);
+        let p = Partition::from_assignment(&g, 2, asg);
+        assert!(p.imbalance(0) <= 1.06, "imbalance {}", p.imbalance(0));
+    }
+
+    #[test]
+    fn balance_handles_second_constraint() {
+        let g = grid(10, 10, 2);
+        // All border (contact) vertices initially in part 0's half plus a
+        // skewed assignment of the rest.
+        let mut asg: Vec<u32> = (0..100u32).map(|v| u32::from(v >= 90)).collect();
+        let cfg = PartitionerConfig { eps: vec![0.05, 0.2], ..PartitionerConfig::with_seed(6) };
+        balance_kway(&g, 2, &mut asg, &cfg);
+        let p = Partition::from_assignment(&g, 2, asg);
+        assert!(p.imbalance(0) <= 1.06, "c0 imbalance {}", p.imbalance(0));
+        assert!(p.imbalance(1) <= 1.21, "c1 imbalance {}", p.imbalance(1));
+    }
+
+    #[test]
+    fn refinement_is_noop_on_perfect_partition() {
+        let g = grid(8, 8, 1);
+        // Left/right halves: optimal cut 8.
+        let mut asg: Vec<u32> = (0..64).map(|v| u32::from(v % 8 >= 4)).collect();
+        let before = edge_cut(&g, &asg);
+        assert_eq!(before, 8);
+        refine_kway(&g, 2, &mut asg, &PartitionerConfig::with_seed(1));
+        assert_eq!(edge_cut(&g, &asg), 8);
+    }
+}

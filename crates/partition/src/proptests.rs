@@ -1,0 +1,139 @@
+//! Property-based tests for the partitioner internals (compiled only with
+//! `cfg(test)`).
+
+#![cfg(test)]
+
+use crate::coarsen::{coarsen, heavy_edge_matching};
+use crate::config::PartitionerConfig;
+use crate::fm::{bisection_cut, fm_refine, side_weights, BisectTargets};
+use crate::hungarian::max_weight_assignment;
+use cip_graph::{contract, edge_cut, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Random connected-ish graph: a path backbone plus random chords.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n)
+        .prop_flat_map(|n| {
+            let chords =
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1i64..4), 0..2 * n);
+            (Just(n), chords)
+        })
+        .prop_map(|(n, chords)| {
+            let mut b = GraphBuilder::new(n, 1);
+            for v in 0..n as u32 {
+                b.set_vwgt(v, &[1]);
+            }
+            for v in 0..n as u32 - 1 {
+                b.add_edge(v, v + 1, 1);
+            }
+            for (u, v, w) in chords {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FM refinement never worsens the (violation, cut) pair it starts
+    /// from.
+    #[test]
+    fn fm_never_worsens(g in arb_graph(40), seed in 0u64..500) {
+        // Random-ish starting bisection.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut asg: Vec<u32> = (0..g.nv()).map(|_| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state & 1) as u32
+        }).collect();
+        let targets = BisectTargets::new(&g, 0.5, &[0.1]);
+        let cut_before = bisection_cut(&g, &asg);
+        let viol_before = targets.violation(&side_weights(&g, &asg));
+        let cut_after = fm_refine(&g, &mut asg, &targets, 4);
+        let viol_after = targets.violation(&side_weights(&g, &asg));
+        prop_assert!(
+            (viol_after, cut_after) <= (viol_before, cut_before),
+            "({viol_before}, {cut_before}) -> ({viol_after}, {cut_after})"
+        );
+        // Still a valid bisection.
+        prop_assert!(asg.iter().all(|&s| s <= 1));
+    }
+
+    /// Heavy-edge matching yields a valid pairing of adjacent vertices and
+    /// contraction preserves the total weight.
+    #[test]
+    fn matching_and_contraction_invariants(g in arb_graph(50), seed in 0u64..100) {
+        let (map, cnv) = heavy_edge_matching(&g, seed);
+        prop_assert!(cnv <= g.nv());
+        prop_assert!(map.iter().all(|&c| (c as usize) < cnv));
+        let cg = contract(&g, &map, cnv);
+        prop_assert_eq!(cg.total_vwgt(), g.total_vwgt());
+        // Matched pairs must be adjacent in g.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cnv];
+        for (v, &c) in map.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+        for m in members.iter().filter(|m| m.len() == 2) {
+            prop_assert!(g.adj(m[0]).contains(&m[1]));
+        }
+        prop_assert!(members.iter().all(|m| m.len() <= 2));
+    }
+
+    /// Coarsening hierarchies project any coarsest-level cut faithfully:
+    /// the cut of a projected assignment equals the coarse cut at every
+    /// level.
+    #[test]
+    fn hierarchy_projection_preserves_cut(g in arb_graph(60), seed in 0u64..100) {
+        let h = coarsen(&g, 8, seed);
+        if let Some(coarsest) = h.coarsest() {
+            let coarse_asg: Vec<u32> = (0..coarsest.nv() as u32).map(|v| v & 1).collect();
+            // Project down through every level.
+            let mut asg = coarse_asg.clone();
+            let mut cut = edge_cut(coarsest, &asg);
+            for lvl in (0..h.levels.len()).rev() {
+                let fine = if lvl == 0 { &g } else { &h.levels[lvl - 1].graph };
+                let map = &h.levels[lvl].map;
+                let fine_asg: Vec<u32> = map.iter().map(|&c| asg[c as usize]).collect();
+                let fine_cut = edge_cut(fine, &fine_asg);
+                prop_assert_eq!(fine_cut, cut, "cut changed during projection");
+                asg = fine_asg;
+                cut = fine_cut;
+            }
+        }
+    }
+
+    /// Hungarian output is invariant under adding a constant to a full
+    /// row (assignment structure unchanged).
+    #[test]
+    fn hungarian_row_shift_invariance(
+        w in proptest::collection::vec(0i64..50, 16),
+        row in 0usize..4,
+        shift in 1i64..100
+    ) {
+        let n = 4;
+        let a1 = max_weight_assignment(n, &w);
+        let mut w2 = w.clone();
+        for c in 0..n {
+            w2[row * n + c] += shift;
+        }
+        let a2 = max_weight_assignment(n, &w2);
+        let weight = |w: &[i64], a: &[usize]| -> i64 {
+            a.iter().enumerate().map(|(r, &c)| w[r * n + c]).sum()
+        };
+        // Optimal values differ exactly by the shift.
+        prop_assert_eq!(weight(&w2, &a2), weight(&w, &a1) + shift);
+    }
+
+    /// Config child seeds never collide across a small salt range.
+    #[test]
+    fn child_seeds_unique(seed in 0u64..10_000) {
+        let cfg = PartitionerConfig::with_seed(seed);
+        let seeds: Vec<u64> = (0..64).map(|s| cfg.child_seed(s)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), seeds.len());
+    }
+}

@@ -1,0 +1,281 @@
+//! Multilevel recursive bisection: the `k`-way driver.
+//!
+//! Each bisection is multilevel: coarsen with heavy-edge matching, bisect
+//! the coarsest graph with greedy growing, then project back up refining
+//! with FM at every level. `k` is split as `k = k1 + k2` with
+//! `k1 = floor(k/2)`, and side 0 targets the fraction `k1 / k` of every
+//! constraint, so arbitrary (non-power-of-two) part counts work.
+//!
+//! Per-bisection tolerances are tighter than the user's requested `eps`
+//! (imbalance compounds multiplicatively down the recursion); a final
+//! k-way refinement + balancing pass on the full graph then enforces the
+//! real bound and recovers cut quality across bisector boundaries.
+
+use crate::bisect::{assign_distinct_parts, greedy_bisection};
+use crate::coarsen::coarsen;
+use crate::config::PartitionerConfig;
+use crate::fm::{fm_refine, rebalance_bisection, BisectTargets};
+use crate::kway::{balance_kway, refine_kway};
+use cip_graph::subgraph::induced_subgraph;
+use cip_graph::Graph;
+
+/// Sub-problems at least this large recurse in parallel (rayon::join).
+const PARALLEL_THRESHOLD: usize = 8192;
+
+/// Computes a `k`-way multi-constraint partition of `g`.
+///
+/// Returns one part id (`0..k`) per vertex. Deterministic for a fixed
+/// `cfg.seed`.
+///
+/// ```
+/// use cip_graph::{GraphBuilder, Partition};
+/// use cip_partition::{partition_kway, PartitionerConfig};
+///
+/// // A 16-vertex path graph.
+/// let mut b = GraphBuilder::new(16, 1);
+/// for v in 0..16 {
+///     b.set_vwgt(v, &[1]);
+/// }
+/// for v in 0..15 {
+///     b.add_edge(v, v + 1, 1);
+/// }
+/// let g = b.build();
+///
+/// let asg = partition_kway(&g, 2, &PartitionerConfig::default());
+/// let p = Partition::from_assignment(&g, 2, asg);
+/// assert!(p.is_balanced(0.05));
+/// assert_eq!(cip_graph::edge_cut(&g, p.assignment()), 1);
+/// ```
+pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> {
+    assert!(k >= 1, "k must be positive");
+    let mut asg = vec![0u32; g.nv()];
+    if k == 1 || g.nv() == 0 {
+        return asg;
+    }
+    if g.nv() <= k {
+        return assign_distinct_parts(g.nv(), k);
+    }
+
+    // Per-bisection eps: a fraction of the global tolerance, floored so the
+    // bisections retain freedom to optimize the cut.
+    let levels = (k as f64).log2().ceil().max(1.0);
+    let bis_eps: Vec<f64> = (0..g.ncon())
+        .map(|j| (cfg.eps_for(j) / levels).max(0.5 * cfg.eps_for(j)).max(0.02))
+        .collect();
+
+    let ids: Vec<u32> = (0..g.nv() as u32).collect();
+    let assigned = rb_recurse(g, k, 0, cfg, &bis_eps, 1, &ids);
+    for (gv, part) in assigned {
+        asg[gv as usize] = part;
+    }
+
+    // Full-graph k-way polish: refine the cut across bisector boundaries,
+    // then enforce the user's balance tolerance.
+    refine_kway(g, k, &mut asg, cfg);
+    balance_kway(g, k, &mut asg, cfg);
+    refine_kway(g, k, &mut asg, cfg);
+    asg
+}
+
+/// Recursively bisects the subgraph whose vertices map to `global_ids`,
+/// returning `(global_vertex, part)` assignments for parts
+/// `part_lo .. part_lo + k`. Sibling sub-problems are independent, so
+/// large ones recurse in parallel — the "straightforward" parallelization
+/// the paper's §6 notes.
+fn rb_recurse(
+    g: &Graph,
+    k: usize,
+    part_lo: u32,
+    cfg: &PartitionerConfig,
+    bis_eps: &[f64],
+    salt: u64,
+    global_ids: &[u32],
+) -> Vec<(u32, u32)> {
+    if k == 1 {
+        return global_ids.iter().map(|&gv| (gv, part_lo)).collect();
+    }
+    if g.nv() <= k {
+        return global_ids
+            .iter()
+            .enumerate()
+            .map(|(v, &gv)| (gv, part_lo + (v % k) as u32))
+            .collect();
+    }
+
+    let k1 = k / 2;
+    let frac0 = k1 as f64 / k as f64;
+    let local_cfg = PartitionerConfig { seed: cfg.child_seed(salt), ..cfg.clone() };
+    let asg2 = multilevel_bisect(g, frac0, &local_cfg, bis_eps);
+
+    // Split and recurse.
+    let select0: Vec<bool> = asg2.iter().map(|&s| s == 0).collect();
+    let sub0 = induced_subgraph(g, &select0);
+    let select1: Vec<bool> = asg2.iter().map(|&s| s == 1).collect();
+    let sub1 = induced_subgraph(g, &select1);
+
+    let ids0: Vec<u32> = sub0.to_parent.iter().map(|&v| global_ids[v as usize]).collect();
+    let ids1: Vec<u32> = sub1.to_parent.iter().map(|&v| global_ids[v as usize]).collect();
+    let (mut left, right) = if g.nv() >= PARALLEL_THRESHOLD {
+        rayon::join(
+            || rb_recurse(&sub0.graph, k1, part_lo, cfg, bis_eps, salt * 2, &ids0),
+            || {
+                rb_recurse(
+                    &sub1.graph,
+                    k - k1,
+                    part_lo + k1 as u32,
+                    cfg,
+                    bis_eps,
+                    salt * 2 + 1,
+                    &ids1,
+                )
+            },
+        )
+    } else {
+        (
+            rb_recurse(&sub0.graph, k1, part_lo, cfg, bis_eps, salt * 2, &ids0),
+            rb_recurse(
+                &sub1.graph,
+                k - k1,
+                part_lo + k1 as u32,
+                cfg,
+                bis_eps,
+                salt * 2 + 1,
+                &ids1,
+            ),
+        )
+    };
+    left.extend(right);
+    left
+}
+
+/// One multilevel bisection of `g` with side-0 fraction `frac0`.
+pub fn multilevel_bisect(
+    g: &Graph,
+    frac0: f64,
+    cfg: &PartitionerConfig,
+    eps: &[f64],
+) -> Vec<u32> {
+    let hierarchy = coarsen(g, cfg.coarsen_to.max(40), cfg.child_seed(0xC0A25E));
+
+    // Bisect the coarsest graph.
+    let coarsest = hierarchy.coarsest().unwrap_or(g);
+    let targets_coarse = BisectTargets::new(coarsest, frac0, eps);
+    let mut asg = greedy_bisection(coarsest, &targets_coarse, cfg);
+
+    // Uncoarsen: project through each level and refine.
+    for lvl in (0..hierarchy.levels.len()).rev() {
+        let fine_graph =
+            if lvl == 0 { g } else { &hierarchy.levels[lvl - 1].graph };
+        let map = &hierarchy.levels[lvl].map;
+        let mut fine_asg = vec![0u32; fine_graph.nv()];
+        for (v, &c) in map.iter().enumerate() {
+            fine_asg[v] = asg[c as usize];
+        }
+        let targets = BisectTargets::new(fine_graph, frac0, eps);
+        rebalance_bisection(fine_graph, &mut fine_asg, &targets);
+        fm_refine(fine_graph, &mut fine_asg, &targets, cfg.fm_passes);
+        asg = fine_asg;
+    }
+    if hierarchy.levels.is_empty() {
+        // No coarsening happened; `asg` is already on `g` but unrefined.
+        let targets = BisectTargets::new(g, frac0, eps);
+        rebalance_bisection(g, &mut asg, &targets);
+        fm_refine(g, &mut asg, &targets, cfg.fm_passes);
+    }
+    asg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_graph::{edge_cut, GraphBuilder, Partition};
+
+    fn grid(nx: usize, ny: usize, ncon: usize) -> Graph {
+        let mut b = GraphBuilder::new(nx * ny, ncon);
+        let id = |i: usize, j: usize| (j * nx + i) as u32;
+        for j in 0..ny {
+            for i in 0..nx {
+                let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+                let w: Vec<i64> =
+                    (0..ncon).map(|c| if c == 0 { 1 } else { i64::from(border) }).collect();
+                b.set_vwgt(id(i, j), &w);
+                if i + 1 < nx {
+                    b.add_edge(id(i, j), id(i + 1, j), 1);
+                }
+                if j + 1 < ny {
+                    b.add_edge(id(i, j), id(i, j + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn four_way_grid_partition() {
+        let g = grid(16, 16, 1);
+        let cfg = PartitionerConfig::with_seed(1);
+        let asg = partition_kway(&g, 4, &cfg);
+        let p = Partition::from_assignment(&g, 4, asg.clone());
+        assert!(p.max_imbalance() <= 1.06, "imbalance {}", p.max_imbalance());
+        // A perfect quadrant split cuts 2 * 16 = 32 edges.
+        let cut = edge_cut(&g, &asg);
+        assert!(cut <= 70, "cut {cut}");
+        // All parts non-empty.
+        for part in 0..4 {
+            assert!(p.part_size(part) > 0);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_k() {
+        let g = grid(15, 14, 1);
+        let cfg = PartitionerConfig::with_seed(7);
+        for k in [3usize, 5, 6, 7] {
+            let asg = partition_kway(&g, k, &cfg);
+            let p = Partition::from_assignment(&g, k, asg);
+            assert!(
+                p.max_imbalance() <= 1.10,
+                "k={k} imbalance {}",
+                p.max_imbalance()
+            );
+            for part in 0..k as u32 {
+                assert!(p.part_size(part) > 0, "k={k} part {part} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn two_constraint_partition_balances_both() {
+        let g = grid(20, 20, 2);
+        let cfg = PartitionerConfig::with_seed(3);
+        let asg = partition_kway(&g, 4, &cfg);
+        let p = Partition::from_assignment(&g, 4, asg);
+        assert!(p.imbalance(0) <= 1.06, "FE imbalance {}", p.imbalance(0));
+        assert!(p.imbalance(1) <= 1.25, "contact imbalance {}", p.imbalance(1));
+    }
+
+    #[test]
+    fn k_one_is_trivial() {
+        let g = grid(4, 4, 1);
+        let asg = partition_kway(&g, 1, &PartitionerConfig::default());
+        assert!(asg.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn tiny_graph_many_parts() {
+        let g = grid(2, 2, 1);
+        let asg = partition_kway(&g, 4, &PartitionerConfig::default());
+        let mut sorted = asg.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid(12, 12, 1);
+        let cfg = PartitionerConfig::with_seed(99);
+        let a = partition_kway(&g, 6, &cfg);
+        let b = partition_kway(&g, 6, &cfg);
+        assert_eq!(a, b);
+    }
+}

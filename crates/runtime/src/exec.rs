@@ -1,0 +1,365 @@
+//! The threaded step executor.
+//!
+//! One OS thread per rank, one crossbeam channel per rank, no shared
+//! mutable state: ranks exchange halo values and surface elements as
+//! explicit messages, then run their local contact search. Because the
+//! element messages carry everything the receiver needs (bounding box,
+//! owner, body), the halo and shipment phases need no barrier — each rank
+//! streams all its sends, then drains its inbox until every peer's `Done`
+//! marker has arrived.
+
+use crate::plan::Decomposition;
+use cip_contact::{find_contact_pairs, ContactPair, GlobalFilter, SurfaceElementInfo};
+use cip_geom::{Aabb, Point};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Inter-rank message.
+enum Msg {
+    /// Halo exchange: updated positions of nodes the receiver ghosts.
+    Halo {
+        /// Sending rank.
+        from: u32,
+        /// `(global node id, position)` pairs.
+        values: Vec<(u32, Point<3>)>,
+    },
+    /// A surface element shipped for contact search.
+    Element {
+        /// Sending rank (the element's owner).
+        from: u32,
+        /// Global element index.
+        id: u32,
+        /// Bounding box at the current configuration.
+        bbox: Aabb<3>,
+        /// Body id (local search only pairs different bodies).
+        body: u16,
+    },
+    /// The sender has finished all sends for this step.
+    Done(u32),
+}
+
+/// Measured traffic of one executed step (row-major `k x k` matrices,
+/// `[from * k + to]`).
+#[derive(Debug, Clone)]
+pub struct TrafficLog {
+    /// Number of ranks.
+    pub k: usize,
+    /// Halo sends per rank pair (node values).
+    pub halo: Vec<u64>,
+    /// Element shipments per rank pair.
+    pub shipments: Vec<u64>,
+}
+
+impl TrafficLog {
+    /// Total halo volume (the executed FEComm).
+    pub fn total_halo(&self) -> u64 {
+        self.halo.iter().sum()
+    }
+
+    /// Total shipments (the executed NRemote).
+    pub fn total_shipments(&self) -> u64 {
+        self.shipments.iter().sum()
+    }
+}
+
+/// Input of one step.
+pub struct StepInput<'a, F: GlobalFilter<3> + Sync> {
+    /// The decomposition plan.
+    pub decomposition: &'a Decomposition,
+    /// New node positions for this step (the physics oracle; indexed by
+    /// global node id).
+    pub positions: &'a [Point<3>],
+    /// All surface elements (bounding boxes at `positions`), indexed by
+    /// the ids the plan's `owned_surface` refers to.
+    pub elements: &'a [SurfaceElementInfo<3>],
+    /// Body id per surface element.
+    pub bodies: &'a [u16],
+    /// The broadcast global-search filter (every rank holds a reference,
+    /// mirroring the tree broadcast in the paper).
+    pub filter: &'a F,
+    /// Contact capture tolerance.
+    pub tolerance: f64,
+}
+
+/// Result of one executed step.
+#[derive(Debug)]
+pub struct StepOutput {
+    /// Cross-body candidate pairs, global element ids, sorted, deduped.
+    pub contact_pairs: Vec<ContactPair>,
+    /// Measured traffic.
+    pub traffic: TrafficLog,
+    /// Ghost values whose received position did not match the owner's
+    /// (must be 0; anything else is a halo-exchange bug).
+    pub ghost_mismatches: usize,
+}
+
+/// Executes one contact/impact step across `k` rank threads.
+pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> StepOutput {
+    let k = input.decomposition.k;
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+        (0..k).map(|_| unbounded()).unzip();
+
+    struct RankResult {
+        pairs: Vec<ContactPair>,
+        halo_sent: Vec<u64>,      // per destination
+        shipments_sent: Vec<u64>, // per destination
+        ghost_mismatches: usize,
+    }
+
+    let results: Vec<RankResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        #[allow(clippy::needless_range_loop)] // r is the rank id
+        for r in 0..k {
+            let txs = txs.clone();
+            let rx = rxs[r].clone();
+            let plan = &input.decomposition.ranks[r];
+            let input = &*input;
+            handles.push(scope.spawn(move || {
+                let me = r as u32;
+                let mut halo_sent = vec![0u64; k];
+                let mut shipments_sent = vec![0u64; k];
+
+                // ---- Send halo values. --------------------------------
+                for (dest, nodes) in &plan.send_halo {
+                    let values: Vec<(u32, Point<3>)> = nodes
+                        .iter()
+                        .map(|&n| (n, input.positions[n as usize]))
+                        .collect();
+                    halo_sent[*dest as usize] += values.len() as u64;
+                    txs[*dest as usize]
+                        .send(Msg::Halo { from: me, values })
+                        .expect("rank channel closed");
+                }
+
+                // ---- Ship owned surface elements per the filter. ------
+                let mut candidates = Vec::new();
+                for &e in &plan.owned_surface {
+                    let el = &input.elements[e as usize];
+                    debug_assert_eq!(el.owner, me);
+                    input
+                        .filter
+                        .candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
+                    for &dest in candidates.iter() {
+                        if dest == me {
+                            continue;
+                        }
+                        shipments_sent[dest as usize] += 1;
+                        txs[dest as usize]
+                            .send(Msg::Element {
+                                from: me,
+                                id: e,
+                                bbox: el.bbox,
+                                body: input.bodies[e as usize],
+                            })
+                            .expect("rank channel closed");
+                    }
+                }
+                for (dest, tx) in txs.iter().enumerate() {
+                    if dest != r {
+                        tx.send(Msg::Done(me)).expect("rank channel closed");
+                    }
+                }
+                drop(txs);
+
+                // ---- Drain the inbox until every peer is done. --------
+                let mut ghost_mismatches = 0usize;
+                let mut received: Vec<(u32, Aabb<3>, u16)> = Vec::new();
+                let mut done = 0usize;
+                while done + 1 < k {
+                    match rx.recv().expect("rank channel closed") {
+                        Msg::Halo { from, values } => {
+                            debug_assert_ne!(from, me, "rank sent halo to itself");
+                            for (node, pos) in values {
+                                // The "physics oracle" is global in this
+                                // harness, so a correct halo exchange
+                                // delivers exactly the oracle value.
+                                if input.positions[node as usize] != pos {
+                                    ghost_mismatches += 1;
+                                }
+                            }
+                        }
+                        Msg::Element { from, id, bbox, body } => {
+                            debug_assert_ne!(from, me, "rank shipped an element to itself");
+                            received.push((id, bbox, body));
+                        }
+                        Msg::Done(from) => {
+                            debug_assert_ne!(from, me, "rank signalled itself done");
+                            done += 1;
+                        }
+                    }
+                }
+
+                // ---- Local contact search over owned + received. ------
+                let mut local_ids: Vec<u32> = plan.owned_surface.clone();
+                let mut boxes: Vec<Aabb<3>> = plan
+                    .owned_surface
+                    .iter()
+                    .map(|&e| input.elements[e as usize].bbox)
+                    .collect();
+                let mut bodies: Vec<u16> =
+                    plan.owned_surface.iter().map(|&e| input.bodies[e as usize]).collect();
+                for (id, bbox, body) in received {
+                    local_ids.push(id);
+                    boxes.push(bbox);
+                    bodies.push(body);
+                }
+                let mut pairs: Vec<ContactPair> =
+                    find_contact_pairs(&boxes, &bodies, input.tolerance)
+                        .into_iter()
+                        .map(|p| {
+                            let (a, b) =
+                                (local_ids[p.a as usize], local_ids[p.b as usize]);
+                            if a < b {
+                                ContactPair { a, b }
+                            } else {
+                                ContactPair { a: b, b: a }
+                            }
+                        })
+                        .collect();
+                pairs.sort_unstable();
+                pairs.dedup();
+                RankResult { pairs, halo_sent, shipments_sent, ghost_mismatches }
+            }));
+        }
+        drop(txs);
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+
+    // Aggregate.
+    let mut traffic =
+        TrafficLog { k, halo: vec![0; k * k], shipments: vec![0; k * k] };
+    let mut contact_pairs = Vec::new();
+    let mut ghost_mismatches = 0;
+    for (r, res) in results.into_iter().enumerate() {
+        for dest in 0..k {
+            traffic.halo[r * k + dest] += res.halo_sent[dest];
+            traffic.shipments[r * k + dest] += res.shipments_sent[dest];
+        }
+        contact_pairs.extend(res.pairs);
+        ghost_mismatches += res.ghost_mismatches;
+    }
+    contact_pairs.sort_unstable();
+    contact_pairs.dedup();
+    StepOutput { contact_pairs, traffic, ghost_mismatches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_decomposition;
+    use cip_contact::BboxFilter;
+    use cip_graph::GraphBuilder;
+
+    /// A 1D chain of nodes split between two ranks, with two rows of
+    /// surface boxes facing each other.
+    fn two_rank_setup() -> (
+        Decomposition,
+        Vec<Point<3>>,
+        Vec<SurfaceElementInfo<3>>,
+        Vec<u16>,
+    ) {
+        let n = 8;
+        let mut b = GraphBuilder::new(n, 1);
+        for v in 0..n as u32 {
+            b.set_vwgt(v, &[1]);
+        }
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        let asg: Vec<u32> = (0..n as u32).map(|v| u32::from(v >= 4)).collect();
+        let positions: Vec<Point<3>> =
+            (0..n).map(|i| Point::new([i as f64, 0.0, 0.0])).collect();
+
+        // Surface elements: one per node, two bodies stacked in z.
+        let mut elements = Vec::new();
+        let mut bodies = Vec::new();
+        for (i, &owner) in asg.iter().enumerate() {
+            let x = i as f64;
+            elements.push(SurfaceElementInfo {
+                bbox: Aabb::new(Point::new([x, 0.0, 0.0]), Point::new([x + 1.0, 1.0, 1.0])),
+                owner,
+            });
+            bodies.push((i % 2) as u16);
+        }
+        let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+        let nov: Vec<u32> = (0..n as u32).collect();
+        let d = build_decomposition(&g, &nov, &asg, &owners, 2);
+        (d, positions, elements, bodies)
+    }
+
+    #[test]
+    fn executed_step_matches_serial_search() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> =
+            elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let out = execute_step(&StepInput {
+            decomposition: &d,
+            positions: &positions,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.2,
+        });
+        assert_eq!(out.ghost_mismatches, 0);
+        let serial = cip_contact::serial_contact_pairs(&elements, &bodies, 0.2);
+        assert_eq!(out.contact_pairs, serial);
+        assert!(!serial.is_empty());
+    }
+
+    #[test]
+    fn measured_halo_matches_plan() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> =
+            elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let out = execute_step(&StepInput {
+            decomposition: &d,
+            positions: &positions,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.2,
+        });
+        assert_eq!(out.traffic.total_halo(), d.total_halo_volume());
+        // The chain boundary: rank 0 sends node 3, rank 1 sends node 4.
+        assert_eq!(out.traffic.halo[1], 1);
+        assert_eq!(out.traffic.halo[2], 1);
+    }
+
+    #[test]
+    fn single_rank_executes_without_messages() {
+        let (_, positions, elements, bodies) = two_rank_setup();
+        let n = positions.len();
+        let mut b = GraphBuilder::new(n, 1);
+        for v in 0..n as u32 {
+            b.set_vwgt(v, &[1]);
+        }
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        let nov: Vec<u32> = (0..n as u32).collect();
+        let elements1: Vec<SurfaceElementInfo<3>> = elements
+            .iter()
+            .map(|e| SurfaceElementInfo { bbox: e.bbox, owner: 0 })
+            .collect();
+        let owners = vec![0u32; elements1.len()];
+        let d = build_decomposition(&g, &nov, &vec![0; n], &owners, 1);
+        let boxes: Vec<(u32, Aabb<3>)> =
+            elements1.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 1);
+        let out = execute_step(&StepInput {
+            decomposition: &d,
+            positions: &positions,
+            elements: &elements1,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.2,
+        });
+        assert_eq!(out.traffic.total_halo(), 0);
+        assert_eq!(out.traffic.total_shipments(), 0);
+        let serial = cip_contact::serial_contact_pairs(&elements1, &bodies, 0.2);
+        assert_eq!(out.contact_pairs, serial);
+    }
+}

@@ -1,0 +1,101 @@
+//! Data migration between decompositions.
+//!
+//! When the partition changes (§4.3 repartitioning, or ML+RCB's per-step
+//! RCB update), every node whose owner changed must ship its state to the
+//! new owner. This module builds that migration plan and its traffic
+//! matrix; the tests validate it against
+//! [`cip_partition::repart::migration_count`].
+
+/// A migration plan: per (from, to) rank pair, the nodes that move.
+#[derive(Debug, Clone)]
+pub struct MigrationPlan {
+    /// Number of ranks.
+    pub k: usize,
+    /// `moves[from * k + to]` = global node ids moving from -> to.
+    pub moves: Vec<Vec<u32>>,
+}
+
+impl MigrationPlan {
+    /// Row-major `k x k` traffic matrix (node counts).
+    pub fn traffic_matrix(&self) -> Vec<u64> {
+        self.moves.iter().map(|v| v.len() as u64).collect()
+    }
+
+    /// Total nodes migrated (the UpdComm-style metric).
+    pub fn total_moved(&self) -> u64 {
+        self.moves.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// The busiest rank's send+recv migration volume.
+    pub fn max_rank_volume(&self) -> u64 {
+        let k = self.k;
+        (0..k)
+            .map(|r| {
+                let sent: u64 = (0..k).map(|t| self.moves[r * k + t].len() as u64).sum();
+                let recv: u64 = (0..k).map(|f| self.moves[f * k + r].len() as u64).sum();
+                sent + recv
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the migration plan between two node-indexed assignments
+/// (`u32::MAX` entries — dead or unassigned nodes — never migrate).
+pub fn build_migration(old: &[u32], new: &[u32], k: usize) -> MigrationPlan {
+    assert_eq!(old.len(), new.len(), "assignments must cover the same nodes");
+    let mut moves = vec![Vec::new(); k * k];
+    for (n, (&o, &w)) in old.iter().zip(new.iter()).enumerate() {
+        if o == u32::MAX || w == u32::MAX || o == w {
+            continue;
+        }
+        moves[o as usize * k + w as usize].push(n as u32);
+    }
+    MigrationPlan { k, moves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_migrates_nothing() {
+        let asg = vec![0u32, 1, 2, 1];
+        let plan = build_migration(&asg, &asg, 3);
+        assert_eq!(plan.total_moved(), 0);
+        assert_eq!(plan.max_rank_volume(), 0);
+    }
+
+    #[test]
+    fn moves_are_recorded_per_pair() {
+        let old = vec![0u32, 0, 1, 1, u32::MAX];
+        let new = vec![0u32, 1, 1, 0, 0];
+        let plan = build_migration(&old, &new, 2);
+        assert_eq!(plan.moves[1], vec![1]);
+        assert_eq!(plan.moves[2], vec![3]);
+        assert_eq!(plan.total_moved(), 2);
+        // Node 4 was unassigned before: not a migration.
+        assert_eq!(plan.traffic_matrix(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn matches_partition_migration_count() {
+        let old: Vec<u32> = (0..100).map(|v| v % 4).collect();
+        let new: Vec<u32> = (0..100).map(|v| (v + 1) % 4).collect();
+        let plan = build_migration(&old, &new, 4);
+        assert_eq!(
+            plan.total_moved(),
+            cip_partition::repart::migration_count(&old, &new) as u64
+        );
+    }
+
+    #[test]
+    fn max_rank_volume_counts_both_directions() {
+        // All traffic converges on rank 0.
+        let old = vec![1u32, 2, 3];
+        let new = vec![0u32, 0, 0];
+        let plan = build_migration(&old, &new, 4);
+        assert_eq!(plan.total_moved(), 3);
+        assert_eq!(plan.max_rank_volume(), 3, "rank 0 receives everything");
+    }
+}

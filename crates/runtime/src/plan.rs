@@ -1,0 +1,192 @@
+//! Per-rank decomposition plans.
+//!
+//! Given a mesh, its nodal graph, and a node partition, derive what each
+//! rank owns and what it must exchange:
+//!
+//! * **owned nodes** — the nodes assigned to the rank;
+//! * **ghost nodes** — remote nodes adjacent (in the nodal graph) to an
+//!   owned node; their values arrive via the halo exchange each step;
+//! * **halo send lists** — for each neighbor rank, the owned nodes it
+//!   needs (the union over its owned nodes' adjacencies), so the total
+//!   number of (node, destination) sends equals exactly the paper's
+//!   FEComm metric;
+//! * **owned surface elements** — contact faces whose majority node lives
+//!   on the rank (the same ownership rule the metrics use).
+
+use cip_graph::Graph;
+
+/// What one rank owns and exchanges.
+#[derive(Debug, Clone, Default)]
+pub struct RankPlan {
+    /// Global ids of owned mesh nodes.
+    pub owned_nodes: Vec<u32>,
+    /// Global ids of remote nodes this rank needs copies of.
+    pub ghost_nodes: Vec<u32>,
+    /// Halo sends: `(neighbor_rank, owned nodes to send)`, sorted by rank.
+    pub send_halo: Vec<(u32, Vec<u32>)>,
+    /// Indices (into the caller's surface-element array) of elements this
+    /// rank owns.
+    pub owned_surface: Vec<u32>,
+}
+
+impl RankPlan {
+    /// Total number of (node, destination) halo sends from this rank.
+    pub fn halo_send_count(&self) -> usize {
+        self.send_halo.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+/// The full decomposition plan.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Number of ranks.
+    pub k: usize,
+    /// Per-rank plans.
+    pub ranks: Vec<RankPlan>,
+}
+
+impl Decomposition {
+    /// Total halo volume (must equal the FEComm metric).
+    pub fn total_halo_volume(&self) -> u64 {
+        self.ranks.iter().map(|r| r.halo_send_count() as u64).sum()
+    }
+}
+
+/// Builds the decomposition plan.
+///
+/// * `graph` — the nodal graph (vertices = live mesh nodes),
+/// * `node_of_vertex` — graph vertex -> global mesh node id,
+/// * `assignment` — graph vertex -> rank,
+/// * `surface_owner` — owner rank of each surface element.
+pub fn build_decomposition(
+    graph: &Graph,
+    node_of_vertex: &[u32],
+    assignment: &[u32],
+    surface_owner: &[u32],
+    k: usize,
+) -> Decomposition {
+    assert_eq!(assignment.len(), graph.nv());
+    assert_eq!(node_of_vertex.len(), graph.nv());
+    let mut ranks: Vec<RankPlan> = vec![RankPlan::default(); k];
+
+    // Owned nodes.
+    for v in 0..graph.nv() {
+        let r = assignment[v] as usize;
+        ranks[r].owned_nodes.push(node_of_vertex[v]);
+    }
+
+    // Ghosts and send lists: for every vertex v, every *distinct* remote
+    // part among its neighbors receives one copy of v.
+    // needs[(owner, needer)] -> nodes
+    let mut seen: Vec<u32> = Vec::with_capacity(16);
+    let mut sends: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); k]; k];
+    for v in 0..graph.nv() as u32 {
+        let pv = assignment[v as usize];
+        seen.clear();
+        for (u, _) in graph.neighbors(v) {
+            let pu = assignment[u as usize];
+            if pu != pv && !seen.contains(&pu) {
+                seen.push(pu);
+                sends[pv as usize][pu as usize].push(node_of_vertex[v as usize]);
+            }
+        }
+    }
+    for (owner, row) in sends.into_iter().enumerate() {
+        for (needer, mut nodes) in row.into_iter().enumerate() {
+            if nodes.is_empty() {
+                continue;
+            }
+            nodes.sort_unstable();
+            ranks[needer].ghost_nodes.extend_from_slice(&nodes);
+            ranks[owner].send_halo.push((needer as u32, nodes));
+        }
+    }
+    for plan in ranks.iter_mut() {
+        plan.owned_nodes.sort_unstable();
+        plan.ghost_nodes.sort_unstable();
+        plan.send_halo.sort_by_key(|(r, _)| *r);
+    }
+
+    // Surface ownership.
+    for (e, &owner) in surface_owner.iter().enumerate() {
+        ranks[owner as usize].owned_surface.push(e as u32);
+    }
+
+    Decomposition { k, ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_graph::{total_comm_volume, GraphBuilder};
+
+    /// Path 0-1-2-3-4-5 split in thirds.
+    fn setup() -> (Graph, Vec<u32>, Vec<u32>) {
+        let mut b = GraphBuilder::new(6, 1);
+        for v in 0..6u32 {
+            b.set_vwgt(v, &[1]);
+        }
+        for v in 0..5u32 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        let node_of_vertex: Vec<u32> = (0..6).collect();
+        let asg = vec![0, 0, 1, 1, 2, 2];
+        (g, node_of_vertex, asg)
+    }
+
+    #[test]
+    fn owned_and_ghost_nodes() {
+        let (g, nov, asg) = setup();
+        let d = build_decomposition(&g, &nov, &asg, &[], 3);
+        assert_eq!(d.ranks[0].owned_nodes, vec![0, 1]);
+        assert_eq!(d.ranks[1].owned_nodes, vec![2, 3]);
+        // Rank 1 needs node 1 (from rank 0) and node 4 (from rank 2).
+        assert_eq!(d.ranks[1].ghost_nodes, vec![1, 4]);
+        // Rank 0 sends node 1 to rank 1 only.
+        assert_eq!(d.ranks[0].send_halo, vec![(1, vec![1])]);
+    }
+
+    #[test]
+    fn halo_volume_equals_fe_comm() {
+        let (g, nov, asg) = setup();
+        let d = build_decomposition(&g, &nov, &asg, &[], 3);
+        assert_eq!(d.total_halo_volume(), total_comm_volume(&g, &asg));
+    }
+
+    #[test]
+    fn ghosts_are_exactly_the_remote_neighbors() {
+        let (g, nov, asg) = setup();
+        let d = build_decomposition(&g, &nov, &asg, &[], 3);
+        for (r, plan) in d.ranks.iter().enumerate() {
+            for &ghost in &plan.ghost_nodes {
+                // Ghost is remote...
+                assert_ne!(asg[ghost as usize] as usize, r);
+                // ...and adjacent to an owned node.
+                let adjacent = g
+                    .adj(ghost)
+                    .iter()
+                    .any(|&u| asg[u as usize] as usize == r);
+                assert!(adjacent, "rank {r} ghost {ghost} has no owned neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_elements_distributed_by_owner() {
+        let (g, nov, asg) = setup();
+        let d = build_decomposition(&g, &nov, &asg, &[2, 0, 1, 1], 3);
+        assert_eq!(d.ranks[0].owned_surface, vec![1]);
+        assert_eq!(d.ranks[1].owned_surface, vec![2, 3]);
+        assert_eq!(d.ranks[2].owned_surface, vec![0]);
+    }
+
+    #[test]
+    fn single_rank_has_no_exchange() {
+        let (g, nov, _) = setup();
+        let d = build_decomposition(&g, &nov, &[0; 6], &[], 1);
+        assert_eq!(d.total_halo_volume(), 0);
+        assert!(d.ranks[0].ghost_nodes.is_empty());
+        assert_eq!(d.ranks[0].owned_nodes.len(), 6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Named workload scenarios.
+//!
+//! The paper evaluates on a single EPIC run; a reusable library needs a
+//! family of related workloads to check that conclusions are not an
+//! artifact of one geometry. All scenarios are parameter presets of the
+//! same projectile/two-plate simulation.
+
+use crate::geometry::SimConfig;
+
+/// The default head-on strike (alias of [`SimConfig::small`]).
+pub fn head_on() -> SimConfig {
+    SimConfig::small()
+}
+
+/// An off-center strike: the projectile axis is offset towards one plate
+/// corner, breaking every symmetry of the problem. Stresses the
+/// incremental RCB update and the tree re-induction on drifting,
+/// asymmetric contact sets.
+pub fn offset_strike() -> SimConfig {
+    let mut cfg = SimConfig::small();
+    // Offset by a third of the plate half-width, diagonally.
+    let half = 0.5 * cfg.plate_cells[0] as f64 * cfg.cell;
+    cfg.impact_offset = [half / 3.0, half / 4.0];
+    cfg
+}
+
+/// Thick plates, slow penetration: the contact set grows gradually over
+/// many snapshots and the interior/surface node ratio is higher (closer
+/// to the EPIC mesh's proportions).
+pub fn thick_plates() -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.plate_cells = [28, 28, 6];
+    cfg.proj_cells = [4, 4, 20];
+    cfg.speed = 0.0; // re-derive for the new travel distance
+    cfg.normalized()
+}
+
+/// A blunt, wide projectile: large contact patch, craters dominate the
+/// surface growth.
+pub fn blunt_impactor() -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.proj_cells = [12, 12, 8];
+    cfg.speed = 0.0;
+    cfg.normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn all_scenarios_simulate_and_produce_contact() {
+        for (name, mut cfg) in [
+            ("head_on", head_on()),
+            ("offset_strike", offset_strike()),
+            ("thick_plates", thick_plates()),
+            ("blunt_impactor", blunt_impactor()),
+        ] {
+            cfg.snapshots = 5;
+            cfg.steps = cfg.steps.min(100);
+            let sim = run(&cfg);
+            assert_eq!(sim.len(), 5, "{name}");
+            assert!(
+                sim.snapshots.iter().all(|s| s.contact.num_faces() > 0),
+                "{name}: empty contact set"
+            );
+            // Penetration must actually happen by the end.
+            let last = sim.snapshots.last().unwrap();
+            let eroded = last.alive.iter().filter(|&&a| !a).count();
+            assert!(eroded > 0, "{name}: nothing eroded");
+        }
+    }
+
+    #[test]
+    fn offset_strike_is_asymmetric() {
+        let cfg = offset_strike();
+        assert!(cfg.impact_offset[0] > 0.0 && cfg.impact_offset[1] > 0.0);
+        assert_ne!(cfg.impact_offset[0], cfg.impact_offset[1]);
+    }
+
+    #[test]
+    fn thick_plates_have_lower_surface_ratio() {
+        let thin = run(&{
+            let mut c = head_on();
+            c.snapshots = 1;
+            c
+        });
+        let thick = run(&{
+            let mut c = thick_plates();
+            c.snapshots = 1;
+            c
+        });
+        let ratio = |s: &crate::SimResult| {
+            s.snapshots[0].contact.num_contact_nodes() as f64 / s.base.num_nodes() as f64
+        };
+        assert!(
+            ratio(&thick) < ratio(&thin),
+            "thick {:.3} vs thin {:.3}",
+            ratio(&thick),
+            ratio(&thin)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Snapshot sequence representation.
+
+use cip_geom::Point;
+use cip_mesh::{Mesh, Surface};
+use serde::{Deserialize, Serialize};
+
+/// One emitted snapshot of the simulation state.
+///
+/// The element list is invariant over the whole simulation (erosion only
+/// flips the live mask), so snapshots store just what changes: node
+/// positions, the live mask, and the extracted contact surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Time step this snapshot was taken at.
+    pub step: usize,
+    /// Node positions at this step (same node ids as the base mesh).
+    pub points: Vec<Point<3>>,
+    /// Element live mask at this step.
+    pub alive: Vec<bool>,
+    /// The *contact surface*: boundary faces of live elements inside the
+    /// interaction region, plus their nodes — exactly the "surface
+    /// elements" / "contact nodes" the paper's algorithms operate on.
+    pub contact: Surface,
+}
+
+/// A complete simulation run: the base mesh plus the snapshot sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The mesh at rest (element connectivity and body ids never change).
+    pub base: Mesh<3>,
+    /// Emitted snapshots, in time order.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl SimResult {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the run produced no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Materializes the full mesh state of snapshot `i` (shares element
+    /// connectivity with the base mesh via clone; positions and live mask
+    /// come from the snapshot).
+    pub fn mesh_at(&self, i: usize) -> Mesh<3> {
+        let snap = &self.snapshots[i];
+        Mesh {
+            points: snap.points.clone(),
+            elements: self.base.elements.clone(),
+            body: self.base.body.clone(),
+            alive: snap.alive.clone(),
+        }
+    }
+}

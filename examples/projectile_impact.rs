@@ -1,0 +1,72 @@
+//! Full-sequence comparison on the projectile/two-plate workload: run
+//! MCML+DT and ML+RCB over a whole snapshot sequence and print the
+//! per-snapshot communication trajectory — the motivating scenario of the
+//! paper's introduction.
+//!
+//! Run with: `cargo run --release --example projectile_impact`
+
+use cip::core::{
+    average_metrics, evaluate_mcml_dt, evaluate_ml_rcb, McmlDtConfig, MlRcbConfig,
+};
+use cip::sim::SimConfig;
+
+fn main() {
+    let k = 16;
+    let mut cfg = SimConfig::small();
+    cfg.snapshots = 40;
+    let sim = cip::sim::run(&cfg);
+    println!(
+        "projectile impact: {} nodes, {} snapshots, k = {k}\n",
+        sim.base.num_nodes(),
+        sim.len()
+    );
+
+    let (mc, stats) = evaluate_mcml_dt(&sim, &McmlDtConfig::paper(k));
+    let ml = evaluate_ml_rcb(&sim, &MlRcbConfig::paper(k));
+    if let Some(s) = stats {
+        println!(
+            "DT-friendly correction: {} regions (max_p={}, max_i={})\n",
+            s.regions, s.max_p, s.max_i
+        );
+    }
+
+    println!(
+        "{:>5} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "snap", "contact", "MC:FE", "MC:tree", "MC:ship", "ML:FE", "ML:m2m", "ML:upd", "ML:ship"
+    );
+    for (i, (a, b)) in mc.iter().zip(ml.iter()).enumerate() {
+        if i % 4 != 0 && i + 1 != mc.len() {
+            continue;
+        }
+        println!(
+            "{:>5} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+            i, a.contact_points, a.fe_comm, a.nt_nodes, a.n_remote, b.fe_comm, b.m2m_comm,
+            b.upd_comm, b.n_remote
+        );
+    }
+
+    let ra = average_metrics(&mc);
+    let rb = average_metrics(&ml);
+    println!("\naverages:");
+    println!(
+        "  MCML+DT: FEComm {:.0}, NTNodes {:.0}, NRemote {:.0}  -> non-search comm {:.0}",
+        ra.fe_comm,
+        ra.nt_nodes,
+        ra.n_remote,
+        ra.non_search_comm()
+    );
+    println!(
+        "  ML+RCB : FEComm {:.0}, M2MComm {:.0}, UpdComm {:.0}, NRemote {:.0} -> non-search comm {:.0}",
+        rb.fe_comm,
+        rb.m2m_comm,
+        rb.upd_comm,
+        rb.n_remote,
+        rb.non_search_comm()
+    );
+    let overhead = rb.non_search_comm() / ra.non_search_comm() - 1.0;
+    println!(
+        "  ML+RCB needs {:+.0}% {} per-step communication (M2M counted twice, as in §5.2)",
+        100.0 * overhead.abs(),
+        if overhead >= 0.0 { "more" } else { "less" }
+    );
+}

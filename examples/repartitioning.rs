@@ -1,0 +1,58 @@
+//! Adaptive repartitioning strategies (§4.3 of the paper): as the
+//! penetration erodes elements and the contact set drifts, the fixed
+//! partition goes out of balance. This example compares the two
+//! repartitioning primitives — scratch-remap and local diffusion — on the
+//! evolving workload, measuring restored balance vs. migration cost.
+//!
+//! Run with: `cargo run --release --example repartitioning`
+
+use cip::graph::Partition;
+use cip::partition::repart::migration_count;
+use cip::partition::{
+    diffusion_repartition, partition_kway, repartition, PartitionerConfig,
+};
+use cip::core::SnapshotView;
+use cip::sim::SimConfig;
+
+fn main() {
+    let k = 12;
+    let mut cfg = SimConfig::small();
+    cfg.snapshots = 20;
+    let sim = cip::sim::run(&cfg);
+    let pcfg = PartitionerConfig::default();
+
+    // Partition snapshot 0, then carry the assignment to the final
+    // snapshot where erosion has changed the graph.
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let asg0 = partition_kway(&view0.graph2.graph, k, &pcfg);
+    let node_parts = view0.graph2.assignment_on_nodes(&asg0);
+
+    let last = sim.len() - 1;
+    let view = SnapshotView::build(&sim, last, 5);
+    let carried: Vec<u32> =
+        view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+    let p_carried = Partition::from_assignment(&view.graph2.graph, k, carried.clone());
+    println!(
+        "carried partition at snapshot {last}: FE imbalance {:.3}, contact imbalance {:.3}",
+        p_carried.imbalance(0),
+        p_carried.imbalance(1)
+    );
+
+    for (name, fresh) in [
+        ("scratch-remap", repartition(&view.graph2.graph, k, &carried, &pcfg)),
+        ("diffusion", diffusion_repartition(&view.graph2.graph, k, &carried, &pcfg)),
+    ] {
+        let p = Partition::from_assignment(&view.graph2.graph, k, fresh.clone());
+        let moved = migration_count(&carried, &fresh);
+        println!(
+            "{name:>14}: FE imbalance {:.3}, contact imbalance {:.3}, migrated {moved} of {} vertices ({:.1}%)",
+            p.imbalance(0),
+            p.imbalance(1),
+            view.graph2.graph.nv(),
+            100.0 * moved as f64 / view.graph2.graph.nv() as f64
+        );
+    }
+    println!("\ndiffusion restores balance with far less data movement when the");
+    println!("drift is mild — the trade-off §4.3 of the paper navigates with its");
+    println!("hybrid update strategy.");
+}

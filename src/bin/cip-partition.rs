@@ -1,0 +1,222 @@
+//! `cip-partition` — decompose a contact/impact mesh from the command
+//! line.
+//!
+//! Reads a mesh (JSON serialization of `cip::mesh::Mesh<3>`), marks its
+//! boundary surface as the contact surface (or a caller-supplied node
+//! list), runs the full MCML+DT pipeline — two-constraint partitioning,
+//! DT-friendly correction, search-tree induction — and writes the
+//! per-node part assignment plus the search tree.
+//!
+//! ```text
+//! cip-partition --demo demo-mesh.json          # write a sample input
+//! cip-partition --mesh demo-mesh.json --k 16 \
+//!     --out partition.json --dot tree.dot
+//! ```
+
+use cip::contact::{n_remote, DtreeFilter, SurfaceElementInfo};
+use cip::core::{dt_friendly_correct, face_owner, quality_report, DtFriendlyConfig};
+use cip::dtree::{induce, DtreeConfig};
+use cip::geom::{Aabb, Point};
+use cip::graph::{edge_cut, total_comm_volume, Partition};
+use cip::mesh::graphs::{nodal_graph, NodalGraphOptions};
+use cip::mesh::{extract_surface, generators, Mesh};
+use cip::partition::{partition_kway, PartitionerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    k: usize,
+    num_nodes: usize,
+    num_contact_nodes: usize,
+    /// Part of each mesh node (`u32::MAX` = node unused by live elements).
+    node_parts: Vec<u32>,
+    edge_cut: i64,
+    fe_comm: u64,
+    n_remote: u64,
+    imbalance_fe: f64,
+    imbalance_contact: f64,
+    tree_nodes: usize,
+}
+
+struct Args {
+    mesh: Option<String>,
+    demo: Option<String>,
+    k: usize,
+    out: Option<String>,
+    dot: Option<String>,
+    seed: u64,
+    friendly: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mesh: None,
+        demo: None,
+        k: 8,
+        out: None,
+        dot: None,
+        seed: 1,
+        friendly: true,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--mesh" if i + 1 < argv.len() => {
+                args.mesh = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--demo" if i + 1 < argv.len() => {
+                args.demo = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--k" if i + 1 < argv.len() => {
+                args.k = argv[i + 1].parse().expect("--k takes an integer");
+                i += 2;
+            }
+            "--out" if i + 1 < argv.len() => {
+                args.out = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--dot" if i + 1 < argv.len() => {
+                args.dot = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--seed" if i + 1 < argv.len() => {
+                args.seed = argv[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--no-friendly" => {
+                args.friendly = false;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cip-partition [--demo FILE] [--mesh FILE --k K] \
+                     [--out FILE] [--dot FILE] [--seed N] [--no-friendly]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.demo {
+        // Two stacked boxes make a minimal two-body contact problem.
+        let mut mesh = generators::hex_box([8, 8, 2], Point::new([0.0, 0.0, 0.0]), [1.0; 3], 0);
+        let upper =
+            generators::hex_box([4, 4, 4], Point::new([2.0, 2.0, 2.5]), [1.0; 3], 1);
+        mesh.append(&upper);
+        std::fs::write(path, serde_json::to_string(&mesh).expect("serialize demo mesh"))
+            .expect("write demo mesh");
+        eprintln!("wrote demo mesh ({} nodes) to {path}", mesh.num_nodes());
+        if args.mesh.is_none() {
+            return;
+        }
+    }
+
+    let Some(mesh_path) = &args.mesh else {
+        eprintln!("--mesh is required (or --demo to generate an input); see --help");
+        std::process::exit(2);
+    };
+    let data = std::fs::read_to_string(mesh_path).expect("read mesh file");
+    // Accept either the JSON serialization or the `cipmesh 1` text format.
+    let mesh: Mesh<3> = if data.trim_start().starts_with("cipmesh") {
+        cip::mesh::read_text(&data).expect("parse cipmesh text")
+    } else {
+        serde_json::from_str(&data).expect("parse mesh JSON")
+    };
+    mesh.validate().expect("invalid mesh");
+    let k = args.k;
+
+    // Contact surface = boundary of the live mesh.
+    let surface = extract_surface(&mesh);
+    let mask = surface.contact_node_mask(mesh.num_nodes());
+    eprintln!(
+        "mesh: {} nodes, {} elements, {} surface faces, {} contact nodes",
+        mesh.num_nodes(),
+        mesh.num_elements(),
+        surface.num_faces(),
+        surface.num_contact_nodes()
+    );
+
+    // MCML+DT pipeline.
+    let ng = nodal_graph(&mesh, &mask, NodalGraphOptions::default());
+    let pcfg = PartitionerConfig::with_seed(args.seed);
+    let mut asg = partition_kway(&ng.graph, k, &pcfg);
+    if args.friendly {
+        let positions: Vec<_> =
+            ng.node_of_vertex.iter().map(|&n| mesh.points[n as usize]).collect();
+        let stats =
+            dt_friendly_correct(&ng.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
+        eprintln!(
+            "DT-friendly correction: {} regions, {} relabeled, {} refined",
+            stats.regions, stats.relabeled, stats.refined
+        );
+    }
+    let node_parts = ng.assignment_on_nodes(&asg);
+
+    // Search tree + global-search stats.
+    let contact_positions: Vec<Point<3>> =
+        surface.contact_nodes.iter().map(|&n| mesh.points[n as usize]).collect();
+    let labels: Vec<u32> =
+        surface.contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
+    let tree = induce(&contact_positions, &labels, k, &DtreeConfig::search_tree());
+    let elements: Vec<SurfaceElementInfo<3>> = surface
+        .faces
+        .iter()
+        .map(|sf| {
+            let mut bbox = Aabb::empty();
+            for &n in sf.face.nodes() {
+                bbox.grow(&mesh.points[n as usize]);
+            }
+            SurfaceElementInfo { bbox, owner: face_owner(sf.face.nodes(), &node_parts) }
+        })
+        .collect();
+    let shipped = n_remote(&elements, &DtreeFilter::new(&tree, k));
+
+    let part = Partition::from_assignment(&ng.graph, k, asg.clone());
+    eprint!("{}", quality_report(&ng.graph, &asg, k, Some(&tree)).render());
+    let output = Output {
+        k,
+        num_nodes: mesh.num_nodes(),
+        num_contact_nodes: surface.num_contact_nodes(),
+        node_parts,
+        edge_cut: edge_cut(&ng.graph, &asg),
+        fe_comm: total_comm_volume(&ng.graph, &asg),
+        n_remote: shipped,
+        imbalance_fe: part.imbalance(0),
+        imbalance_contact: part.imbalance(1),
+        tree_nodes: tree.num_nodes(),
+    };
+    eprintln!(
+        "k = {k}: cut {}, FEComm {}, NRemote {}, tree {} nodes, imbalance {:.3}/{:.3}",
+        output.edge_cut,
+        output.fe_comm,
+        output.n_remote,
+        output.tree_nodes,
+        output.imbalance_fe,
+        output.imbalance_contact
+    );
+
+    if let Some(path) = &args.dot {
+        std::fs::write(path, tree.to_dot()).expect("write DOT file");
+        eprintln!("wrote search tree to {path}");
+    }
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, serde_json::to_string_pretty(&output).expect("serialize"))
+                .expect("write output");
+            eprintln!("wrote partition to {path}");
+        }
+        None => println!("{}", serde_json::to_string(&output).expect("serialize")),
+    }
+}

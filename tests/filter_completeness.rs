@@ -1,0 +1,110 @@
+//! The correctness contract of global search (§4.1): a filter may produce
+//! false positives but must NEVER produce a false negative — every part
+//! that owns a contact point a surface element could touch must receive
+//! that element.
+//!
+//! These tests check the contract for both the decision-tree filter and
+//! the bounding-box filter against a brute-force oracle, on real snapshot
+//! data from the synthetic simulation.
+
+use cip::contact::{global_search, BboxFilter, DtreeFilter, GlobalFilter};
+use cip::core::{SnapshotView};
+use cip::dtree::{induce, DtreeConfig};
+use cip::geom::Aabb;
+use cip::partition::{partition_kway, PartitionerConfig};
+use cip::sim::SimConfig;
+
+/// For every surface element and every contact point inside its bounding
+/// box, the point's part must be among the filter's candidates (or be the
+/// element's owner).
+fn assert_no_false_negatives<F: GlobalFilter<3> + Sync>(
+    view: &SnapshotView,
+    node_parts: &[u32],
+    filter: &F,
+) {
+    let labels = view.contact.labels_from_node_parts(node_parts);
+    let elements = view.surface_elements(node_parts);
+    let plans = global_search(&elements, filter);
+    let mut violations = 0;
+    for (e, el) in elements.iter().enumerate() {
+        for (ci, p) in view.contact.positions.iter().enumerate() {
+            if el.bbox.contains_point(p) {
+                let part = labels[ci];
+                if part != el.owner && !plans[e].contains(&part) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(violations, 0, "filter missed {violations} (element, contact-point) pairs");
+}
+
+fn partitioned_snapshot(i: usize, k: usize) -> (cip::sim::SimResult, usize) {
+    let _ = i;
+    let sim = cip::sim::run(&SimConfig::tiny());
+    (sim, k)
+}
+
+#[test]
+fn dtree_filter_has_no_false_negatives_across_snapshots() {
+    let (sim, k) = partitioned_snapshot(0, 4);
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let asg = partition_kway(&view0.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view0.graph2.assignment_on_nodes(&asg);
+
+    for i in [0, sim.len() / 2, sim.len() - 1] {
+        let view = SnapshotView::build(&sim, i, 5);
+        let labels = view.contact.labels_from_node_parts(&node_parts);
+        let tree = induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
+        let filter = DtreeFilter::new(&tree, k);
+        assert_no_false_negatives(&view, &node_parts, &filter);
+    }
+}
+
+#[test]
+fn bbox_filter_has_no_false_negatives() {
+    let (sim, k) = partitioned_snapshot(0, 4);
+    let view = SnapshotView::build(&sim, sim.len() - 1, 5);
+    let asg = partition_kway(&view.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view.graph2.assignment_on_nodes(&asg);
+    let labels = view.contact.labels_from_node_parts(&node_parts);
+    let filter = BboxFilter::from_points(&view.contact.positions, &labels, k);
+    assert_no_false_negatives(&view, &node_parts, &filter);
+}
+
+#[test]
+fn dtree_filter_point_location_is_exact() {
+    // Sharper property than box search: for a degenerate query (a single
+    // contact point), the filter must return exactly the parts whose
+    // leaves contain that point — in particular the point's own part.
+    let (sim, k) = partitioned_snapshot(0, 3);
+    let view = SnapshotView::build(&sim, 2, 5);
+    let asg = partition_kway(&view.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view.graph2.assignment_on_nodes(&asg);
+    let labels = view.contact.labels_from_node_parts(&node_parts);
+    let tree = induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
+    let filter = DtreeFilter::new(&tree, k);
+    let mut out = Vec::new();
+    for (ci, p) in view.contact.positions.iter().enumerate() {
+        filter.candidate_parts(&Aabb::from_point(*p), &mut out);
+        assert!(
+            out.contains(&labels[ci]),
+            "point {ci} of part {} not found by its own filter",
+            labels[ci]
+        );
+    }
+}
+
+#[test]
+fn search_tree_leaves_are_pure_on_real_data() {
+    let (sim, k) = partitioned_snapshot(0, 5);
+    let view = SnapshotView::build(&sim, sim.len() - 1, 5);
+    let asg = partition_kway(&view.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view.graph2.assignment_on_nodes(&asg);
+    let labels = view.contact.labels_from_node_parts(&node_parts);
+    let tree = induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
+    // Locating every training point must return its own label (purity).
+    for (ci, p) in view.contact.positions.iter().enumerate() {
+        assert_eq!(tree.locate(p), labels[ci], "impure leaf at contact point {ci}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the §4.3 maintenance machinery on real
+//! simulation data: incremental tree refresh, diffusion repartitioning
+//! inside the pipeline, and automatic hybrid-period selection.
+
+use cip::contact::{global_search, DtreeFilter};
+use cip::core::{
+    evaluate_mcml_dt, select_hybrid_period, CostModel, McmlDtConfig, RepartitionMethod,
+    SnapshotView, UpdatePolicy,
+};
+use cip::dtree::{induce, refresh, DecisionTree, DtreeConfig};
+use cip::partition::{partition_kway, PartitionerConfig};
+use cip::sim::SimConfig;
+
+#[test]
+fn refreshed_trees_remain_complete_filters_across_the_sequence() {
+    let sim = cip::sim::run(&SimConfig::tiny());
+    let k = 4;
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let asg = partition_kway(&view0.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view0.graph2.assignment_on_nodes(&asg);
+
+    let cfg = DtreeConfig::search_tree();
+    let mut tree: Option<DecisionTree<3>> = None;
+    for i in 0..sim.len() {
+        let view = SnapshotView::build(&sim, i, 5);
+        let labels = view.contact.labels_from_node_parts(&node_parts);
+        tree = Some(match tree {
+            None => induce(&view.contact.positions, &labels, k, &cfg),
+            Some(prev) => refresh(&prev, &view.contact.positions, &labels, k, &cfg).0,
+        });
+        let t = tree.as_ref().unwrap();
+
+        // Completeness of the refreshed filter: for every element, every
+        // part owning a contact point inside its bbox must be reported.
+        let filter = DtreeFilter::new(t, k);
+        let elements = view.surface_elements(&node_parts);
+        let plans = global_search(&elements, &filter);
+        for (e, el) in elements.iter().enumerate() {
+            for (ci, p) in view.contact.positions.iter().enumerate() {
+                if el.bbox.contains_point(p) {
+                    let part = labels[ci];
+                    assert!(
+                        part == el.owner || plans[e].contains(&part),
+                        "snapshot {i}: refreshed filter missed part {part}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn refresh_redoes_little_work_between_adjacent_snapshots() {
+    let sim = cip::sim::run(&SimConfig::tiny());
+    let k = 3;
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let asg = partition_kway(&view0.graph2.graph, k, &PartitionerConfig::default());
+    let node_parts = view0.graph2.assignment_on_nodes(&asg);
+    let cfg = DtreeConfig::search_tree();
+
+    let va = SnapshotView::build(&sim, 4, 5);
+    let vb = SnapshotView::build(&sim, 5, 5);
+    let la = va.contact.labels_from_node_parts(&node_parts);
+    let lb = vb.contact.labels_from_node_parts(&node_parts);
+    let tree_a = induce(&va.contact.positions, &la, k, &cfg);
+    let (_, stats) = refresh(&tree_a, &vb.contact.positions, &lb, k, &cfg);
+    let frac = stats.reinduced_points as f64 / vb.contact.len().max(1) as f64;
+    assert!(
+        frac < 0.5,
+        "adjacent snapshots should reuse most of the tree (re-induced {frac:.2})"
+    );
+}
+
+#[test]
+fn diffusion_repartitioning_pipeline_matches_scratch_on_metrics_shape() {
+    let sim = cip::sim::run(&SimConfig::tiny());
+    let base = McmlDtConfig {
+        update: UpdatePolicy::Hybrid { period: 4 },
+        ..McmlDtConfig::paper(3)
+    };
+    let scratch = McmlDtConfig {
+        repartition_method: RepartitionMethod::ScratchRemap,
+        ..base.clone()
+    };
+    let diffusion = McmlDtConfig {
+        repartition_method: RepartitionMethod::Diffusion,
+        ..base
+    };
+    let (ms, _) = evaluate_mcml_dt(&sim, &scratch);
+    let (md, _) = evaluate_mcml_dt(&sim, &diffusion);
+    assert_eq!(ms.len(), md.len());
+    // Diffusion must migrate no more contact points than scratch-remap in
+    // total (that is its purpose).
+    let sum = |m: &[cip::core::SnapshotMetrics]| m.iter().map(|x| x.upd_comm).sum::<u64>();
+    assert!(
+        sum(&md) <= sum(&ms),
+        "diffusion migrated {} vs scratch {}",
+        sum(&md),
+        sum(&ms)
+    );
+    // Both keep the FE phase balanced at the end.
+    assert!(md.last().unwrap().imbalance_fe <= 1.25);
+}
+
+#[test]
+fn policy_selection_is_deterministic_and_consistent() {
+    let sim = cip::sim::run(&SimConfig::tiny());
+    let base = McmlDtConfig::paper(3);
+    let model = CostModel::default();
+    let a = select_hybrid_period(&sim, &base, &[5], &model);
+    let b = select_hybrid_period(&sim, &base, &[5], &model);
+    assert_eq!(a.period, b.period);
+    assert_eq!(a.costs, b.costs);
+    // The reported cost of the chosen policy matches an independent
+    // evaluation.
+    let cfg = if a.period == 0 {
+        McmlDtConfig { update: UpdatePolicy::Fixed, ..base.clone() }
+    } else {
+        McmlDtConfig { update: UpdatePolicy::Hybrid { period: a.period }, ..base.clone() }
+    };
+    let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
+    let direct = model.total_cost(&metrics);
+    let reported = a.costs.iter().find(|(p, _)| *p == a.period).unwrap().1;
+    assert!((direct - reported).abs() < 1e-6 * direct.max(1.0));
+}
