@@ -1,0 +1,76 @@
+//! Coarsening throughput: sequential vs parallel heavy-edge matching and
+//! contraction across graph sizes (the dominant cost inside every
+//! `partition_kway` / `partition_kway_multilevel` call).
+//!
+//! `sequential` pins `parallel_threshold = usize::MAX` (every level on the
+//! classic single-threaded path); `parallel` pins it to 0 (every level on
+//! the propose-then-resolve matcher + two-pass parallel contraction). Both
+//! produce valid hierarchies; the parallel path additionally guarantees
+//! bit-identical output at any rayon thread count.
+
+use cip_graph::{Graph, GraphBuilder};
+use cip_partition::{
+    coarsen_with, heavy_edge_matching, parallel_heavy_edge_matching, CoarsenParams,
+    CoarsenWorkspace,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Two-constraint grid graph, the paper's surface-weight pattern.
+fn grid(nx: usize, ny: usize) -> Graph {
+    let mut b = GraphBuilder::new(nx * ny, 2);
+    let id = |i: usize, j: usize| (j * nx + i) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            b.set_vwgt(id(i, j), &[1, i64::from(border)]);
+            if i + 1 < nx {
+                b.add_edge(id(i, j), id(i + 1, j), 1);
+            }
+            if j + 1 < ny {
+                b.add_edge(id(i, j), id(i, j + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsen");
+    group.sample_size(10);
+
+    // 16k (medium), 65k, 262k (≳ the paper's 156k-node EPIC mesh).
+    for &side in &[128usize, 256, 512] {
+        let g = grid(side, side);
+        let n = side * side;
+        for (label, threshold) in [("sequential", usize::MAX), ("parallel", 0usize)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                let params =
+                    CoarsenParams { parallel_threshold: threshold, ..CoarsenParams::new(160, 1) };
+                let mut ws = CoarsenWorkspace::new();
+                b.iter(|| black_box(coarsen_with(g, &params, &mut ws)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matching_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hem");
+    group.sample_size(10);
+
+    for &side in &[128usize, 256, 512] {
+        let g = grid(side, side);
+        let n = side * side;
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| black_box(heavy_edge_matching(g, 7)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| black_box(parallel_heavy_edge_matching(g, 7, 8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsen, bench_matching_only);
+criterion_main!(benches);

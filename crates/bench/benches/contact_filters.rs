@@ -29,11 +29,7 @@ fn bench_filters(c: &mut Criterion) {
     );
     let dtf = DtreeFilter::new(&tree, k);
     let bbf = BboxFilter::from_points(&view.contact.positions, &labels, k);
-    eprintln!(
-        "NRemote: dtree {}, bbox {}",
-        n_remote(&elements, &dtf),
-        n_remote(&elements, &bbf)
-    );
+    eprintln!("NRemote: dtree {}, bbox {}", n_remote(&elements, &dtf), n_remote(&elements, &bbf));
 
     let mut group = c.benchmark_group("n_remote");
     group.bench_function("dtree_filter", |b| {

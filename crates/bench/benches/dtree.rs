@@ -41,8 +41,7 @@ fn bench_induction(c: &mut Criterion) {
             b.iter(|| black_box(induce(&pts, &labels, 16, &cfg)));
         });
         group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
-            let cfg =
-                DtreeConfig { parallel_threshold: usize::MAX, ..DtreeConfig::search_tree() };
+            let cfg = DtreeConfig { parallel_threshold: usize::MAX, ..DtreeConfig::search_tree() };
             b.iter(|| black_box(induce(&pts, &labels, 16, &cfg)));
         });
     }

@@ -21,12 +21,8 @@ fn bench_step(c: &mut Criterion) {
     for &k in &[2usize, 4, 8] {
         let view0 = SnapshotView::build(&sim, 0, 5);
         let mut asg = partition_kway(&view0.graph2.graph, k, &PartitionerConfig::default());
-        let positions: Vec<_> = view0
-            .graph2
-            .node_of_vertex
-            .iter()
-            .map(|&n| view0.mesh.points[n as usize])
-            .collect();
+        let positions: Vec<_> =
+            view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
         dt_friendly_correct(
             &view0.graph2.graph,
             &positions,

@@ -53,16 +53,10 @@ fn main() {
 
     // 1. DT-friendly on/off.
     run("paper config (friendly, gini)", &McmlDtConfig::paper(k));
-    run(
-        "no DT-friendly correction",
-        &McmlDtConfig { dt_friendly: None, ..McmlDtConfig::paper(k) },
-    );
+    run("no DT-friendly correction", &McmlDtConfig { dt_friendly: None, ..McmlDtConfig::paper(k) });
 
     // 2. Tight-leaf filter (DESIGN extension in the spirit of §6).
-    run(
-        "tight-leaf filter",
-        &McmlDtConfig { tight_filter: true, ..McmlDtConfig::paper(k) },
-    );
+    run("tight-leaf filter", &McmlDtConfig { tight_filter: true, ..McmlDtConfig::paper(k) });
 
     // 3. Margin-aware splitter (§6, additive tie-break form).
     run(

@@ -6,10 +6,8 @@
 //!
 //! Usage: `cargo run --release -p cip-bench --bin exec_sequence [--scale ...] [--k 8] [--snapshots N]`
 
-use cip_core::{
-    dt_friendly_correct, DtFriendlyConfig, SnapshotView,
-};
 use cip_contact::DtreeFilter;
+use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
 use cip_dtree::{induce, DtreeConfig};
 use cip_partition::{diffusion_repartition, partition_kway, PartitionerConfig};
 use cip_runtime::{build_decomposition, build_migration, execute_step, StepInput};
@@ -41,12 +39,8 @@ fn run_policy(sim: &SimResult, k: usize, hybrid_period: Option<usize>) -> Totals
         // Hybrid policy: repartition by diffusion, execute the migration.
         if let Some(period) = hybrid_period {
             if i > 0 && i % period == 0 {
-                let old: Vec<u32> = view
-                    .graph2
-                    .node_of_vertex
-                    .iter()
-                    .map(|&n| node_parts[n as usize])
-                    .collect();
+                let old: Vec<u32> =
+                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
                 let fresh = diffusion_repartition(&view.graph2.graph, k, &old, &pcfg);
                 let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
                 let plan = build_migration(&node_parts, &new_node_parts, k);
@@ -60,12 +54,8 @@ fn run_policy(sim: &SimResult, k: usize, hybrid_period: Option<usize>) -> Totals
             }
         }
 
-        let asg_now: Vec<u32> = view
-            .graph2
-            .node_of_vertex
-            .iter()
-            .map(|&n| node_parts[n as usize])
-            .collect();
+        let asg_now: Vec<u32> =
+            view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
         let elements = view.surface_elements(&node_parts);
         let bodies = view.face_bodies();
         let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();

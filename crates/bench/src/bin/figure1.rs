@@ -9,8 +9,8 @@
 //!
 //! Usage: `cargo run --release -p cip-bench --bin figure1`
 
-use cip_dtree::{induce, DtreeConfig};
 use cip_dtree::tree::DtNode;
+use cip_dtree::{induce, DtreeConfig};
 use cip_geom::{Aabb, Point};
 
 fn make_points() -> (Vec<Point<2>>, Vec<u32>) {

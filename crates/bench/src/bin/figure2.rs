@@ -26,8 +26,10 @@ struct Row {
 
 fn main() {
     println!("Figure 2 — decision-tree blowup on diagonal boundaries, and the DT-friendly fix\n");
-    println!("{:>6} | {:>14} {:>15} | {:>12} {:>13} {:>10}",
-        "grid", "diag tree", "corrected tree", "diag cut", "corrected cut", "imbalance");
+    println!(
+        "{:>6} | {:>14} {:>15} | {:>12} {:>13} {:>10}",
+        "grid", "diag tree", "corrected tree", "diag cut", "corrected cut", "imbalance"
+    );
     println!("-------+--------------------------------+---------------------------------------");
 
     let mut rows = Vec::new();

@@ -68,10 +68,8 @@ fn main() {
 
     for (i, snap) in sim.snapshots.iter().enumerate() {
         let live = snap.alive.iter().filter(|&&a| a).count();
-        let tip = proj_nodes
-            .iter()
-            .map(|&n| snap.points[n as usize][2])
-            .fold(f64::INFINITY, f64::min);
+        let tip =
+            proj_nodes.iter().map(|&n| snap.points[n as usize][2]).fold(f64::INFINITY, f64::min);
         let row = StageRow {
             snapshot: i,
             step: snap.step,

@@ -43,8 +43,7 @@ fn row(algorithm: &str, kind: &str, t: &RankTraffic) -> TrafficRow {
 fn print_row(r: &TrafficRow) {
     println!(
         "{:<9} {:<12} {:>9} {:>12} {:>10.2} {:>12}",
-        r.algorithm, r.kind, r.total, r.bottleneck_rank_volume, r.traffic_imbalance,
-        r.active_pairs
+        r.algorithm, r.kind, r.total, r.bottleneck_rank_volume, r.traffic_imbalance, r.active_pairs
     );
 }
 
@@ -125,7 +124,10 @@ fn main() {
         halo_b.max_rank_volume() + 2 * m2m.max_rank_volume() + ship_b.max_rank_volume();
     println!("\nper-step bottleneck-rank volume (halo + 2*m2m + shipments):");
     println!("  MCML+DT: {mc_bottleneck}");
-    println!("  ML+RCB : {ml_bottleneck}  ({:+.0}%)", 100.0 * (ml_bottleneck as f64 / mc_bottleneck as f64 - 1.0));
+    println!(
+        "  ML+RCB : {ml_bottleneck}  ({:+.0}%)",
+        100.0 * (ml_bottleneck as f64 / mc_bottleneck as f64 - 1.0)
+    );
 
     cip_bench::write_json("rank_traffic", &rows);
 }

@@ -46,20 +46,28 @@ fn main() {
     );
     println!(
         "{:<22} {:>7} {:>7} {:>10} {:>8} {:>11} {:>9} {:>8} {:>8}",
-        "setting", "max_p", "max_i", "guide tree", "regions", "search tree", "edge cut", "imb FE", "imb C"
+        "setting",
+        "max_p",
+        "max_i",
+        "guide tree",
+        "regions",
+        "search tree",
+        "edge cut",
+        "imb FE",
+        "imb C"
     );
 
     let base_asg = partition_kway(&view.graph2.graph, k, &PartitionerConfig::default());
-    let positions: Vec<_> = view
-        .graph2
-        .node_of_vertex
-        .iter()
-        .map(|&nn| view.mesh.points[nn as usize])
-        .collect();
+    let positions: Vec<_> =
+        view.graph2.node_of_vertex.iter().map(|&nn| view.mesh.points[nn as usize]).collect();
 
     // The sweep: below-band, band edges, recommended midpoint, above-band.
     let settings: Vec<(String, usize, usize)> = vec![
-        ("far below band".into(), (nf / kf.powf(2.0)) as usize, (nf / kf.powf(3.0)).max(1.0) as usize),
+        (
+            "far below band".into(),
+            (nf / kf.powf(2.0)) as usize,
+            (nf / kf.powf(3.0)).max(1.0) as usize,
+        ),
         ("band lower edge".into(), (nf / kf.powf(1.5)) as usize, (nf / kf.powf(2.5)) as usize),
         ("recommended mid".into(), (nf / kf.powf(1.25)) as usize, (nf / kf.powf(2.25)) as usize),
         ("band upper edge".into(), (nf / kf) as usize, (nf / kf.powf(2.0)) as usize),
@@ -81,8 +89,7 @@ fn main() {
         // Evaluate the corrected partition: search tree over contact points.
         let node_parts = view.graph2.assignment_on_nodes(&asg);
         let labels = view.contact.labels_from_node_parts(&node_parts);
-        let search =
-            induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
+        let search = induce(&view.contact.positions, &labels, k, &DtreeConfig::search_tree());
         let cut = edge_cut(&view.graph1.graph, &asg);
         let part = Partition::from_assignment(&view.graph2.graph, k, asg);
         let row = SweepRow {

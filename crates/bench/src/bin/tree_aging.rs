@@ -86,7 +86,8 @@ fn main() {
         };
         if i % (sim.len() / 20).max(1) == 0 || i + 1 == sim.len() {
             let saved = 100.0
-                * (1.0 - row.refresh_reinduced_points as f64 / row.refresh_total_points.max(1) as f64);
+                * (1.0
+                    - row.refresh_reinduced_points as f64 / row.refresh_total_points.max(1) as f64);
             println!(
                 "{:>5} {:>9} {:>9} {:>9} {:>11.0}%",
                 row.snapshot, row.rebuild_nodes, row.refresh_nodes, row.hybrid_nodes, saved

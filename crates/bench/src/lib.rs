@@ -72,10 +72,7 @@ impl HarnessArgs {
                     i += 2;
                 }
                 "--k" if i + 1 < args.len() => {
-                    ks = args[i + 1]
-                        .split(',')
-                        .filter_map(|s| s.parse().ok())
-                        .collect();
+                    ks = args[i + 1].split(',').filter_map(|s| s.parse().ok()).collect();
                     i += 2;
                 }
                 "--snapshots" if i + 1 < args.len() => {
@@ -151,9 +148,13 @@ pub fn run_table1_entry(sim: &SimResult, k: usize) -> Table1Entry {
 /// Renders the Table-1 layout (same columns as the paper).
 pub fn render_table1(entries: &[Table1Entry]) -> String {
     let mut s = String::new();
-    s.push_str("           |            MCML+DT Algorithm |                     ML+RCB Algorithm\n");
+    s.push_str(
+        "           |            MCML+DT Algorithm |                     ML+RCB Algorithm\n",
+    );
     s.push_str("           |   FEComm  NTNodes   NRemote |   FEComm  M2MComm  UpdComm   NRemote\n");
-    s.push_str("-----------+------------------------------+--------------------------------------\n");
+    s.push_str(
+        "-----------+------------------------------+--------------------------------------\n",
+    );
     for e in entries {
         s.push_str(&format!(
             "{:>8}-way | {:>8.0} {:>8.0} {:>9.0} | {:>8.0} {:>8.0} {:>8.0} {:>9.0}\n",
@@ -215,7 +216,12 @@ mod tests {
     fn table_renders_all_entries() {
         let e = Table1Entry {
             k: 25,
-            mcml_dt: MetricsRow { fe_comm: 100.0, nt_nodes: 10.0, n_remote: 5.0, ..Default::default() },
+            mcml_dt: MetricsRow {
+                fe_comm: 100.0,
+                nt_nodes: 10.0,
+                n_remote: 5.0,
+                ..Default::default()
+            },
             ml_rcb: MetricsRow {
                 fe_comm: 80.0,
                 m2m_comm: 40.0,

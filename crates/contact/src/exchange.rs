@@ -73,13 +73,11 @@ pub fn distributed_contact_pairs<const D: usize, F: GlobalFilter<D> + Sync>(
     let mut all: Vec<ContactPair> = Vec::new();
     for r in 0..filter.num_parts() as u32 {
         // Local element set: owned + received, with their global ids.
-        let mut local_ids: Vec<u32> = (0..elements.len() as u32)
-            .filter(|&e| elements[e as usize].owner == r)
-            .collect();
+        let mut local_ids: Vec<u32> =
+            (0..elements.len() as u32).filter(|&e| elements[e as usize].owner == r).collect();
         local_ids.extend_from_slice(&exchange.inbox[r as usize]);
 
-        let boxes: Vec<Aabb<D>> =
-            local_ids.iter().map(|&e| elements[e as usize].bbox).collect();
+        let boxes: Vec<Aabb<D>> = local_ids.iter().map(|&e| elements[e as usize].bbox).collect();
         let body: Vec<u16> = local_ids.iter().map(|&e| bodies[e as usize]).collect();
         for p in find_contact_pairs(&boxes, &body, tolerance) {
             let (ga, gb) = (local_ids[p.a as usize], local_ids[p.b as usize]);

@@ -168,10 +168,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(out, vec![0, 1]);
-        f.candidate_parts(
-            &Aabb::new(Point::new([50.0, -1.0]), Point::new([60.0, 1.0])),
-            &mut out,
-        );
+        f.candidate_parts(&Aabb::new(Point::new([50.0, -1.0]), Point::new([60.0, 1.0])), &mut out);
         assert!(out.is_empty(), "gap between clusters is nobody's territory");
     }
 
@@ -221,10 +218,7 @@ mod tests {
         let f = RcbRegionFilter::new(&tree);
         let mut out = Vec::new();
         // Even a box in the empty gap belongs to someone's region.
-        f.candidate_parts(
-            &Aabb::new(Point::new([50.0, -1.0]), Point::new([51.0, 1.0])),
-            &mut out,
-        );
+        f.candidate_parts(&Aabb::new(Point::new([50.0, -1.0]), Point::new([51.0, 1.0])), &mut out);
         assert!(!out.is_empty());
         assert_eq!(f.num_parts(), 2);
     }

@@ -90,8 +90,7 @@ mod tests {
         let node_body = vec![0];
         let faces = vec![face(0.0, 0.0)];
         let face_body = vec![0];
-        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 1.0)
-            .is_empty());
+        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 1.0).is_empty());
     }
 
     #[test]
@@ -100,12 +99,8 @@ mod tests {
         let node_body = vec![1];
         let faces = vec![face(0.0, 0.0)]; // top at y = 0.1, node 0.9 above
         let face_body = vec![0];
-        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.5)
-            .is_empty());
-        assert_eq!(
-            find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.95).len(),
-            1
-        );
+        assert!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.5).is_empty());
+        assert_eq!(find_node_face_contacts(&nodes, &node_body, &faces, &face_body, 0.95).len(), 1);
     }
 
     #[test]

@@ -64,7 +64,8 @@ impl RankTraffic {
     /// Ratio of the bottleneck rank's volume to the average rank volume
     /// (1.0 = perfectly even traffic).
     pub fn traffic_imbalance(&self) -> f64 {
-        let total: u64 = (0..self.k as u32).map(|r| self.send_volume(r) + self.recv_volume(r)).sum();
+        let total: u64 =
+            (0..self.k as u32).map(|r| self.send_volume(r) + self.recv_volume(r)).sum();
         if total == 0 {
             return 1.0;
         }
@@ -186,8 +187,7 @@ mod tests {
 
     #[test]
     fn shipment_traffic_total_matches_n_remote() {
-        let pts =
-            vec![Point::new([0.0, 0.0]), Point::new([5.0, 0.0]), Point::new([10.0, 0.0])];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([5.0, 0.0]), Point::new([10.0, 0.0])];
         let labels = vec![0u32, 1, 2];
         let filter = BboxFilter::from_points(&pts, &labels, 3);
         let elements: Vec<SurfaceElementInfo<2>> = (0..3)

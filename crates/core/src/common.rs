@@ -112,10 +112,7 @@ impl SnapshotView {
     pub fn surface_elements(&self, node_parts: &[u32]) -> Vec<SurfaceElementInfo<3>> {
         self.faces
             .iter()
-            .map(|f| SurfaceElementInfo {
-                bbox: f.bbox,
-                owner: face_owner(&f.nodes, node_parts),
-            })
+            .map(|f| SurfaceElementInfo { bbox: f.bbox, owner: face_owner(&f.nodes, node_parts) })
             .collect()
     }
 

@@ -79,16 +79,13 @@ pub fn dt_friendly_correct<const D: usize>(
     let max_i = cfg.max_i.unwrap_or(rec_i);
 
     // 1. Guidance tree over all vertices.
-    let tree_cfg = DtreeConfig {
-        stop: StopRule::MaxPMaxI { max_p, max_i },
-        ..DtreeConfig::default()
-    };
+    let tree_cfg =
+        DtreeConfig { stop: StopRule::MaxPMaxI { max_p, max_i }, ..DtreeConfig::default() };
     let tree = induce(positions, asg, k, &tree_cfg);
 
     // 2. Majority relabel: each vertex takes its leaf's majority part.
     let relabeled_parts = tree.relabel_points(positions);
-    let relabeled =
-        asg.iter().zip(relabeled_parts.iter()).filter(|(a, b)| a != b).count();
+    let relabeled = asg.iter().zip(relabeled_parts.iter()).filter(|(a, b)| a != b).count();
 
     // 3. Contract leaves into G' and refine there.
     let (leaf_of_vertex, num_leaves) = tree.leaf_index_of_points(positions);
@@ -159,12 +156,9 @@ mod tests {
         let n = 24;
         let (graph, positions, mut asg) = diagonal_setup(n);
         // Search tree on the raw diagonal partition: large.
-        let before =
-            induce_tree(&positions, &asg, 2, &TreeCfg::search_tree()).num_nodes();
-        let stats =
-            dt_friendly_correct(&graph, &positions, 2, &mut asg, &Default::default());
-        let after =
-            induce_tree(&positions, &asg, 2, &TreeCfg::search_tree()).num_nodes();
+        let before = induce_tree(&positions, &asg, 2, &TreeCfg::search_tree()).num_nodes();
+        let stats = dt_friendly_correct(&graph, &positions, 2, &mut asg, &Default::default());
+        let after = induce_tree(&positions, &asg, 2, &TreeCfg::search_tree()).num_nodes();
         assert!(
             after < before,
             "search tree should shrink: before {before}, after {after} (stats {stats:?})"
@@ -179,8 +173,7 @@ mod tests {
         let n = 16;
         let (graph, positions, _) = diagonal_setup(n);
         // Perfect vertical split: already axes-parallel and balanced.
-        let mut asg: Vec<u32> =
-            (0..n * n).map(|v| u32::from(v % n >= n / 2)).collect();
+        let mut asg: Vec<u32> = (0..n * n).map(|v| u32::from(v % n >= n / 2)).collect();
         let original = asg.clone();
         dt_friendly_correct(&graph, &positions, 2, &mut asg, &Default::default());
         let changed = asg.iter().zip(original.iter()).filter(|(a, b)| a != b).count();

@@ -113,10 +113,7 @@ fn augmented_graph(view: &SnapshotView, cfg: &KnownContactConfig) -> Graph {
 /// augmented snapshot-`prediction_snapshot` graph once, evaluate the same
 /// metrics as the other pipelines (search filter: decision tree, like
 /// MCML+DT — the method only changes the partition).
-pub fn evaluate_known_contact(
-    sim: &SimResult,
-    cfg: &KnownContactConfig,
-) -> Vec<SnapshotMetrics> {
+pub fn evaluate_known_contact(sim: &SimResult, cfg: &KnownContactConfig) -> Vec<SnapshotMetrics> {
     assert!(!sim.is_empty());
     let k = cfg.k;
     let view_p = SnapshotView::build(sim, cfg.prediction_snapshot, 5);
@@ -127,12 +124,8 @@ pub fn evaluate_known_contact(
     let mut out = Vec::with_capacity(sim.len());
     for i in 0..sim.len() {
         let view = SnapshotView::build(sim, i, 5);
-        let asg_now: Vec<u32> = view
-            .graph2
-            .node_of_vertex
-            .iter()
-            .map(|&n| node_parts[n as usize])
-            .collect();
+        let asg_now: Vec<u32> =
+            view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
         let fe_comm = total_comm_volume(&view.graph2.graph, &asg_now);
         let cut = edge_cut(&view.graph1.graph, &asg_now) as u64;
         let part = Partition::from_assignment(&view.graph2.graph, k, asg_now);
@@ -227,8 +220,7 @@ mod tests {
         let kc_parts = view_p.graph2.assignment_on_nodes(&kc_asg);
 
         // Plain two-constraint partition (no prediction).
-        let plain_asg =
-            partition_kway(&view_p.graph2.graph, k, &PartitionerConfig::default());
+        let plain_asg = partition_kway(&view_p.graph2.graph, k, &PartitionerConfig::default());
         let plain_parts = view_p.graph2.assignment_on_nodes(&plain_asg);
 
         let (kc_remote, kc_total) = remote_true_pairs(&sim, snapshot, &kc_parts, 0.4);

@@ -104,12 +104,8 @@ pub fn evaluate_mcml_dt(
     let mut asg = partition_kway(&view0.graph2.graph, k, &cfg.partitioner);
     let mut friendly_stats = None;
     if let Some(fc) = &cfg.dt_friendly {
-        let positions: Vec<_> = view0
-            .graph2
-            .node_of_vertex
-            .iter()
-            .map(|&n| view0.mesh.points[n as usize])
-            .collect();
+        let positions: Vec<_> =
+            view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
         friendly_stats =
             Some(dt_friendly_correct(&view0.graph2.graph, &positions, k, &mut asg, fc));
     }
@@ -155,12 +151,8 @@ pub fn evaluate_mcml_dt(
             UpdatePolicy::Hybrid { period } => i > 0 && period > 0 && i % period == 0,
         };
         if repartition_now {
-            let old: Vec<u32> = view
-                .graph2
-                .node_of_vertex
-                .iter()
-                .map(|&n| node_parts[n as usize])
-                .collect();
+            let old: Vec<u32> =
+                view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
             let mut fresh = match cfg.repartition_method {
                 RepartitionMethod::ScratchRemap => {
                     repartition(&view.graph2.graph, k, &old, &cfg.partitioner)
@@ -213,12 +205,8 @@ fn snapshot_metrics(
     upd_comm: u64,
 ) -> SnapshotMetrics {
     let k = cfg.k;
-    let asg_now: Vec<u32> = view
-        .graph2
-        .node_of_vertex
-        .iter()
-        .map(|&n| node_parts[n as usize])
-        .collect();
+    let asg_now: Vec<u32> =
+        view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
     debug_assert!(asg_now.iter().all(|&p| p != u32::MAX));
 
     // FEComm + balance diagnostics.
@@ -283,11 +271,7 @@ mod tests {
         let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
         // The partition is computed on snapshot 0, so snapshot 0 must be
         // well balanced on the FE constraint.
-        assert!(
-            metrics[0].imbalance_fe <= 1.15,
-            "FE imbalance {}",
-            metrics[0].imbalance_fe
-        );
+        assert!(metrics[0].imbalance_fe <= 1.15, "FE imbalance {}", metrics[0].imbalance_fe);
         assert!(
             metrics[0].imbalance_contact <= 1.8,
             "contact imbalance {}",
@@ -298,10 +282,7 @@ mod tests {
     #[test]
     fn per_step_policy_reports_migration_and_restores_balance() {
         let sim = tiny_sim();
-        let cfg = McmlDtConfig {
-            update: UpdatePolicy::PerStep,
-            ..McmlDtConfig::paper(4)
-        };
+        let cfg = McmlDtConfig { update: UpdatePolicy::PerStep, ..McmlDtConfig::paper(4) };
         let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
         // Late snapshots stay balanced because we repartition.
         let last = metrics.last().unwrap();
@@ -311,10 +292,8 @@ mod tests {
     #[test]
     fn hybrid_policy_repartitions_periodically() {
         let sim = tiny_sim();
-        let cfg = McmlDtConfig {
-            update: UpdatePolicy::Hybrid { period: 5 },
-            ..McmlDtConfig::paper(3)
-        };
+        let cfg =
+            McmlDtConfig { update: UpdatePolicy::Hybrid { period: 5 }, ..McmlDtConfig::paper(3) };
         let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
         assert_eq!(metrics.len(), sim.len());
         // Non-repartition snapshots report zero migration.

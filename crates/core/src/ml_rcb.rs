@@ -81,12 +81,8 @@ pub fn evaluate_ml_rcb(sim: &SimResult, cfg: &MlRcbConfig) -> Vec<SnapshotMetric
         };
 
         // FE phase metrics under the static partition.
-        let asg_now: Vec<u32> = view
-            .graph1
-            .node_of_vertex
-            .iter()
-            .map(|&n| fe_node_parts[n as usize])
-            .collect();
+        let asg_now: Vec<u32> =
+            view.graph1.node_of_vertex.iter().map(|&n| fe_node_parts[n as usize]).collect();
         let fe_comm = total_comm_volume(&view.graph1.graph, &asg_now);
         let cut = edge_cut(&view.graph1.graph, &asg_now) as u64;
         let part = Partition::from_assignment(&view.graph1.graph, k, asg_now);
@@ -124,11 +120,7 @@ pub fn evaluate_ml_rcb(sim: &SimResult, cfg: &MlRcbConfig) -> Vec<SnapshotMetric
             overlap[rp as usize * k + fe_labels[ci] as usize] += 1;
         }
         let sigma = max_weight_assignment(k, &overlap);
-        let matched: i64 = sigma
-            .iter()
-            .enumerate()
-            .map(|(rp, &fp)| overlap[rp * k + fp])
-            .sum();
+        let matched: i64 = sigma.iter().enumerate().map(|(rp, &fp)| overlap[rp * k + fp]).sum();
         let m2m_comm = view.contact.len() as u64 - matched as u64;
 
         // NRemote: each RCB subdomain is described either by the bounding
@@ -144,8 +136,7 @@ pub fn evaluate_ml_rcb(sim: &SimResult, cfg: &MlRcbConfig) -> Vec<SnapshotMetric
             let tree = rcb.as_ref().expect("RCB tree exists after first snapshot");
             n_remote(&elements, &RcbRegionFilter::new(tree))
         } else {
-            let filter =
-                BboxFilter::from_points(&view.contact.positions, &rcb_labels, k);
+            let filter = BboxFilter::from_points(&view.contact.positions, &rcb_labels, k);
             n_remote(&elements, &filter)
         };
 
@@ -155,8 +146,7 @@ pub fn evaluate_ml_rcb(sim: &SimResult, cfg: &MlRcbConfig) -> Vec<SnapshotMetric
             counts[p as usize] += 1;
         }
         let avg = view.contact.len() as f64 / k as f64;
-        let imbalance_contact =
-            counts.iter().copied().max().unwrap_or(0) as f64 / avg.max(1e-12);
+        let imbalance_contact = counts.iter().copied().max().unwrap_or(0) as f64 / avg.max(1e-12);
 
         out.push(SnapshotMetrics {
             step: sim.snapshots[i].step,
@@ -218,10 +208,8 @@ mod tests {
     fn incremental_update_migrates_less_than_rebuild() {
         let sim = tiny_sim();
         let inc = evaluate_ml_rcb(&sim, &MlRcbConfig::paper(4));
-        let reb = evaluate_ml_rcb(
-            &sim,
-            &MlRcbConfig { rebuild_rcb: true, ..MlRcbConfig::paper(4) },
-        );
+        let reb =
+            evaluate_ml_rcb(&sim, &MlRcbConfig { rebuild_rcb: true, ..MlRcbConfig::paper(4) });
         let sum = |ms: &[SnapshotMetrics]| ms.iter().map(|m| m.upd_comm).sum::<u64>();
         // Rebuilding from scratch reshuffles labels arbitrarily; the
         // incremental update must not migrate more.
@@ -236,10 +224,8 @@ mod tests {
         // a cut plane — allow a small slack.
         let sim = tiny_sim();
         let boxes = evaluate_ml_rcb(&sim, &MlRcbConfig::paper(4));
-        let regions = evaluate_ml_rcb(
-            &sim,
-            &MlRcbConfig { region_filter: true, ..MlRcbConfig::paper(4) },
-        );
+        let regions =
+            evaluate_ml_rcb(&sim, &MlRcbConfig { region_filter: true, ..MlRcbConfig::paper(4) });
         let sum = |ms: &[SnapshotMetrics]| ms.iter().map(|m| m.n_remote).sum::<u64>();
         assert!(
             sum(&regions) as f64 >= 0.9 * sum(&boxes) as f64,

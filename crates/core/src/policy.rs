@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn step_cost_weights_components() {
-        let model = CostModel { halo: 1.0, shipment: 2.0, migration: 4.0, repartition_overhead: 10.0 };
+        let model =
+            CostModel { halo: 1.0, shipment: 2.0, migration: 4.0, repartition_overhead: 10.0 };
         let m = SnapshotMetrics {
             fe_comm: 100,
             n_remote: 10,
@@ -126,11 +127,9 @@ mod tests {
     fn selection_returns_a_candidate_and_is_minimal() {
         let sim = cip_sim::run(&SimConfig::tiny());
         let base = McmlDtConfig::paper(3);
-        let choice =
-            select_hybrid_period(&sim, &base, &[3, 6], &CostModel::default());
+        let choice = select_hybrid_period(&sim, &base, &[3, 6], &CostModel::default());
         assert_eq!(choice.costs.len(), 3);
-        let best_cost =
-            choice.costs.iter().find(|(p, _)| *p == choice.period).unwrap().1;
+        let best_cost = choice.costs.iter().find(|(p, _)| *p == choice.period).unwrap().1;
         for (_, c) in &choice.costs {
             assert!(best_cost <= *c + 1e-9);
         }
@@ -140,11 +139,7 @@ mod tests {
     fn expensive_migration_prefers_fixed_policy() {
         let sim = cip_sim::run(&SimConfig::tiny());
         let base = McmlDtConfig::paper(3);
-        let model = CostModel {
-            migration: 1e9,
-            repartition_overhead: 1e9,
-            ..CostModel::default()
-        };
+        let model = CostModel { migration: 1e9, repartition_overhead: 1e9, ..CostModel::default() };
         let choice = select_hybrid_period(&sim, &base, &[2], &model);
         assert_eq!(choice.period, 0, "prohibitive migration must select Fixed");
     }

@@ -75,21 +75,13 @@ impl QualityReport {
     /// Renders a terminal-friendly summary.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "decomposition: {} vertices into {} parts",
-            self.num_vertices, self.k
-        );
+        let _ = writeln!(s, "decomposition: {} vertices into {} parts", self.num_vertices, self.k);
         let _ = writeln!(
             s,
             "  edge cut {} | comm volume {} | imbalance {}",
             self.edge_cut,
             self.comm_volume,
-            self.imbalance
-                .iter()
-                .map(|i| format!("{i:.3}"))
-                .collect::<Vec<_>>()
-                .join(" / ")
+            self.imbalance.iter().map(|i| format!("{i:.3}")).collect::<Vec<_>>().join(" / ")
         );
         let _ = writeln!(
             s,
@@ -158,8 +150,7 @@ mod tests {
     fn report_includes_tree_stats() {
         let g = path(4);
         let asg = vec![0, 0, 1, 1];
-        let pts: Vec<Point<3>> =
-            (0..4).map(|i| Point::new([i as f64, 0.0, 0.0])).collect();
+        let pts: Vec<Point<3>> = (0..4).map(|i| Point::new([i as f64, 0.0, 0.0])).collect();
         let tree = induce(&pts, &asg, 2, &DtreeConfig::search_tree());
         let r = quality_report(&g, &asg, 2, Some(&tree));
         assert_eq!(r.tree_nodes, Some(3));

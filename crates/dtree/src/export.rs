@@ -80,11 +80,8 @@ impl<const D: usize> DecisionTree<D> {
             match node {
                 DtNode::Internal { plane, left, right } => {
                     let axis = ["x", "y", "z", "w"][plane.dim.min(3)];
-                    let _ = writeln!(
-                        s,
-                        "  n{i} [shape=box, label=\"{axis} <= {:.4}?\"];",
-                        plane.coord
-                    );
+                    let _ =
+                        writeln!(s, "  n{i} [shape=box, label=\"{axis} <= {:.4}?\"];", plane.coord);
                     let _ = writeln!(s, "  n{i} -> n{left} [label=\"yes\"];");
                     let _ = writeln!(s, "  n{i} -> n{right} [label=\"no\"];");
                 }
@@ -135,11 +132,7 @@ mod tests {
     #[test]
     fn stats_count_fragmented_parts() {
         // Part 0 split into two spatial fragments -> two leaves.
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([10.0, 0.0]),
-            Point::new([20.0, 0.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([10.0, 0.0]), Point::new([20.0, 0.0])];
         let labels = vec![0, 1, 0];
         let t = induce(&pts, &labels, 2, &DtreeConfig::search_tree());
         let s = t.stats(2);

@@ -115,12 +115,7 @@ impl<const D: usize> NodeSet<D> {
     }
 
     fn majority(&self) -> u32 {
-        self.counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        self.counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i as u32).unwrap_or(0)
     }
 
     /// Partitions with points in this set, other than the majority.
@@ -398,9 +393,7 @@ fn median_split<const D: usize>(set: &NodeSet<D>, points: &[Point<D>]) -> Option
         let mut candidate: Option<usize> = None;
         for off in 0..n {
             let fwd = mid + off;
-            if fwd + 1 < n
-                && points[order[fwd] as usize][d] < points[order[fwd + 1] as usize][d]
-            {
+            if fwd + 1 < n && points[order[fwd] as usize][d] < points[order[fwd + 1] as usize][d] {
                 candidate = Some(fwd);
                 break;
             }
@@ -446,12 +439,8 @@ fn partition_set<const D: usize>(
     for &i in &lsorted[0] {
         lcounts[labels[i as usize] as usize] += 1;
     }
-    let rcounts: Vec<u32> =
-        set.counts.iter().zip(lcounts.iter()).map(|(&t, &l)| t - l).collect();
-    (
-        NodeSet { sorted: lsorted, counts: lcounts },
-        NodeSet { sorted: rsorted, counts: rcounts },
-    )
+    let rcounts: Vec<u32> = set.counts.iter().zip(lcounts.iter()).map(|(&t, &l)| t - l).collect();
+    (NodeSet { sorted: lsorted, counts: lcounts }, NodeSet { sorted: rsorted, counts: rcounts })
 }
 
 #[cfg(test)]

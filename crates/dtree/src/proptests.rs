@@ -7,19 +7,14 @@ use crate::{induce, DtreeConfig, Splitter, StopRule};
 use cip_geom::{Aabb, Point};
 use proptest::prelude::*;
 
-fn points_labels_3d(
-    max_pts: usize,
-    k: usize,
-) -> impl Strategy<Value = (Vec<Point<3>>, Vec<u32>)> {
+fn points_labels_3d(max_pts: usize, k: usize) -> impl Strategy<Value = (Vec<Point<3>>, Vec<u32>)> {
     proptest::collection::vec(
         ((-50i32..50), (-50i32..50), (-50i32..50), 0u32..k as u32),
         1..max_pts,
     )
     .prop_map(|v| {
-        let pts = v
-            .iter()
-            .map(|&(x, y, z, _)| Point::new([x as f64, y as f64, z as f64]))
-            .collect();
+        let pts =
+            v.iter().map(|&(x, y, z, _)| Point::new([x as f64, y as f64, z as f64])).collect();
         let labels = v.iter().map(|&(_, _, _, l)| l).collect();
         (pts, labels)
     })

@@ -74,12 +74,8 @@ pub fn refresh<const D: usize>(
         membership[locate_arena(tree, p) as usize].push(i as u32);
     }
 
-    let mut stats = RefreshStats {
-        kept_leaves: 0,
-        reinduced_leaves: 0,
-        reinduced_points: 0,
-        grown_nodes: 0,
-    };
+    let mut stats =
+        RefreshStats { kept_leaves: 0, reinduced_leaves: 0, reinduced_points: 0, grown_nodes: 0 };
     let mut nodes: Vec<DtNode<D>> = Vec::with_capacity(tree.num_nodes());
     rebuild(tree, 0, &membership, points, labels, k, cfg, &mut nodes, &mut stats);
     stats.grown_nodes = nodes.len() as isize - tree.num_nodes() as isize;
@@ -156,10 +152,8 @@ fn rebuild<const D: usize>(
                 // Impure: re-induce a subtree over just these points.
                 stats.reinduced_leaves += 1;
                 stats.reinduced_points += members.len();
-                let sub_pts: Vec<Point<D>> =
-                    members.iter().map(|&i| points[i as usize]).collect();
-                let sub_labels: Vec<u32> =
-                    members.iter().map(|&i| labels[i as usize]).collect();
+                let sub_pts: Vec<Point<D>> = members.iter().map(|&i| points[i as usize]).collect();
+                let sub_labels: Vec<u32> = members.iter().map(|&i| labels[i as usize]).collect();
                 let sub = induce(&sub_pts, &sub_labels, k, cfg);
                 splice(sub.nodes(), 0, out);
             }
@@ -252,10 +246,7 @@ mod tests {
         // The refreshed tree must still satisfy the purity contract for
         // uniquely-positioned points.
         for (i, p) in moved.iter().enumerate() {
-            let clash = moved
-                .iter()
-                .zip(labels.iter())
-                .any(|(q, &l)| q == p && l != labels[i]);
+            let clash = moved.iter().zip(labels.iter()).any(|(q, &l)| q == p && l != labels[i]);
             if !clash {
                 assert_eq!(fresh.locate(p), labels[i], "point {i}");
             }
@@ -268,8 +259,7 @@ mod tests {
         let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
         // Drop a third of the points and add some new ones.
         let mut new_pts: Vec<Point<2>> = pts.iter().step_by(2).copied().collect();
-        let mut new_labels: Vec<u32> =
-            labels.iter().step_by(2).copied().collect();
+        let mut new_labels: Vec<u32> = labels.iter().step_by(2).copied().collect();
         new_pts.push(Point::new([50.0, 0.0]));
         new_labels.push(0);
         let (fresh, _) = refresh(&tree, &new_pts, &new_labels, 3, &DtreeConfig::search_tree());
@@ -284,8 +274,7 @@ mod tests {
         let tree = induce(&pts, &labels, 3, &DtreeConfig::search_tree());
         // Remove band 0 entirely: its leaf goes empty but the tree remains
         // valid for the others.
-        let keep: Vec<usize> =
-            (0..pts.len()).filter(|&i| labels[i] != 0).collect();
+        let keep: Vec<usize> = (0..pts.len()).filter(|&i| labels[i] != 0).collect();
         let new_pts: Vec<Point<2>> = keep.iter().map(|&i| pts[i]).collect();
         let new_labels: Vec<u32> = keep.iter().map(|&i| labels[i]).collect();
         let (fresh, stats) = refresh(&tree, &new_pts, &new_labels, 3, &DtreeConfig::search_tree());

@@ -228,10 +228,8 @@ mod tests {
     use super::*;
 
     /// A leaf box covering everything the tests probe.
-    const BIG: Aabb<2> = Aabb {
-        min: Point { coords: [-100.0, -100.0] },
-        max: Point { coords: [100.0, 100.0] },
-    };
+    const BIG: Aabb<2> =
+        Aabb { min: Point { coords: [-100.0, -100.0] }, max: Point { coords: [100.0, 100.0] } };
 
     /// Hand-built tree: x <= 1 -> part 0; else (y <= 1 -> part 1, else 2).
     fn small_tree() -> DecisionTree<2> {

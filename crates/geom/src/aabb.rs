@@ -31,10 +31,7 @@ impl<const D: usize> Aabb<D> {
     /// [`Aabb::union`] and intersects nothing.
     #[inline]
     pub fn empty() -> Self {
-        Self {
-            min: Point::new([f64::INFINITY; D]),
-            max: Point::new([f64::NEG_INFINITY; D]),
-        }
+        Self { min: Point::new([f64::INFINITY; D]), max: Point::new([f64::NEG_INFINITY; D]) }
     }
 
     /// Whether this box is the empty box (no point is contained).
@@ -205,11 +202,7 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = vec![
-            Point::new([1.0, 5.0]),
-            Point::new([-2.0, 3.0]),
-            Point::new([4.0, -1.0]),
-        ];
+        let pts = vec![Point::new([1.0, 5.0]), Point::new([-2.0, 3.0]), Point::new([4.0, -1.0])];
         let b = Aabb::from_points(&pts);
         assert_eq!(b.min, Point::new([-2.0, -1.0]));
         assert_eq!(b.max, Point::new([4.0, 5.0]));
@@ -271,11 +264,7 @@ mod tests {
 
     #[test]
     fn from_indexed_points_subsets() {
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([10.0, 10.0]),
-            Point::new([1.0, 1.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([10.0, 10.0]), Point::new([1.0, 1.0])];
         let b = Aabb::from_indexed_points(&pts, &[0, 2]);
         assert_eq!(b.max, Point::new([1.0, 1.0]));
     }

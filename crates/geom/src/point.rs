@@ -106,11 +106,7 @@ impl<const D: usize> Point<D> {
     /// Squared Euclidean distance to `other`.
     #[inline]
     pub fn dist2(&self, other: &Self) -> f64 {
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.coords.iter().zip(other.coords.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
     /// Euclidean distance to `other`.

@@ -139,7 +139,8 @@ impl<const D: usize> RcbTree<D> {
         let mid = partition_by_plane(points, indices, &plane);
         let (li, ri) = indices.split_at_mut(mid);
         let left = self.build_rec(points, weights, li, part_lo, parts_left, assignment);
-        let right = self.build_rec(points, weights, ri, part_lo + parts_left, parts_right, assignment);
+        let right =
+            self.build_rec(points, weights, ri, part_lo + parts_left, parts_right, assignment);
         self.push(RcbNode::Internal { plane, left, right, parts_left, parts_right })
     }
 

@@ -8,8 +8,86 @@
 //!   vertices of each decision-tree leaf into a single vertex of the
 //!   region graph `G'`, so that k-way refinement moves whole axis-parallel
 //!   regions between parts.
+//!
+//! The partitioner's coarsening loop calls [`contract_with`] once per level,
+//! threading a [`ContractWorkspace`] through so the scratch arrays (group
+//! counts, member lists, per-worker stamp/slot tables) are allocated once
+//! and reused at every level. Above the caller's parallel threshold the
+//! assembly runs as a two-pass (count, then fill) CSR construction over
+//! chunks of coarse vertices on the rayon pool; both paths emit
+//! **bit-identical** graphs, so the choice is purely a performance knob and
+//! never affects partitioning results.
 
 use crate::csr::Graph;
+use rayon::prelude::*;
+
+/// Per-worker scatter-accumulate scratch: `stamp[c]` records the coarse
+/// vertex currently owning slot `slot[c]` so the arrays never need clearing
+/// between coarse vertices (only between passes).
+#[derive(Debug, Default)]
+struct Scratch {
+    stamp: Vec<u32>,
+    slot: Vec<usize>,
+}
+
+impl Scratch {
+    fn reset(&mut self, cnv: usize) {
+        self.stamp.clear();
+        self.stamp.resize(cnv, u32::MAX);
+        self.slot.clear();
+        self.slot.resize(cnv, 0);
+    }
+}
+
+/// Reusable scratch buffers for [`contract_with`].
+///
+/// Holding one of these across a coarsening hierarchy makes the steady-state
+/// level loop allocation-free (only the output graph's own CSR arrays are
+/// freshly allocated, since the caller keeps them).
+#[derive(Debug, Default)]
+pub struct ContractWorkspace {
+    /// Prefix sums of group sizes: group `c` occupies
+    /// `members[counts[c]..counts[c + 1]]`.
+    counts: Vec<usize>,
+    /// Fine vertices sorted (stably) by coarse id.
+    members: Vec<u32>,
+    /// Counting-sort write cursors.
+    cursor: Vec<usize>,
+    /// Coarse adjacency sizes for the two-pass parallel assembly.
+    degs: Vec<usize>,
+    /// Per-worker stamp/slot tables (one per parallel chunk).
+    scratch: Vec<Scratch>,
+}
+
+impl ContractWorkspace {
+    /// A workspace with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counting-sorts fine vertices by coarse id into `counts`/`members`.
+    fn group(&mut self, map: &[u32], cnv: usize) {
+        self.counts.clear();
+        self.counts.resize(cnv + 1, 0);
+        for &c in map {
+            let c = c as usize;
+            assert!(c < cnv, "coarse id {c} out of range");
+            self.counts[c + 1] += 1;
+        }
+        for c in 0..cnv {
+            self.counts[c + 1] += self.counts[c];
+        }
+        self.members.clear();
+        self.members.resize(map.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.counts[..cnv]);
+        for (v, &c) in map.iter().enumerate() {
+            let cur = &mut self.cursor[c as usize];
+            self.members[*cur] = v as u32;
+            *cur += 1;
+        }
+    }
+}
 
 /// Contracts `g` according to `map`, where `map[v]` is the coarse vertex id
 /// of fine vertex `v` and coarse ids densely cover `0..cnv`.
@@ -18,70 +96,231 @@ use crate::csr::Graph;
 /// parallel edges between the same coarse pair are merged by summing their
 /// weights; edges internal to a group disappear.
 ///
+/// Convenience wrapper over [`contract_with`] with a throwaway workspace and
+/// the sequential assembly path.
+///
 /// # Panics
 /// Panics if `map.len() != g.nv()` or any entry is `>= cnv`.
 pub fn contract(g: &Graph, map: &[u32], cnv: usize) -> Graph {
+    contract_with(g, map, cnv, false, &mut ContractWorkspace::new())
+}
+
+/// [`contract`], with explicit control of parallelism and scratch reuse.
+///
+/// When `parallel` is true the per-coarse-vertex adjacency assembly and the
+/// coarse vertex-weight accumulation run on the rayon pool (two-pass CSR:
+/// count degrees, prefix-sum, then fill disjoint output segments). The
+/// output is bit-identical to the sequential path for any thread count:
+/// every coarse vertex's adjacency depends only on the (deterministic)
+/// member order and CSR neighbor order, never on scheduling.
+pub fn contract_with(
+    g: &Graph,
+    map: &[u32],
+    cnv: usize,
+    parallel: bool,
+    ws: &mut ContractWorkspace,
+) -> Graph {
     assert_eq!(map.len(), g.nv(), "one coarse id per fine vertex");
     let ncon = g.ncon();
+    ws.group(map, cnv);
 
-    // Coarse vertex weights.
+    let ContractWorkspace { counts, members, degs, scratch, .. } = ws;
+    let counts: &[usize] = counts;
+    let members: &[u32] = members;
+
+    // Coarse vertex weights: each coarse row sums its members' fine rows.
     let mut cvwgt = vec![0i64; cnv * ncon];
-    for (v, &c) in map.iter().enumerate() {
-        let c = c as usize;
-        assert!(c < cnv, "coarse id {c} out of range");
-        let base = c * ncon;
-        for (j, w) in g.vwgt(v as u32).iter().enumerate() {
-            cvwgt[base + j] += w;
-        }
-    }
-
-    // Group fine vertices by coarse id (counting sort) so each coarse
-    // vertex's adjacency is assembled in one contiguous pass.
-    let mut counts = vec![0usize; cnv + 1];
-    for &c in map {
-        counts[c as usize + 1] += 1;
-    }
-    for c in 0..cnv {
-        counts[c + 1] += counts[c];
-    }
-    let mut members = vec![0u32; g.nv()];
-    let mut cursor = counts[..cnv].to_vec();
-    for (v, &c) in map.iter().enumerate() {
-        members[cursor[c as usize]] = v as u32;
-        cursor[c as usize] += 1;
-    }
-
-    // Scatter-accumulate each coarse vertex's neighbor weights. `slot[c]`
-    // remembers where neighbor `c` sits in the current adjacency segment;
-    // `stamp` avoids clearing the array between coarse vertices.
-    let mut slot = vec![0usize; cnv];
-    let mut stamp = vec![u32::MAX; cnv];
-    let mut cxadj = Vec::with_capacity(cnv + 1);
-    let mut cadjncy: Vec<u32> = Vec::with_capacity(g.adjncy().len());
-    let mut cadjwgt: Vec<i64> = Vec::with_capacity(g.adjncy().len());
-    cxadj.push(0usize);
-    for c in 0..cnv {
-        let seg_start = cadjncy.len();
-        for &v in &members[counts[c]..counts[c + 1]] {
-            for (u, w) in g.neighbors(v) {
-                let cu = map[u as usize] as usize;
-                if cu == c {
-                    continue; // internal edge vanishes
+    if parallel {
+        cvwgt.par_chunks_mut(ncon).enumerate().for_each(|(c, row)| {
+            for &v in &members[counts[c]..counts[c + 1]] {
+                for (acc, w) in row.iter_mut().zip(g.vwgt(v)) {
+                    *acc += w;
                 }
-                if stamp[cu] == c as u32 {
-                    cadjwgt[slot[cu]] += w;
-                } else {
-                    stamp[cu] = c as u32;
-                    slot[cu] = cadjncy.len();
-                    cadjncy.push(cu as u32);
-                    cadjwgt.push(w);
+            }
+        });
+    } else {
+        for (c, row) in cvwgt.chunks_exact_mut(ncon).enumerate() {
+            for &v in &members[counts[c]..counts[c + 1]] {
+                for (acc, w) in row.iter_mut().zip(g.vwgt(v)) {
+                    *acc += w;
                 }
             }
         }
-        let _ = seg_start;
-        cxadj.push(cadjncy.len());
     }
-    Graph::from_csr(ncon, cxadj, cadjncy, cadjwgt, cvwgt)
+
+    if !parallel {
+        // Single-pass sequential assembly: scatter-accumulate each coarse
+        // vertex's neighbor weights, growing the output arrays in place.
+        if scratch.is_empty() {
+            scratch.push(Scratch::default());
+        }
+        let sc = &mut scratch[0];
+        sc.reset(cnv);
+        let mut cxadj = Vec::with_capacity(cnv + 1);
+        let mut sink = GrowSink {
+            adjncy: Vec::with_capacity(g.adjncy().len()),
+            adjwgt: Vec::with_capacity(g.adjncy().len()),
+        };
+        cxadj.push(0usize);
+        for c in 0..cnv {
+            assemble(g, map, &members[counts[c]..counts[c + 1]], c, sc, &mut sink);
+            cxadj.push(sink.adjncy.len());
+        }
+        return Graph::from_csr_unchecked(ncon, cxadj, sink.adjncy, sink.adjwgt, cvwgt);
+    }
+
+    // Two-pass parallel assembly over chunks of coarse vertices. Chunk size
+    // is bounded below so tiny graphs don't shatter into per-vertex tasks.
+    let chunk = chunk_size(cnv);
+    let nchunks = cnv.div_ceil(chunk).max(1);
+    if scratch.len() < nchunks {
+        scratch.resize_with(nchunks, Scratch::default);
+    }
+
+    // Pass A: per-coarse-vertex degrees.
+    degs.clear();
+    degs.resize(cnv, 0);
+    degs.par_chunks_mut(chunk).zip(scratch.par_iter_mut()).enumerate().for_each(
+        |(ci, (dchunk, sc))| {
+            sc.reset(cnv);
+            let base = ci * chunk;
+            for (i, d) in dchunk.iter_mut().enumerate() {
+                let c = base + i;
+                let mut deg = 0usize;
+                for &v in &members[counts[c]..counts[c + 1]] {
+                    for &u in g.adj(v) {
+                        let cu = map[u as usize] as usize;
+                        if cu != c && sc.stamp[cu] != c as u32 {
+                            sc.stamp[cu] = c as u32;
+                            deg += 1;
+                        }
+                    }
+                }
+                *d = deg;
+            }
+        },
+    );
+
+    // Prefix-sum into offsets.
+    let mut cxadj = Vec::with_capacity(cnv + 1);
+    cxadj.push(0usize);
+    let mut total = 0usize;
+    for &d in degs.iter() {
+        total += d;
+        cxadj.push(total);
+    }
+
+    // Pass B: fill disjoint output segments, one slice pair per chunk.
+    let mut cadjncy = vec![0u32; total];
+    let mut cadjwgt = vec![0i64; total];
+    let mut seg_n: &mut [u32] = &mut cadjncy;
+    let mut seg_w: &mut [i64] = &mut cadjwgt;
+    let mut segments: Vec<(usize, &mut [u32], &mut [i64])> = Vec::with_capacity(nchunks);
+    let mut cut_at = 0usize;
+    for ci in 0..nchunks {
+        let lo_c = ci * chunk;
+        let hi_c = (lo_c + chunk).min(cnv);
+        let len = cxadj[hi_c] - cut_at;
+        let (n, rest_n) = std::mem::take(&mut seg_n).split_at_mut(len);
+        let (w, rest_w) = std::mem::take(&mut seg_w).split_at_mut(len);
+        segments.push((lo_c, n, w));
+        seg_n = rest_n;
+        seg_w = rest_w;
+        cut_at += len;
+    }
+    let cxadj_ref: &[usize] = &cxadj;
+    segments.par_iter_mut().zip(scratch.par_iter_mut()).for_each(|((lo_c, seg_n, seg_w), sc)| {
+        sc.reset(cnv);
+        let lo_c = *lo_c;
+        let hi_c = (lo_c + chunk).min(cnv);
+        let seg_base = cxadj_ref[lo_c];
+        for c in lo_c..hi_c {
+            let mut sink = SliceSink { adjncy: seg_n, adjwgt: seg_w, len: cxadj_ref[c] - seg_base };
+            assemble(g, map, &members[counts[c]..counts[c + 1]], c, sc, &mut sink);
+            debug_assert_eq!(sink.len, cxadj_ref[c + 1] - seg_base);
+        }
+    });
+
+    Graph::from_csr_unchecked(ncon, cxadj, cadjncy, cadjwgt, cvwgt)
+}
+
+/// Where [`assemble`] writes one coarse vertex's merged adjacency.
+trait AdjSink {
+    /// Records a first-seen coarse neighbor and returns its slot.
+    fn push(&mut self, cu: usize, w: i64) -> usize;
+    /// Folds a repeated coarse neighbor's weight into its slot.
+    fn bump(&mut self, slot: usize, w: i64);
+}
+
+/// Growable sink for the sequential single-pass assembly.
+struct GrowSink {
+    adjncy: Vec<u32>,
+    adjwgt: Vec<i64>,
+}
+
+impl AdjSink for GrowSink {
+    fn push(&mut self, cu: usize, w: i64) -> usize {
+        self.adjncy.push(cu as u32);
+        self.adjwgt.push(w);
+        self.adjncy.len() - 1
+    }
+    fn bump(&mut self, slot: usize, w: i64) {
+        self.adjwgt[slot] += w;
+    }
+}
+
+/// Fixed-size sink writing into a chunk's pre-sized output segment.
+struct SliceSink<'a> {
+    adjncy: &'a mut [u32],
+    adjwgt: &'a mut [i64],
+    len: usize,
+}
+
+impl AdjSink for SliceSink<'_> {
+    fn push(&mut self, cu: usize, w: i64) -> usize {
+        self.adjncy[self.len] = cu as u32;
+        self.adjwgt[self.len] = w;
+        self.len += 1;
+        self.len - 1
+    }
+    fn bump(&mut self, slot: usize, w: i64) {
+        self.adjwgt[slot] += w;
+    }
+}
+
+/// Shared scatter-accumulate kernel for one coarse vertex `c`: walks the
+/// members' fine adjacencies, merging parallel edges into `sink` and
+/// dropping internal ones.
+#[inline]
+fn assemble(
+    g: &Graph,
+    map: &[u32],
+    members: &[u32],
+    c: usize,
+    sc: &mut Scratch,
+    sink: &mut impl AdjSink,
+) {
+    for &v in members {
+        for (u, w) in g.neighbors(v) {
+            let cu = map[u as usize] as usize;
+            if cu == c {
+                continue; // internal edge vanishes
+            }
+            if sc.stamp[cu] == c as u32 {
+                sink.bump(sc.slot[cu], w);
+            } else {
+                sc.stamp[cu] = c as u32;
+                sc.slot[cu] = sink.push(cu, w);
+            }
+        }
+    }
+}
+
+/// Parallel chunking grain: small enough to load-balance, large enough that
+/// per-chunk stamp resets stay cheap relative to the work.
+fn chunk_size(cnv: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    (cnv.div_ceil(4 * workers)).max(256).min(cnv.max(1))
 }
 
 /// Projects a coarse-graph part assignment back onto the fine graph:
@@ -163,5 +402,68 @@ mod tests {
         let g = square_with_diag();
         let cg = contract(&g, &[1, 0, 1, 0], 2);
         assert_eq!(cg.total_vwgt(), g.total_vwgt());
+    }
+
+    /// Random-ish graph used to compare the two assembly paths.
+    fn chorded_path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n, 2);
+        let mut state = 0xD00Fu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for v in 0..n as u32 {
+            b.set_vwgt(v, &[1, (v % 3) as i64]);
+        }
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1, 1 + (next() % 5) as i64);
+        }
+        for _ in 0..2 * n {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                b.add_edge(u, v, 1 + (next() % 7) as i64);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_are_bit_identical() {
+        // cnv = 157 stays below the minimum chunk size (one chunk); cnv = 601
+        // forces several chunks so segment splitting and per-chunk scratch
+        // resets are exercised too.
+        for (n, cnv) in [(997usize, 157usize), (2500, 601)] {
+            let g = chorded_path(n);
+            // A blocked map with uneven group sizes exercises slot reuse.
+            let map: Vec<u32> = (0..g.nv()).map(|v| (v % cnv) as u32).collect();
+            let mut ws = ContractWorkspace::new();
+            let seq = contract_with(&g, &map, cnv, false, &mut ws);
+            let par = contract_with(&g, &map, cnv, true, &mut ws);
+            assert_eq!(seq.xadj(), par.xadj());
+            assert_eq!(seq.adjncy(), par.adjncy());
+            assert_eq!(seq.adjwgt(), par.adjwgt());
+            assert_eq!(seq.vwgt_raw(), par.vwgt_raw());
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_shrinking_levels() {
+        // Reusing one workspace across successively smaller contractions
+        // must not leak state between calls (stamps, stale counts).
+        let g = chorded_path(400);
+        let mut ws = ContractWorkspace::new();
+        let map1: Vec<u32> = (0..g.nv()).map(|v| (v / 2) as u32).collect();
+        let c1 = contract_with(&g, &map1, g.nv().div_ceil(2), true, &mut ws);
+        let map2: Vec<u32> = (0..c1.nv()).map(|v| (v / 2) as u32).collect();
+        let c2 = contract_with(&c1, &map2, c1.nv().div_ceil(2), true, &mut ws);
+        let fresh = contract(&c1, &map2, c1.nv().div_ceil(2));
+        assert_eq!(c2.xadj(), fresh.xadj());
+        assert_eq!(c2.adjncy(), fresh.adjncy());
+        assert_eq!(c2.adjwgt(), fresh.adjwgt());
+        assert_eq!(c2.vwgt_raw(), fresh.vwgt_raw());
+        assert_eq!(c2.total_vwgt(), g.total_vwgt());
     }
 }

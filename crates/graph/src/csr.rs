@@ -39,6 +39,24 @@ impl Graph {
         g
     }
 
+    /// [`Graph::from_csr`] without the O(E·deg) validation pass — for hot
+    /// construction sites (contraction, subgraph extraction) whose outputs
+    /// are correct by construction. Invariants are still checked in debug
+    /// builds.
+    pub fn from_csr_unchecked(
+        ncon: usize,
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<i64>,
+        vwgt: Vec<i64>,
+    ) -> Self {
+        let g = Self { ncon, xadj, adjncy, adjwgt, vwgt };
+        if cfg!(debug_assertions) {
+            g.validate().expect("invalid CSR graph");
+        }
+        g
+    }
+
     /// A graph with `nv` vertices, no edges, and all weights set to one.
     pub fn edgeless(nv: usize, ncon: usize) -> Self {
         Self {

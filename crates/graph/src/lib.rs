@@ -27,7 +27,7 @@ pub mod subgraph;
 
 pub use builder::GraphBuilder;
 pub use components::{connected_components, part_fragments};
-pub use contract::contract;
+pub use contract::{contract, contract_with, ContractWorkspace};
 pub use csr::Graph;
 pub use metrics::{boundary_vertices, edge_cut, total_comm_volume};
 pub use partition::Partition;

@@ -107,10 +107,7 @@ impl Partition {
             return 1.0;
         }
         let avg = self.totals[j] as f64 / self.k as f64;
-        let max = (0..self.k)
-            .map(|p| self.part_weights[p * self.ncon + j])
-            .max()
-            .unwrap_or(0);
+        let max = (0..self.k).map(|p| self.part_weights[p * self.ncon + j]).max().unwrap_or(0);
         max as f64 / avg
     }
 

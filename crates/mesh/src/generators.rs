@@ -17,10 +17,8 @@ pub fn quad_grid(n: [usize; 2], origin: Point<2>, cell: [f64; 2], body: u16) -> 
     let mut points = Vec::with_capacity((nx + 1) * (ny + 1));
     for j in 0..=ny {
         for i in 0..=nx {
-            points.push(Point::new([
-                origin[0] + i as f64 * cell[0],
-                origin[1] + j as f64 * cell[1],
-            ]));
+            points
+                .push(Point::new([origin[0] + i as f64 * cell[0], origin[1] + j as f64 * cell[1]]));
         }
     }
     let node = |i: usize, j: usize| (j * (nx + 1) + i) as u32;
@@ -114,8 +112,7 @@ mod tests {
         let m = hex_box([1, 1, 1], Point::new([0.0, 0.0, 0.0]), [2.0, 2.0, 2.0], 0);
         let el = &m.elements[0];
         let nodes = el.nodes();
-        let bottom_z: f64 =
-            nodes[..4].iter().map(|&n| m.points[n as usize][2]).sum::<f64>() / 4.0;
+        let bottom_z: f64 = nodes[..4].iter().map(|&n| m.points[n as usize][2]).sum::<f64>() / 4.0;
         let top_z: f64 = nodes[4..].iter().map(|&n| m.points[n as usize][2]).sum::<f64>() / 4.0;
         assert!(top_z > bottom_z);
     }

@@ -187,8 +187,7 @@ mod tests {
         // The single interior node of a 3x3 quad grid is node (1+4*... ) —
         // find via mask: exactly 4 interior nodes? No: 4x4 nodes, boundary
         // ring has 12, interior 4.
-        let interior: Vec<u32> =
-            (0..m.num_nodes() as u32).filter(|&n| !mask[n as usize]).collect();
+        let interior: Vec<u32> = (0..m.num_nodes() as u32).filter(|&n| !mask[n as usize]).collect();
         assert_eq!(interior.len(), 4);
         for gv in 0..ng.graph.nv() as u32 {
             let n = ng.node_of_vertex[gv as usize];

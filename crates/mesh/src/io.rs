@@ -151,13 +151,10 @@ pub fn read_text<const D: usize>(input: &str) -> Result<Mesh<D>, MeshIoError> {
         let mut coords = [0.0f64; D];
         let mut it = line.split_whitespace();
         for c in coords.iter_mut() {
-            *c = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| MeshIoError::Parse {
-                    line: lineno,
-                    message: format!("expected {D} coordinates"),
-                })?;
+            *c = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| MeshIoError::Parse {
+                line: lineno,
+                message: format!("expected {D} coordinates"),
+            })?;
         }
         points.push(Point::new(coords));
     }
@@ -173,24 +170,21 @@ pub fn read_text<const D: usize>(input: &str) -> Result<Mesh<D>, MeshIoError> {
     for _ in 0..num_elements {
         let (lineno, line) = next()?;
         let mut it = line.split_whitespace();
-        let kind = it
-            .next()
-            .and_then(kind_from_name)
-            .ok_or_else(|| MeshIoError::Parse {
-                line: lineno,
-                message: "unknown element kind".into(),
-            })?;
-        let b: u16 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
-            MeshIoError::Parse { line: lineno, message: "expected body id".into() }
+        let kind = it.next().and_then(kind_from_name).ok_or_else(|| MeshIoError::Parse {
+            line: lineno,
+            message: "unknown element kind".into(),
+        })?;
+        let b: u16 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| MeshIoError::Parse {
+            line: lineno,
+            message: "expected body id".into(),
         })?;
         let mut nodes = Vec::with_capacity(kind.num_nodes());
         for _ in 0..kind.num_nodes() {
-            let n: u32 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
-                MeshIoError::Parse {
+            let n: u32 =
+                it.next().and_then(|t| t.parse().ok()).ok_or_else(|| MeshIoError::Parse {
                     line: lineno,
                     message: format!("expected {} node ids", kind.num_nodes()),
-                }
-            })?;
+                })?;
             if n as usize >= num_nodes {
                 return Err(MeshIoError::Parse {
                     line: lineno,

@@ -29,8 +29,8 @@ pub mod quality;
 pub mod surface;
 
 pub use element::{Element, ElementKind, Face};
-pub use io::{read_text, write_text, MeshIoError};
-pub use quality::{aspect_ratio, quality_report, QualityReport};
 pub use graphs::{dual_graph, nodal_graph, NodalGraph};
+pub use io::{read_text, write_text, MeshIoError};
 pub use mesh::Mesh;
+pub use quality::{aspect_ratio, quality_report, QualityReport};
 pub use surface::{extract_surface, Surface, SurfaceFace};

@@ -28,11 +28,7 @@ fn tet_volume(p: &[Point<3>; 4]) -> f64 {
     let a = p[1].sub(&p[0]);
     let b = p[2].sub(&p[0]);
     let c = p[3].sub(&p[0]);
-    let cross = [
-        a[1] * b[2] - a[2] * b[1],
-        a[2] * b[0] - a[0] * b[2],
-        a[0] * b[1] - a[1] * b[0],
-    ];
+    let cross = [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]];
     (cross[0] * c[0] + cross[1] * c[1] + cross[2] * c[2]) / 6.0
 }
 
@@ -46,16 +42,8 @@ pub fn element_measure_3d(mesh: &Mesh<3>, e: u32) -> f64 {
         ElementKind::Tet4 => tet_volume(&[p(0), p(1), p(2), p(3)]),
         ElementKind::Hex8 => {
             // Standard 5-tet decomposition of a hexahedron.
-            let tets = [
-                [0, 1, 3, 4],
-                [1, 2, 3, 6],
-                [1, 4, 5, 6],
-                [3, 4, 6, 7],
-                [1, 3, 4, 6],
-            ];
-            tets.iter()
-                .map(|&[a, b, c, d]| tet_volume(&[p(a), p(b), p(c), p(d)]))
-                .sum()
+            let tets = [[0, 1, 3, 4], [1, 2, 3, 6], [1, 4, 5, 6], [3, 4, 6, 7], [1, 3, 4, 6]];
+            tets.iter().map(|&[a, b, c, d]| tet_volume(&[p(a), p(b), p(c), p(d)])).sum()
         }
         other => panic!("element kind {other:?} is not a 3D volume element"),
     }

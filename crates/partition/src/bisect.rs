@@ -7,7 +7,7 @@
 //! FM run polishes the cut. Several seeded attempts are made and the best
 //! feasible result (lowest cut) is kept.
 
-use crate::config::PartitionerConfig;
+use crate::config::{child_seed, PartitionerConfig};
 use crate::fm::{fm_refine, rebalance_bisection, side_weights, BisectTargets};
 use cip_graph::Graph;
 use rand::rngs::SmallRng;
@@ -17,14 +17,20 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Computes an initial bisection of `g` with side-0 target fraction
-/// `targets.frac0`, trying `cfg.init_tries` seeded growings and returning
-/// the best assignment found.
-pub fn greedy_bisection(g: &Graph, targets: &BisectTargets, cfg: &PartitionerConfig) -> Vec<u32> {
+/// `targets.frac0`, trying `cfg.init_tries` seeded growings (with random
+/// streams rooted at `seed`, normally `cfg.seed` or a recursion-node
+/// override) and returning the best assignment found.
+pub fn greedy_bisection(
+    g: &Graph,
+    targets: &BisectTargets,
+    cfg: &PartitionerConfig,
+    seed: u64,
+) -> Vec<u32> {
     assert!(g.nv() >= 2, "bisection needs at least two vertices");
     let mut best: Option<(f64, i64, Vec<u32>)> = None;
     for t in 0..cfg.init_tries.max(1) {
-        let seed = cfg.child_seed(0xB15EC7 + t as u64);
-        let mut asg = grow_once(g, targets, seed);
+        let try_seed = child_seed(seed, 0xB15EC7 + t as u64);
+        let mut asg = grow_once(g, targets, try_seed);
         rebalance_bisection(g, &mut asg, targets);
         let cut = fm_refine(g, &mut asg, targets, cfg.fm_passes);
         let violation = targets.violation(&side_weights(g, &asg));
@@ -132,7 +138,7 @@ mod tests {
         let g = grid(12, 12, 1);
         let targets = BisectTargets::new(&g, 0.5, &[0.05]);
         let cfg = PartitionerConfig::with_seed(11);
-        let asg = greedy_bisection(&g, &targets, &cfg);
+        let asg = greedy_bisection(&g, &targets, &cfg, cfg.seed);
         let sw = side_weights(&g, &asg);
         assert!(targets.feasible(&sw), "side weights {sw:?}");
         let cut = bisection_cut(&g, &asg);
@@ -146,7 +152,7 @@ mod tests {
         let g = grid(12, 12, 2);
         let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.2]);
         let cfg = PartitionerConfig::with_seed(5);
-        let asg = greedy_bisection(&g, &targets, &cfg);
+        let asg = greedy_bisection(&g, &targets, &cfg, cfg.seed);
         let sw = side_weights(&g, &asg);
         assert!(targets.feasible(&sw), "side weights {sw:?}");
     }
@@ -157,7 +163,7 @@ mod tests {
         // One third / two thirds split (k1=1, k2=2 of a 3-way).
         let targets = BisectTargets::new(&g, 1.0 / 3.0, &[0.05]);
         let cfg = PartitionerConfig::with_seed(2);
-        let asg = greedy_bisection(&g, &targets, &cfg);
+        let asg = greedy_bisection(&g, &targets, &cfg, cfg.seed);
         let sw = side_weights(&g, &asg);
         assert!(targets.feasible(&sw), "side weights {sw:?}");
         assert!((sw[0] as f64 - 100.0 / 3.0).abs() <= 5.0, "side 0 weight {}", sw[0]);
@@ -177,7 +183,7 @@ mod tests {
         let g = b.build();
         let targets = BisectTargets::new(&g, 0.5, &[0.05]);
         let cfg = PartitionerConfig::with_seed(3);
-        let asg = greedy_bisection(&g, &targets, &cfg);
+        let asg = greedy_bisection(&g, &targets, &cfg, cfg.seed);
         let sw = side_weights(&g, &asg);
         assert!(targets.feasible(&sw));
     }

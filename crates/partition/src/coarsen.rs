@@ -7,11 +7,38 @@
 //! (Karypis–Kumar "balanced matching"), which keeps coarse vertex-weight
 //! vectors homogeneous and makes the coarsest-level balance problem
 //! tractable.
+//!
+//! Two matchers implement that policy:
+//!
+//! * [`heavy_edge_matching`] — the classic sequential sweep in seeded
+//!   random order; cheapest for small graphs and recursion sub-problems.
+//! * [`parallel_heavy_edge_matching`] — a propose-then-resolve scheme:
+//!   every unmatched vertex computes its best unmatched neighbor in
+//!   parallel (tiebroken by the seeded visit rank), mutual proposals are
+//!   accepted, and the loop repeats on the remainder until no new pairs
+//!   form. Every round is a pure function of the previous round's `mate`
+//!   snapshot and each vertex writes only its own slot, so the result is
+//!   **byte-identical for a fixed seed at any rayon thread count**.
+//!
+//! [`coarsen_with`] drives either matcher per level (chosen by the
+//! caller's `parallel_threshold`), contracts through
+//! [`cip_graph::contract_with`], moves each coarse graph into the
+//! [`Hierarchy`] exactly once (no per-level clones), and reuses a
+//! [`CoarsenWorkspace`] so the steady-state level loop performs no scratch
+//! allocation.
 
-use cip_graph::{contract, Graph};
+use cip_graph::{contract_with, ContractWorkspace, Graph};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Default for [`CoarsenParams::parallel_threshold`] (kept in sync with
+/// `PartitionerConfig::default`).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
+/// Default for [`CoarsenParams::matching_rounds`].
+pub const DEFAULT_MATCHING_ROUNDS: usize = 8;
 
 /// One coarsening level: the coarse graph plus the fine-to-coarse map.
 #[derive(Debug, Clone)]
@@ -23,7 +50,8 @@ pub struct Level {
 }
 
 /// A full coarsening hierarchy. `levels[0].graph` is one step coarser than
-/// the input; `levels.last()` is the coarsest graph.
+/// the input; `levels.last()` is the coarsest graph. Each level's graph is
+/// owned by the hierarchy alone — the construction never clones a graph.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     /// Successive coarsening levels (possibly empty if the input was
@@ -36,6 +64,86 @@ impl Hierarchy {
     pub fn coarsest(&self) -> Option<&Graph> {
         self.levels.last().map(|l| &l.graph)
     }
+
+    /// Number of coarsening levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if no coarsening step was taken.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The *fine* graph of level `lvl` — the graph `levels[lvl].map`
+    /// projects onto: `finest` for level 0, the previous level's coarse
+    /// graph otherwise. This is the uncoarsening-loop accessor.
+    pub fn fine_graph<'a>(&'a self, lvl: usize, finest: &'a Graph) -> &'a Graph {
+        if lvl == 0 {
+            finest
+        } else {
+            &self.levels[lvl - 1].graph
+        }
+    }
+
+    /// Projects a part assignment of level `lvl`'s coarse graph onto its
+    /// fine graph.
+    pub fn project(&self, lvl: usize, coarse_asg: &[u32]) -> Vec<u32> {
+        self.levels[lvl].map.iter().map(|&c| coarse_asg[c as usize]).collect()
+    }
+}
+
+/// Knobs for [`coarsen_with`], typically derived from a
+/// `PartitionerConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct CoarsenParams {
+    /// Stop once the graph has at most this many vertices.
+    pub coarsen_to: usize,
+    /// Seed for the per-level visit orders.
+    pub seed: u64,
+    /// Levels with at least this many vertices use the parallel matcher
+    /// and parallel contraction (`usize::MAX` forces sequential, `0`
+    /// forces parallel).
+    pub parallel_threshold: usize,
+    /// Rounds cap for the parallel matcher.
+    pub matching_rounds: usize,
+}
+
+impl CoarsenParams {
+    /// Params with the given target size and seed, defaults elsewhere.
+    pub fn new(coarsen_to: usize, seed: u64) -> Self {
+        Self {
+            coarsen_to,
+            seed,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            matching_rounds: DEFAULT_MATCHING_ROUNDS,
+        }
+    }
+}
+
+/// Reusable scratch for [`coarsen_with`]: matcher buffers plus the
+/// contraction workspace. Allocated lazily on first use and reused across
+/// levels (and across coarsening calls when the caller holds on to it).
+#[derive(Debug, Default)]
+pub struct CoarsenWorkspace {
+    /// Seeded visit order (sequential matcher) / its inverse rank
+    /// (parallel matcher priority).
+    order: Vec<u32>,
+    rank: Vec<u32>,
+    /// `mate[v]`: matched partner, `v` itself for singletons, `u32::MAX`
+    /// while unmatched.
+    mate: Vec<u32>,
+    /// Per-round proposals of the parallel matcher.
+    proposal: Vec<u32>,
+    /// Contraction scratch (group counts, members, per-worker slots).
+    contract: ContractWorkspace,
+}
+
+impl CoarsenWorkspace {
+    /// A workspace with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Computes a heavy-edge matching of `g` and returns the fine-to-coarse map
@@ -44,13 +152,20 @@ impl Hierarchy {
 /// Visit order is randomized (seeded) so repeated runs explore different
 /// matchings; unmatched vertices map to singleton coarse vertices.
 pub fn heavy_edge_matching(g: &Graph, seed: u64) -> (Vec<u32>, usize) {
-    let nv = g.nv();
-    let mut order: Vec<u32> = (0..nv as u32).collect();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    sequential_hem(g, seed, &mut CoarsenWorkspace::new())
+}
 
-    let mut mate = vec![u32::MAX; nv];
-    for &v in &order {
+fn sequential_hem(g: &Graph, seed: u64, ws: &mut CoarsenWorkspace) -> (Vec<u32>, usize) {
+    let nv = g.nv();
+    ws.order.clear();
+    ws.order.extend(0..nv as u32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ws.order.shuffle(&mut rng);
+
+    ws.mate.clear();
+    ws.mate.resize(nv, u32::MAX);
+    let mate = &mut ws.mate;
+    for &v in &ws.order {
         if mate[v as usize] != u32::MAX {
             continue;
         }
@@ -64,12 +179,7 @@ pub fn heavy_edge_matching(g: &Graph, seed: u64) -> (Vec<u32>, usize) {
             // contact-heavy vertex with a contact-light one so coarse
             // weight vectors stay homogeneous. We use the negative dot
             // product of the weight vectors as the score.
-            let dot: i64 = g
-                .vwgt(v)
-                .iter()
-                .zip(g.vwgt(u))
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: i64 = g.vwgt(v).iter().zip(g.vwgt(u)).map(|(a, b)| a * b).sum();
             let key = (w, -dot, u);
             match best {
                 Some((bw, bdot, _)) if (bw, bdot) >= (w, -dot) => {}
@@ -83,8 +193,115 @@ pub fn heavy_edge_matching(g: &Graph, seed: u64) -> (Vec<u32>, usize) {
             mate[v as usize] = v; // matched with itself
         }
     }
+    assign_coarse_ids(mate)
+}
 
-    // Assign coarse ids: each matched pair (or singleton) gets one id.
+/// Deterministic parallel heavy-edge matching (propose-then-resolve).
+///
+/// Same matching policy as [`heavy_edge_matching`] — heaviest edge first,
+/// then weight-vector complementarity — with conflicts resolved by the
+/// seeded visit rank instead of sequential visit order. Proposals are
+/// computed from an immutable `mate` snapshot and every vertex writes only
+/// its own `mate` slot, so the result is identical at any thread count.
+///
+/// Returns the fine-to-coarse map and the number of coarse vertices.
+pub fn parallel_heavy_edge_matching(g: &Graph, seed: u64, max_rounds: usize) -> (Vec<u32>, usize) {
+    parallel_hem(g, seed, max_rounds, &mut CoarsenWorkspace::new())
+}
+
+fn parallel_hem(
+    g: &Graph,
+    seed: u64,
+    max_rounds: usize,
+    ws: &mut CoarsenWorkspace,
+) -> (Vec<u32>, usize) {
+    let nv = g.nv();
+    ws.order.clear();
+    ws.order.extend(0..nv as u32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ws.order.shuffle(&mut rng);
+    ws.rank.clear();
+    ws.rank.resize(nv, 0);
+    for (i, &v) in ws.order.iter().enumerate() {
+        ws.rank[v as usize] = i as u32;
+    }
+
+    ws.mate.clear();
+    ws.mate.resize(nv, u32::MAX);
+    ws.proposal.clear();
+    ws.proposal.resize(nv, u32::MAX);
+
+    for _ in 0..max_rounds.max(1) {
+        // Propose: each unmatched vertex picks its best unmatched neighbor
+        // against the frozen `mate` snapshot. Ties on (weight,
+        // complementarity) go to the neighbor with the smallest seeded
+        // rank, which is also what makes the handshake likely to close.
+        let (mate, rank) = (&ws.mate, &ws.rank);
+        ws.proposal.par_iter_mut().enumerate().for_each(|(v, p)| {
+            let v = v as u32;
+            *p = if mate[v as usize] != u32::MAX {
+                u32::MAX
+            } else {
+                best_candidate(g, v, mate, rank)
+            };
+        });
+
+        // Resolve: accept exactly the mutual proposals. Each vertex
+        // inspects the shared proposal table but writes only mate[v].
+        let proposal = &ws.proposal;
+        let newly: usize = ws
+            .mate
+            .par_iter_mut()
+            .enumerate()
+            .map(|(v, m)| {
+                if *m == u32::MAX {
+                    let u = proposal[v];
+                    if u != u32::MAX && proposal[u as usize] == v as u32 {
+                        *m = u;
+                        return 1;
+                    }
+                }
+                0
+            })
+            .sum();
+        if newly == 0 {
+            break; // match rate stalled — the rest become singletons
+        }
+    }
+
+    // Unmatched remainder -> singletons.
+    ws.mate.par_iter_mut().enumerate().for_each(|(v, m)| {
+        if *m == u32::MAX {
+            *m = v as u32;
+        }
+    });
+    assign_coarse_ids(&ws.mate)
+}
+
+/// The best unmatched neighbor of `v` by (edge weight, complementarity,
+/// seeded rank), or `u32::MAX` if all neighbors are matched.
+#[inline]
+fn best_candidate(g: &Graph, v: u32, mate: &[u32], rank: &[u32]) -> u32 {
+    let mut best: Option<(i64, i64, u32, u32)> = None;
+    for (u, w) in g.neighbors(v) {
+        if mate[u as usize] != u32::MAX {
+            continue;
+        }
+        let dot: i64 = g.vwgt(v).iter().zip(g.vwgt(u)).map(|(a, b)| a * b).sum();
+        // Maximize (w, -dot), then minimize rank — u32::MAX - rank turns
+        // that into a single maximized key.
+        let key = (w, -dot, u32::MAX - rank[u as usize], u);
+        if best.is_none_or(|b| key > b) {
+            best = Some(key);
+        }
+    }
+    best.map_or(u32::MAX, |(_, _, _, u)| u)
+}
+
+/// Assigns dense coarse ids to a complete `mate` array (every entry
+/// resolved), pairing each matched couple under one id.
+fn assign_coarse_ids(mate: &[u32]) -> (Vec<u32>, usize) {
+    let nv = mate.len();
     let mut map = vec![u32::MAX; nv];
     let mut cnv = 0usize;
     for v in 0..nv {
@@ -102,19 +319,41 @@ pub fn heavy_edge_matching(g: &Graph, seed: u64) -> (Vec<u32>, usize) {
 }
 
 /// Coarsens `g` until it has at most `coarsen_to` vertices or shrinkage
-/// stalls (a level removing < 10% of vertices stops the process).
+/// stalls (a level removing < 5% of vertices stops the process).
+///
+/// Convenience wrapper over [`coarsen_with`] with default parallelism
+/// knobs and a throwaway workspace.
 pub fn coarsen(g: &Graph, coarsen_to: usize, seed: u64) -> Hierarchy {
-    let mut levels = Vec::new();
-    let mut current = g.clone();
-    let mut level_seed = seed;
-    while current.nv() > coarsen_to {
-        let (map, cnv) = heavy_edge_matching(&current, level_seed);
+    coarsen_with(g, &CoarsenParams::new(coarsen_to, seed), &mut CoarsenWorkspace::new())
+}
+
+/// [`coarsen`] with explicit parallelism knobs and workspace reuse.
+///
+/// Levels at or above `params.parallel_threshold` vertices run the
+/// parallel matcher and parallel contraction; the rest run sequentially.
+/// Both paths are deterministic per seed, so the hierarchy is a pure
+/// function of `(g, params)` regardless of the rayon pool size. Each coarse
+/// graph is moved into the hierarchy exactly once and all scratch lives in
+/// `ws`, so the steady-state level loop allocates only its outputs.
+pub fn coarsen_with(g: &Graph, params: &CoarsenParams, ws: &mut CoarsenWorkspace) -> Hierarchy {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut level_seed = params.seed;
+    loop {
+        let current = levels.last().map_or(g, |l| &l.graph);
+        if current.nv() <= params.coarsen_to {
+            break;
+        }
+        let parallel = current.nv() >= params.parallel_threshold;
+        let (map, cnv) = if parallel {
+            parallel_hem(current, level_seed, params.matching_rounds, ws)
+        } else {
+            sequential_hem(current, level_seed, ws)
+        };
         if cnv as f64 > current.nv() as f64 * 0.95 {
             break; // matching stalled (e.g. star graphs)
         }
-        let coarse = contract(&current, &map, cnv);
-        levels.push(Level { graph: coarse.clone(), map });
-        current = coarse;
+        let coarse = contract_with(current, &map, cnv, parallel, &mut ws.contract);
+        levels.push(Level { graph: coarse, map });
         level_seed = level_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     }
     Hierarchy { levels }
@@ -144,15 +383,10 @@ mod tests {
         b.build()
     }
 
-    #[test]
-    fn matching_is_a_valid_pairing() {
-        let g = grid(10, 10);
-        let (map, cnv) = heavy_edge_matching(&g, 7);
-        assert!(cnv >= g.nv() / 2);
-        assert!(cnv < g.nv());
+    fn check_valid_matching(g: &Graph, map: &[u32], cnv: usize) {
         // Each coarse id has 1 or 2 members.
         let mut counts = vec![0; cnv];
-        for &c in &map {
+        for &c in map {
             counts[c as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c == 1 || c == 2));
@@ -162,11 +396,37 @@ mod tests {
             members[c as usize].push(v as u32);
         }
         for m in members.iter().filter(|m| m.len() == 2) {
-            assert!(
-                g.adj(m[0]).contains(&m[1]),
-                "matched vertices {m:?} are not adjacent"
-            );
+            assert!(g.adj(m[0]).contains(&m[1]), "matched vertices {m:?} are not adjacent");
         }
+    }
+
+    #[test]
+    fn matching_is_a_valid_pairing() {
+        let g = grid(10, 10);
+        let (map, cnv) = heavy_edge_matching(&g, 7);
+        assert!(cnv >= g.nv() / 2);
+        assert!(cnv < g.nv());
+        check_valid_matching(&g, &map, cnv);
+    }
+
+    #[test]
+    fn parallel_matching_is_a_valid_pairing() {
+        let g = grid(10, 10);
+        let (map, cnv) = parallel_heavy_edge_matching(&g, 7, DEFAULT_MATCHING_ROUNDS);
+        assert!(cnv >= g.nv() / 2);
+        assert!(cnv < g.nv(), "parallel matcher matched nothing");
+        check_valid_matching(&g, &map, cnv);
+    }
+
+    #[test]
+    fn parallel_matching_is_deterministic_and_effective() {
+        let g = grid(24, 24);
+        let (m1, c1) = parallel_heavy_edge_matching(&g, 3, DEFAULT_MATCHING_ROUNDS);
+        let (m2, c2) = parallel_heavy_edge_matching(&g, 3, DEFAULT_MATCHING_ROUNDS);
+        assert_eq!(m1, m2);
+        assert_eq!(c1, c2);
+        // The handshake loop should pair the vast majority of a grid.
+        assert!((c1 as f64) < 0.62 * g.nv() as f64, "only {} coarse vertices from {}", c1, g.nv());
     }
 
     #[test]
@@ -199,10 +459,55 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_params_both_terminate_and_preserve_weight() {
+        let g = grid(20, 20);
+        let mut ws = CoarsenWorkspace::new();
+        for threshold in [0usize, usize::MAX] {
+            let params =
+                CoarsenParams { parallel_threshold: threshold, ..CoarsenParams::new(25, 11) };
+            let h = coarsen_with(&g, &params, &mut ws);
+            assert!(!h.is_empty());
+            assert_eq!(h.coarsest().unwrap().total_vwgt(), g.total_vwgt());
+            // Projection chain must stay consistent level to level.
+            for lvl in 0..h.len() {
+                let fine = h.fine_graph(lvl, &g);
+                assert_eq!(h.levels[lvl].map.len(), fine.nv());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspace() {
+        let g = grid(18, 18);
+        let params = CoarsenParams { parallel_threshold: 0, ..CoarsenParams::new(30, 5) };
+        let mut ws = CoarsenWorkspace::new();
+        // Dirty the workspace with a different run first.
+        let _ = coarsen_with(&g, &CoarsenParams::new(40, 77), &mut ws);
+        let reused = coarsen_with(&g, &params, &mut ws);
+        let fresh = coarsen_with(&g, &params, &mut CoarsenWorkspace::new());
+        assert_eq!(reused.len(), fresh.len());
+        for (a, b) in reused.levels.iter().zip(fresh.levels.iter()) {
+            assert_eq!(a.map, b.map);
+            assert_eq!(a.graph.xadj(), b.graph.xadj());
+            assert_eq!(a.graph.adjncy(), b.graph.adjncy());
+            assert_eq!(a.graph.adjwgt(), b.graph.adjwgt());
+            assert_eq!(a.graph.vwgt_raw(), b.graph.vwgt_raw());
+        }
+    }
+
+    #[test]
     fn edgeless_graph_stalls_gracefully() {
         let g = Graph::edgeless(50, 1);
         let h = coarsen(&g, 10, 5);
         // No edges -> no matches -> stall detection stops immediately.
+        assert!(h.levels.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully_in_parallel() {
+        let g = Graph::edgeless(50, 1);
+        let params = CoarsenParams { parallel_threshold: 0, ..CoarsenParams::new(10, 5) };
+        let h = coarsen_with(&g, &params, &mut CoarsenWorkspace::new());
         assert!(h.levels.is_empty());
     }
 }

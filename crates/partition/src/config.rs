@@ -24,6 +24,14 @@ pub struct PartitionerConfig {
     pub fm_passes: usize,
     /// Maximum greedy k-way refinement passes on the full graph.
     pub kway_passes: usize,
+    /// Graphs with at least this many vertices coarsen with the parallel
+    /// (propose-then-resolve) matcher and parallel contraction; smaller
+    /// graphs and recursion sub-problems stay on the cheaper sequential
+    /// path. Both paths are deterministic per seed at any thread count.
+    pub parallel_threshold: usize,
+    /// Rounds cap for the parallel matcher's propose-then-resolve loop
+    /// (it also stops as soon as a round stops matching new vertices).
+    pub matching_rounds: usize,
 }
 
 impl Default for PartitionerConfig {
@@ -35,6 +43,8 @@ impl Default for PartitionerConfig {
             init_tries: 6,
             fm_passes: 4,
             kway_passes: 6,
+            parallel_threshold: 4096,
+            matching_rounds: 8,
         }
     }
 }
@@ -55,12 +65,19 @@ impl PartitionerConfig {
     /// bisection sides, initial-partition retries) without correlating
     /// their random streams.
     pub fn child_seed(&self, salt: u64) -> u64 {
-        // SplitMix64 step: well-distributed and cheap.
-        let mut z = self.seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        child_seed(self.seed, salt)
     }
+}
+
+/// [`PartitionerConfig::child_seed`] as a free function, for call sites
+/// that carry a per-recursion seed override instead of cloning the whole
+/// config (see `rb_recurse`).
+pub fn child_seed(seed: u64, salt: u64) -> u64 {
+    // SplitMix64 step: well-distributed and cheap.
+    let mut z = seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

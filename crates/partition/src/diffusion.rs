@@ -126,10 +126,7 @@ mod tests {
         let scratch = repartition(&g, k, &old, &PartitionerConfig::with_seed(8));
         let dm = migration_count(&old, &diff);
         let sm = migration_count(&old, &scratch);
-        assert!(
-            dm <= sm,
-            "diffusion ({dm}) should not migrate more than scratch-remap ({sm})"
-        );
+        assert!(dm <= sm, "diffusion ({dm}) should not migrate more than scratch-remap ({sm})");
         let p = Partition::from_assignment(&g, k, diff);
         assert!(p.imbalance(0) <= 1.08, "imbalance {}", p.imbalance(0));
     }

@@ -107,12 +107,7 @@ fn gain_of(g: &Graph, asg: &[u32], v: u32) -> i64 {
 
 /// Runs up to `passes` FM passes on the bisection `asg`, returning the
 /// final cut. `asg` must contain only sides 0 and 1.
-pub fn fm_refine(
-    g: &Graph,
-    asg: &mut [u32],
-    targets: &BisectTargets,
-    passes: usize,
-) -> i64 {
+pub fn fm_refine(g: &Graph, asg: &mut [u32], targets: &BisectTargets, passes: usize) -> i64 {
     let mut cut = bisection_cut(g, asg);
     let mut sw = side_weights(g, asg);
     for _ in 0..passes {

@@ -78,9 +78,8 @@ pub fn refine_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig
                 if gain <= 0 {
                     continue;
                 }
-                let fits = (0..ncon).all(|j| {
-                    part.part_weight(p, j) + g.vwgt(v)[j] <= caps[p as usize * ncon + j]
-                });
+                let fits = (0..ncon)
+                    .all(|j| part.part_weight(p, j) + g.vwgt(v)[j] <= caps[p as usize * ncon + j]);
                 if fits && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, p));
                 }
@@ -138,8 +137,7 @@ pub fn balance_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfi
                         return;
                     }
                     let fits = (0..ncon).all(|jj| {
-                        part.part_weight(p, jj) + g.vwgt(v)[jj]
-                            <= caps[p as usize * ncon + jj]
+                        part.part_weight(p, jj) + g.vwgt(v)[jj] <= caps[p as usize * ncon + jj]
                     });
                     if !fits {
                         return;
@@ -153,9 +151,7 @@ pub fn balance_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfi
                 for &(p, _) in conn.iter() {
                     try_part(p, &mut best);
                 }
-                let least: u32 = (0..k as u32)
-                    .min_by_key(|&p| part.part_weight(p, j))
-                    .unwrap();
+                let least: u32 = (0..k as u32).min_by_key(|&p| part.part_weight(p, j)).unwrap();
                 try_part(least, &mut best);
             }
             let Some((_, v, to)) = best else { break };

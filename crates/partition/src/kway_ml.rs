@@ -11,7 +11,7 @@
 //! `k` parts at once instead of being confined inside bisection
 //! boundaries.
 
-use crate::coarsen::coarsen;
+use crate::coarsen::{coarsen_with, CoarsenParams, CoarsenWorkspace};
 use crate::config::PartitionerConfig;
 use crate::kway::{balance_kway, refine_kway};
 use crate::rb;
@@ -32,8 +32,13 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
         return crate::bisect::assign_distinct_parts(g.nv(), k);
     }
 
-    let coarsen_to = cfg.coarsen_to.max(8 * k);
-    let hierarchy = coarsen(g, coarsen_to, cfg.child_seed(0x57A9E));
+    let params = CoarsenParams {
+        coarsen_to: cfg.coarsen_to.max(8 * k),
+        seed: cfg.child_seed(0x57A9E),
+        parallel_threshold: cfg.parallel_threshold,
+        matching_rounds: cfg.matching_rounds,
+    };
+    let hierarchy = coarsen_with(g, &params, &mut CoarsenWorkspace::new());
 
     // Initial k-way partition of the coarsest graph via recursive
     // bisection (the coarsest graph is small, so this is cheap).
@@ -41,13 +46,9 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
     let mut asg = rb::partition_kway(coarsest, k, cfg);
 
     // Uncoarsen with direct k-way refinement at every level.
-    for lvl in (0..hierarchy.levels.len()).rev() {
-        let fine_graph = if lvl == 0 { g } else { &hierarchy.levels[lvl - 1].graph };
-        let map = &hierarchy.levels[lvl].map;
-        let mut fine_asg = vec![0u32; fine_graph.nv()];
-        for (v, &c) in map.iter().enumerate() {
-            fine_asg[v] = asg[c as usize];
-        }
+    for lvl in (0..hierarchy.len()).rev() {
+        let fine_graph = hierarchy.fine_graph(lvl, g);
+        let mut fine_asg = hierarchy.project(lvl, &asg);
         refine_kway(fine_graph, k, &mut fine_asg, cfg);
         balance_kway(fine_graph, k, &mut fine_asg, cfg);
         asg = fine_asg;
@@ -106,10 +107,7 @@ mod tests {
         let cut_rb = edge_cut(&g, &rb);
         // Not strictly better on every instance, but never catastrophically
         // worse.
-        assert!(
-            (cut_ml as f64) <= 1.5 * cut_rb as f64,
-            "ml cut {cut_ml} vs rb cut {cut_rb}"
-        );
+        assert!((cut_ml as f64) <= 1.5 * cut_rb as f64, "ml cut {cut_ml} vs rb cut {cut_rb}");
     }
 
     #[test]
@@ -139,9 +137,6 @@ mod tests {
     fn deterministic_per_seed() {
         let g = grid(16, 16, 1);
         let cfg = PartitionerConfig::with_seed(31);
-        assert_eq!(
-            partition_kway_multilevel(&g, 6, &cfg),
-            partition_kway_multilevel(&g, 6, &cfg)
-        );
+        assert_eq!(partition_kway_multilevel(&g, 6, &cfg), partition_kway_multilevel(&g, 6, &cfg));
     }
 }

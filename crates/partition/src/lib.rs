@@ -42,6 +42,10 @@ mod proptests;
 pub mod rb;
 pub mod repart;
 
+pub use coarsen::{
+    coarsen, coarsen_with, heavy_edge_matching, parallel_heavy_edge_matching, CoarsenParams,
+    CoarsenWorkspace, Hierarchy,
+};
 pub use config::PartitionerConfig;
 pub use diffusion::diffusion_repartition;
 pub use hungarian::max_weight_assignment;

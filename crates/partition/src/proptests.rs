@@ -3,7 +3,7 @@
 
 #![cfg(test)]
 
-use crate::coarsen::{coarsen, heavy_edge_matching};
+use crate::coarsen::{coarsen, heavy_edge_matching, parallel_heavy_edge_matching};
 use crate::config::PartitionerConfig;
 use crate::fm::{bisection_cut, fm_refine, side_weights, BisectTargets};
 use crate::hungarian::max_weight_assignment;
@@ -62,23 +62,40 @@ proptest! {
     }
 
     /// Heavy-edge matching yields a valid pairing of adjacent vertices and
-    /// contraction preserves the total weight.
+    /// contraction preserves the total weight — for both the sequential
+    /// matcher and the deterministic parallel (propose-then-resolve)
+    /// matcher used above `parallel_threshold`.
     #[test]
     fn matching_and_contraction_invariants(g in arb_graph(50), seed in 0u64..100) {
-        let (map, cnv) = heavy_edge_matching(&g, seed);
-        prop_assert!(cnv <= g.nv());
-        prop_assert!(map.iter().all(|&c| (c as usize) < cnv));
-        let cg = contract(&g, &map, cnv);
-        prop_assert_eq!(cg.total_vwgt(), g.total_vwgt());
-        // Matched pairs must be adjacent in g.
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cnv];
-        for (v, &c) in map.iter().enumerate() {
-            members[c as usize].push(v as u32);
+        let seq = heavy_edge_matching(&g, seed);
+        let par = parallel_heavy_edge_matching(&g, seed, 8);
+        for (map, cnv) in [&seq, &par] {
+            let (map, cnv) = (map, *cnv);
+            prop_assert!(cnv <= g.nv());
+            // Coarse ids are dense: every id in 0..cnv is used.
+            prop_assert!(map.iter().all(|&c| (c as usize) < cnv));
+            let mut used = vec![false; cnv];
+            for &c in map {
+                used[c as usize] = true;
+            }
+            prop_assert!(used.iter().all(|&u| u), "coarse ids not dense");
+            // Total vertex weight is preserved per constraint.
+            let cg = contract(&g, map, cnv);
+            prop_assert_eq!(cg.total_vwgt(), g.total_vwgt());
+            // No vertex matched twice (groups of 1 or 2) and matched
+            // pairs must be adjacent in g (mate symmetry at map level).
+            let mut members: Vec<Vec<u32>> = vec![Vec::new(); cnv];
+            for (v, &c) in map.iter().enumerate() {
+                members[c as usize].push(v as u32);
+            }
+            prop_assert!(members.iter().all(|m| !m.is_empty() && m.len() <= 2));
+            for m in members.iter().filter(|m| m.len() == 2) {
+                prop_assert!(g.adj(m[0]).contains(&m[1]));
+            }
         }
-        for m in members.iter().filter(|m| m.len() == 2) {
-            prop_assert!(g.adj(m[0]).contains(&m[1]));
-        }
-        prop_assert!(members.iter().all(|m| m.len() <= 2));
+        // The parallel matcher is a pure function of (graph, seed).
+        let par2 = parallel_heavy_edge_matching(&g, seed, 8);
+        prop_assert_eq!(par, par2);
     }
 
     /// Coarsening hierarchies project any coarsest-level cut faithfully:

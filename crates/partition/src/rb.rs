@@ -12,8 +12,8 @@
 //! real bound and recovers cut quality across bisector boundaries.
 
 use crate::bisect::{assign_distinct_parts, greedy_bisection};
-use crate::coarsen::coarsen;
-use crate::config::PartitionerConfig;
+use crate::coarsen::{coarsen_with, CoarsenParams, CoarsenWorkspace};
+use crate::config::{child_seed, PartitionerConfig};
 use crate::fm::{fm_refine, rebalance_bisection, BisectTargets};
 use crate::kway::{balance_kway, refine_kway};
 use cip_graph::subgraph::induced_subgraph;
@@ -104,8 +104,9 @@ fn rb_recurse(
 
     let k1 = k / 2;
     let frac0 = k1 as f64 / k as f64;
-    let local_cfg = PartitionerConfig { seed: cfg.child_seed(salt), ..cfg.clone() };
-    let asg2 = multilevel_bisect(g, frac0, &local_cfg, bis_eps);
+    // Per-recursion seed override — cheaper than cloning the whole config
+    // (the `eps` Vec) at every node of the recursion tree.
+    let asg2 = multilevel_bisect_seeded(g, frac0, cfg, bis_eps, cfg.child_seed(salt));
 
     // Split and recurse.
     let select0: Vec<bool> = asg2.iter().map(|&s| s == 0).collect();
@@ -133,50 +134,53 @@ fn rb_recurse(
     } else {
         (
             rb_recurse(&sub0.graph, k1, part_lo, cfg, bis_eps, salt * 2, &ids0),
-            rb_recurse(
-                &sub1.graph,
-                k - k1,
-                part_lo + k1 as u32,
-                cfg,
-                bis_eps,
-                salt * 2 + 1,
-                &ids1,
-            ),
+            rb_recurse(&sub1.graph, k - k1, part_lo + k1 as u32, cfg, bis_eps, salt * 2 + 1, &ids1),
         )
     };
     left.extend(right);
     left
 }
 
-/// One multilevel bisection of `g` with side-0 fraction `frac0`.
-pub fn multilevel_bisect(
+/// One multilevel bisection of `g` with side-0 fraction `frac0`, seeded
+/// from `cfg.seed`.
+pub fn multilevel_bisect(g: &Graph, frac0: f64, cfg: &PartitionerConfig, eps: &[f64]) -> Vec<u32> {
+    multilevel_bisect_seeded(g, frac0, cfg, eps, cfg.seed)
+}
+
+/// [`multilevel_bisect`] with the random stream rooted at `seed` instead
+/// of `cfg.seed`, so recursive callers can derive independent per-node
+/// streams without cloning the config.
+pub fn multilevel_bisect_seeded(
     g: &Graph,
     frac0: f64,
     cfg: &PartitionerConfig,
     eps: &[f64],
+    seed: u64,
 ) -> Vec<u32> {
-    let hierarchy = coarsen(g, cfg.coarsen_to.max(40), cfg.child_seed(0xC0A25E));
+    let params = CoarsenParams {
+        coarsen_to: cfg.coarsen_to.max(40),
+        seed: child_seed(seed, 0xC0A25E),
+        parallel_threshold: cfg.parallel_threshold,
+        matching_rounds: cfg.matching_rounds,
+    };
+    let mut ws = CoarsenWorkspace::new();
+    let hierarchy = coarsen_with(g, &params, &mut ws);
 
     // Bisect the coarsest graph.
     let coarsest = hierarchy.coarsest().unwrap_or(g);
     let targets_coarse = BisectTargets::new(coarsest, frac0, eps);
-    let mut asg = greedy_bisection(coarsest, &targets_coarse, cfg);
+    let mut asg = greedy_bisection(coarsest, &targets_coarse, cfg, seed);
 
     // Uncoarsen: project through each level and refine.
-    for lvl in (0..hierarchy.levels.len()).rev() {
-        let fine_graph =
-            if lvl == 0 { g } else { &hierarchy.levels[lvl - 1].graph };
-        let map = &hierarchy.levels[lvl].map;
-        let mut fine_asg = vec![0u32; fine_graph.nv()];
-        for (v, &c) in map.iter().enumerate() {
-            fine_asg[v] = asg[c as usize];
-        }
+    for lvl in (0..hierarchy.len()).rev() {
+        let fine_graph = hierarchy.fine_graph(lvl, g);
+        let mut fine_asg = hierarchy.project(lvl, &asg);
         let targets = BisectTargets::new(fine_graph, frac0, eps);
         rebalance_bisection(fine_graph, &mut fine_asg, &targets);
         fm_refine(fine_graph, &mut fine_asg, &targets, cfg.fm_passes);
         asg = fine_asg;
     }
-    if hierarchy.levels.is_empty() {
+    if hierarchy.is_empty() {
         // No coarsening happened; `asg` is already on `g` but unrefined.
         let targets = BisectTargets::new(g, frac0, eps);
         rebalance_bisection(g, &mut asg, &targets);
@@ -233,11 +237,7 @@ mod tests {
         for k in [3usize, 5, 6, 7] {
             let asg = partition_kway(&g, k, &cfg);
             let p = Partition::from_assignment(&g, k, asg);
-            assert!(
-                p.max_imbalance() <= 1.10,
-                "k={k} imbalance {}",
-                p.max_imbalance()
-            );
+            assert!(p.max_imbalance() <= 1.10, "k={k} imbalance {}", p.max_imbalance());
             for part in 0..k as u32 {
                 assert!(p.part_size(part) > 0, "k={k} part {part} empty");
             }

@@ -43,10 +43,7 @@ pub fn repartition(g: &Graph, k: usize, old: &[u32], cfg: &PartitionerConfig) ->
 /// The number of vertices whose part changed between two assignments
 /// (ignoring `u32::MAX` entries in either) — the migration count.
 pub fn migration_count(old: &[u32], new: &[u32]) -> usize {
-    old.iter()
-        .zip(new.iter())
-        .filter(|(&o, &n)| o != u32::MAX && n != u32::MAX && o != n)
-        .count()
+    old.iter().zip(new.iter()).filter(|(&o, &n)| o != u32::MAX && n != u32::MAX && o != n).count()
 }
 
 #[cfg(test)]
@@ -104,11 +101,7 @@ mod tests {
         let cfg2 = PartitionerConfig::with_seed(18);
         let new = repartition(&g, 4, &old, &cfg2);
         let moved = migration_count(&old, &new);
-        assert!(
-            moved < g.nv() / 2,
-            "scratch-remap moved {moved}/{} vertices",
-            g.nv()
-        );
+        assert!(moved < g.nv() / 2, "scratch-remap moved {moved}/{} vertices", g.nv());
     }
 
     #[test]

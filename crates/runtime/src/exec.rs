@@ -95,8 +95,7 @@ pub struct StepOutput {
 /// Executes one contact/impact step across `k` rank threads.
 pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> StepOutput {
     let k = input.decomposition.k;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..k).map(|_| unbounded()).unzip();
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
 
     struct RankResult {
         pairs: Vec<ContactPair>,
@@ -120,10 +119,8 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
 
                 // ---- Send halo values. --------------------------------
                 for (dest, nodes) in &plan.send_halo {
-                    let values: Vec<(u32, Point<3>)> = nodes
-                        .iter()
-                        .map(|&n| (n, input.positions[n as usize]))
-                        .collect();
+                    let values: Vec<(u32, Point<3>)> =
+                        nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
                     halo_sent[*dest as usize] += values.len() as u64;
                     txs[*dest as usize]
                         .send(Msg::Halo { from: me, values })
@@ -190,11 +187,8 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
 
                 // ---- Local contact search over owned + received. ------
                 let mut local_ids: Vec<u32> = plan.owned_surface.clone();
-                let mut boxes: Vec<Aabb<3>> = plan
-                    .owned_surface
-                    .iter()
-                    .map(|&e| input.elements[e as usize].bbox)
-                    .collect();
+                let mut boxes: Vec<Aabb<3>> =
+                    plan.owned_surface.iter().map(|&e| input.elements[e as usize].bbox).collect();
                 let mut bodies: Vec<u16> =
                     plan.owned_surface.iter().map(|&e| input.bodies[e as usize]).collect();
                 for (id, bbox, body) in received {
@@ -206,8 +200,7 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
                     find_contact_pairs(&boxes, &bodies, input.tolerance)
                         .into_iter()
                         .map(|p| {
-                            let (a, b) =
-                                (local_ids[p.a as usize], local_ids[p.b as usize]);
+                            let (a, b) = (local_ids[p.a as usize], local_ids[p.b as usize]);
                             if a < b {
                                 ContactPair { a, b }
                             } else {
@@ -225,8 +218,7 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
     });
 
     // Aggregate.
-    let mut traffic =
-        TrafficLog { k, halo: vec![0; k * k], shipments: vec![0; k * k] };
+    let mut traffic = TrafficLog { k, halo: vec![0; k * k], shipments: vec![0; k * k] };
     let mut contact_pairs = Vec::new();
     let mut ghost_mismatches = 0;
     for (r, res) in results.into_iter().enumerate() {
@@ -251,12 +243,7 @@ mod tests {
 
     /// A 1D chain of nodes split between two ranks, with two rows of
     /// surface boxes facing each other.
-    fn two_rank_setup() -> (
-        Decomposition,
-        Vec<Point<3>>,
-        Vec<SurfaceElementInfo<3>>,
-        Vec<u16>,
-    ) {
+    fn two_rank_setup() -> (Decomposition, Vec<Point<3>>, Vec<SurfaceElementInfo<3>>, Vec<u16>) {
         let n = 8;
         let mut b = GraphBuilder::new(n, 1);
         for v in 0..n as u32 {
@@ -267,8 +254,7 @@ mod tests {
         }
         let g = b.build();
         let asg: Vec<u32> = (0..n as u32).map(|v| u32::from(v >= 4)).collect();
-        let positions: Vec<Point<3>> =
-            (0..n).map(|i| Point::new([i as f64, 0.0, 0.0])).collect();
+        let positions: Vec<Point<3>> = (0..n).map(|i| Point::new([i as f64, 0.0, 0.0])).collect();
 
         // Surface elements: one per node, two bodies stacked in z.
         let mut elements = Vec::new();
@@ -290,8 +276,7 @@ mod tests {
     #[test]
     fn executed_step_matches_serial_search() {
         let (d, positions, elements, bodies) = two_rank_setup();
-        let boxes: Vec<(u32, Aabb<3>)> =
-            elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
         let filter = BboxFilter::from_boxes(&boxes, 2);
         let out = execute_step(&StepInput {
             decomposition: &d,
@@ -310,8 +295,7 @@ mod tests {
     #[test]
     fn measured_halo_matches_plan() {
         let (d, positions, elements, bodies) = two_rank_setup();
-        let boxes: Vec<(u32, Aabb<3>)> =
-            elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
         let filter = BboxFilter::from_boxes(&boxes, 2);
         let out = execute_step(&StepInput {
             decomposition: &d,
@@ -340,14 +324,11 @@ mod tests {
         }
         let g = b.build();
         let nov: Vec<u32> = (0..n as u32).collect();
-        let elements1: Vec<SurfaceElementInfo<3>> = elements
-            .iter()
-            .map(|e| SurfaceElementInfo { bbox: e.bbox, owner: 0 })
-            .collect();
+        let elements1: Vec<SurfaceElementInfo<3>> =
+            elements.iter().map(|e| SurfaceElementInfo { bbox: e.bbox, owner: 0 }).collect();
         let owners = vec![0u32; elements1.len()];
         let d = build_decomposition(&g, &nov, &vec![0; n], &owners, 1);
-        let boxes: Vec<(u32, Aabb<3>)> =
-            elements1.iter().map(|e| (e.owner, e.bbox)).collect();
+        let boxes: Vec<(u32, Aabb<3>)> = elements1.iter().map(|e| (e.owner, e.bbox)).collect();
         let filter = BboxFilter::from_boxes(&boxes, 1);
         let out = execute_step(&StepInput {
             decomposition: &d,

@@ -83,10 +83,7 @@ mod tests {
         let old: Vec<u32> = (0..100).map(|v| v % 4).collect();
         let new: Vec<u32> = (0..100).map(|v| (v + 1) % 4).collect();
         let plan = build_migration(&old, &new, 4);
-        assert_eq!(
-            plan.total_moved(),
-            cip_partition::repart::migration_count(&old, &new) as u64
-        );
+        assert_eq!(plan.total_moved(), cip_partition::repart::migration_count(&old, &new) as u64);
     }
 
     #[test]

@@ -163,10 +163,7 @@ mod tests {
                 // Ghost is remote...
                 assert_ne!(asg[ghost as usize] as usize, r);
                 // ...and adjacent to an owned node.
-                let adjacent = g
-                    .adj(ghost)
-                    .iter()
-                    .any(|&u| asg[u as usize] as usize == r);
+                let adjacent = g.adj(ghost).iter().any(|&u| asg[u as usize] as usize == r);
                 assert!(adjacent, "rank {r} ghost {ghost} has no owned neighbor");
             }
         }

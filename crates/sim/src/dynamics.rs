@@ -48,9 +48,8 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     let erosion_hw = hw + 0.25 * cfg.cell; // slight over-bore, as in erosion codes
     let mut alive = base.alive.clone();
 
-    let snapshot_steps: Vec<usize> = (0..cfg.snapshots)
-        .map(|s| ((s + 1) * cfg.steps) / cfg.snapshots)
-        .collect();
+    let snapshot_steps: Vec<usize> =
+        (0..cfg.snapshots).map(|s| ((s + 1) * cfg.steps) / cfg.snapshots).collect();
 
     let mut snapshots = Vec::with_capacity(cfg.snapshots);
     let mut next_snap = 0usize;
@@ -74,8 +73,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         }
 
         while next_snap < snapshot_steps.len() && snapshot_steps[next_snap] == step {
-            let points =
-                deformed_points(cfg, &rest_points, &is_proj_node, drop, tip_z, hw);
+            let points = deformed_points(cfg, &rest_points, &is_proj_node, drop, tip_z, hw);
             let mesh = Mesh {
                 points: points.clone(),
                 elements: base.elements.clone(),
@@ -112,9 +110,7 @@ fn deformed_points(
                 return q;
             }
             // Chebyshev distance from the channel wall in the xy plane.
-            let r = (p[0] - cfg.impact_offset[0])
-                .abs()
-                .max((p[1] - cfg.impact_offset[1]).abs());
+            let r = (p[0] - cfg.impact_offset[0]).abs().max((p[1] - cfg.impact_offset[1]).abs());
             let wall_dist = r - hw;
             if wall_dist < 0.0 || wall_dist > range {
                 return *p;
@@ -247,12 +243,8 @@ mod tests {
         let cfg = SimConfig::tiny();
         let result = run(&cfg);
         let early = result.snapshots.first().unwrap().contact.num_faces();
-        let peak =
-            result.snapshots.iter().map(|s| s.contact.num_faces()).max().unwrap();
-        assert!(
-            peak > early,
-            "crater walls must add contact faces (early {early}, peak {peak})"
-        );
+        let peak = result.snapshots.iter().map(|s| s.contact.num_faces()).max().unwrap();
+        assert!(peak > early, "crater walls must add contact faces (early {early}, peak {peak})");
         // Every snapshot has a non-empty contact set.
         for s in &result.snapshots {
             assert!(s.contact.num_faces() > 0);

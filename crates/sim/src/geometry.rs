@@ -117,8 +117,7 @@ impl SimConfig {
     /// paper's tetrahedral mesh has more elements per node, so element
     /// counts are not directly comparable).
     pub fn paper_scale() -> Self {
-        Self { plate_cells: [96, 96, 5], proj_cells: [10, 10, 30], ..Self::medium() }
-            .normalized()
+        Self { plate_cells: [96, 96, 5], proj_cells: [10, 10, 30], ..Self::medium() }.normalized()
     }
 
     /// If `speed` was left at 0, derive it so the projectile traverses both
@@ -158,11 +157,7 @@ impl SimConfig {
         // Bottom plate below the gap.
         let bottom = generators::hex_box(
             [px, py, pz],
-            Point::new([
-                -plate_w / 2.0,
-                -plate_d / 2.0,
-                -2.0 * thickness - self.plate_gap,
-            ]),
+            Point::new([-plate_w / 2.0, -plate_d / 2.0, -2.0 * thickness - self.plate_gap]),
             [c, c, c],
             BODY_PLATE_BOTTOM,
         );

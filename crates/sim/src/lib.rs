@@ -26,6 +26,6 @@ pub mod scenarios;
 pub mod snapshot;
 
 pub use dynamics::run;
-pub use scenarios::{blunt_impactor, head_on, offset_strike, thick_plates};
 pub use geometry::SimConfig;
+pub use scenarios::{blunt_impactor, head_on, offset_strike, thick_plates};
 pub use snapshot::{SimResult, Snapshot};

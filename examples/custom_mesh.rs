@@ -53,8 +53,7 @@ fn main() {
     let node_parts = ng.assignment_on_nodes(&asg);
 
     // Search tree over the contact nodes.
-    let positions: Vec<Point<3>> =
-        contact_nodes.iter().map(|&n| mesh.points[n as usize]).collect();
+    let positions: Vec<Point<3>> = contact_nodes.iter().map(|&n| mesh.points[n as usize]).collect();
     let labels: Vec<u32> = contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
     let tree = induce(&positions, &labels, k, &DtreeConfig::search_tree());
     println!("search tree: {} nodes", tree.num_nodes());

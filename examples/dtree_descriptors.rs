@@ -28,7 +28,12 @@ fn main() {
 
     // Induce the search tree.
     let tree = induce(&pts, &labels, k, &DtreeConfig::search_tree());
-    println!("search tree: {} nodes, {} leaves, depth {}", tree.num_nodes(), tree.num_leaves(), tree.depth());
+    println!(
+        "search tree: {} nodes, {} leaves, depth {}",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        tree.depth()
+    );
 
     // Each subdomain's descriptor = its leaf rectangles.
     let bounds = Aabb::from_points(&pts);

@@ -61,7 +61,8 @@ fn main() {
     // DT-friendly correction natively in 2D.
     let positions: Vec<Point<2>> =
         ng.node_of_vertex.iter().map(|&n| mesh.points[n as usize]).collect();
-    let stats = dt_friendly_correct(&ng.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
+    let stats =
+        dt_friendly_correct(&ng.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
     let part = Partition::from_assignment(&ng.graph, k, asg.clone());
     println!(
         "partition: imbalance {:.3}/{:.3}, {} axis-parallel regions after correction",
@@ -74,8 +75,7 @@ fn main() {
     let node_parts = ng.assignment_on_nodes(&asg);
     let contact_pts: Vec<Point<2>> =
         surface.contact_nodes.iter().map(|&n| mesh.points[n as usize]).collect();
-    let labels: Vec<u32> =
-        surface.contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
+    let labels: Vec<u32> = surface.contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
     let tree = induce(&contact_pts, &labels, k, &DtreeConfig::search_tree());
     println!("2D search tree: {} nodes, depth {}", tree.num_nodes(), tree.depth());
 

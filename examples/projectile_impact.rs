@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example projectile_impact`
 
-use cip::core::{
-    average_metrics, evaluate_mcml_dt, evaluate_ml_rcb, McmlDtConfig, MlRcbConfig,
-};
+use cip::core::{average_metrics, evaluate_mcml_dt, evaluate_ml_rcb, McmlDtConfig, MlRcbConfig};
 use cip::sim::SimConfig;
 
 fn main() {
@@ -40,8 +38,15 @@ fn main() {
         }
         println!(
             "{:>5} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
-            i, a.contact_points, a.fe_comm, a.nt_nodes, a.n_remote, b.fe_comm, b.m2m_comm,
-            b.upd_comm, b.n_remote
+            i,
+            a.contact_points,
+            a.fe_comm,
+            a.nt_nodes,
+            a.n_remote,
+            b.fe_comm,
+            b.m2m_comm,
+            b.upd_comm,
+            b.n_remote
         );
     }
 

@@ -6,12 +6,10 @@
 //!
 //! Run with: `cargo run --release --example repartitioning`
 
+use cip::core::SnapshotView;
 use cip::graph::Partition;
 use cip::partition::repart::migration_count;
-use cip::partition::{
-    diffusion_repartition, partition_kway, repartition, PartitionerConfig,
-};
-use cip::core::SnapshotView;
+use cip::partition::{diffusion_repartition, partition_kway, repartition, PartitionerConfig};
 use cip::sim::SimConfig;
 
 fn main() {

@@ -49,15 +49,8 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        mesh: None,
-        demo: None,
-        k: 8,
-        out: None,
-        dot: None,
-        seed: 1,
-        friendly: true,
-    };
+    let mut args =
+        Args { mesh: None, demo: None, k: 8, out: None, dot: None, seed: 1, friendly: true };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -112,8 +105,7 @@ fn main() {
     if let Some(path) = &args.demo {
         // Two stacked boxes make a minimal two-body contact problem.
         let mut mesh = generators::hex_box([8, 8, 2], Point::new([0.0, 0.0, 0.0]), [1.0; 3], 0);
-        let upper =
-            generators::hex_box([4, 4, 4], Point::new([2.0, 2.0, 2.5]), [1.0; 3], 1);
+        let upper = generators::hex_box([4, 4, 4], Point::new([2.0, 2.0, 2.5]), [1.0; 3], 1);
         mesh.append(&upper);
         std::fs::write(path, serde_json::to_string(&mesh).expect("serialize demo mesh"))
             .expect("write demo mesh");
@@ -167,8 +159,7 @@ fn main() {
     // Search tree + global-search stats.
     let contact_positions: Vec<Point<3>> =
         surface.contact_nodes.iter().map(|&n| mesh.points[n as usize]).collect();
-    let labels: Vec<u32> =
-        surface.contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
+    let labels: Vec<u32> = surface.contact_nodes.iter().map(|&n| node_parts[n as usize]).collect();
     let tree = induce(&contact_positions, &labels, k, &DtreeConfig::search_tree());
     let elements: Vec<SurfaceElementInfo<3>> = surface
         .faces

@@ -78,8 +78,5 @@ fn real_contacts_appear_mid_penetration() {
     let node_parts = vec![0u32; view.mesh.num_nodes()];
     let (elements, bodies) = snapshot_elements(&view, &node_parts);
     let serial = serial_contact_pairs(&elements, &bodies, 0.4);
-    assert!(
-        !serial.is_empty(),
-        "projectile inside the plate must produce contact pairs"
-    );
+    assert!(!serial.is_empty(), "projectile inside the plate must produce contact pairs");
 }

@@ -8,7 +8,7 @@
 //! data from the synthetic simulation.
 
 use cip::contact::{global_search, BboxFilter, DtreeFilter, GlobalFilter};
-use cip::core::{SnapshotView};
+use cip::core::SnapshotView;
 use cip::dtree::{induce, DtreeConfig};
 use cip::geom::Aabb;
 use cip::partition::{partition_kway, PartitionerConfig};

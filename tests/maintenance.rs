@@ -65,39 +65,24 @@ fn refresh_redoes_little_work_between_adjacent_snapshots() {
     let tree_a = induce(&va.contact.positions, &la, k, &cfg);
     let (_, stats) = refresh(&tree_a, &vb.contact.positions, &lb, k, &cfg);
     let frac = stats.reinduced_points as f64 / vb.contact.len().max(1) as f64;
-    assert!(
-        frac < 0.5,
-        "adjacent snapshots should reuse most of the tree (re-induced {frac:.2})"
-    );
+    assert!(frac < 0.5, "adjacent snapshots should reuse most of the tree (re-induced {frac:.2})");
 }
 
 #[test]
 fn diffusion_repartitioning_pipeline_matches_scratch_on_metrics_shape() {
     let sim = cip::sim::run(&SimConfig::tiny());
-    let base = McmlDtConfig {
-        update: UpdatePolicy::Hybrid { period: 4 },
-        ..McmlDtConfig::paper(3)
-    };
-    let scratch = McmlDtConfig {
-        repartition_method: RepartitionMethod::ScratchRemap,
-        ..base.clone()
-    };
-    let diffusion = McmlDtConfig {
-        repartition_method: RepartitionMethod::Diffusion,
-        ..base
-    };
+    let base =
+        McmlDtConfig { update: UpdatePolicy::Hybrid { period: 4 }, ..McmlDtConfig::paper(3) };
+    let scratch =
+        McmlDtConfig { repartition_method: RepartitionMethod::ScratchRemap, ..base.clone() };
+    let diffusion = McmlDtConfig { repartition_method: RepartitionMethod::Diffusion, ..base };
     let (ms, _) = evaluate_mcml_dt(&sim, &scratch);
     let (md, _) = evaluate_mcml_dt(&sim, &diffusion);
     assert_eq!(ms.len(), md.len());
     // Diffusion must migrate no more contact points than scratch-remap in
     // total (that is its purpose).
     let sum = |m: &[cip::core::SnapshotMetrics]| m.iter().map(|x| x.upd_comm).sum::<u64>();
-    assert!(
-        sum(&md) <= sum(&ms),
-        "diffusion migrated {} vs scratch {}",
-        sum(&md),
-        sum(&ms)
-    );
+    assert!(sum(&md) <= sum(&ms), "diffusion migrated {} vs scratch {}", sum(&md), sum(&ms));
     // Both keep the FE phase balanced at the end.
     assert!(md.last().unwrap().imbalance_fe <= 1.25);
 }

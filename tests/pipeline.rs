@@ -89,10 +89,8 @@ fn update_policies_are_consistent_on_snapshot_zero() {
 #[test]
 fn pipelines_are_deterministic() {
     let s = sim();
-    let cfg = McmlDtConfig {
-        partitioner: PartitionerConfig::with_seed(7),
-        ..McmlDtConfig::paper(4)
-    };
+    let cfg =
+        McmlDtConfig { partitioner: PartitionerConfig::with_seed(7), ..McmlDtConfig::paper(4) };
     let (a, _) = evaluate_mcml_dt(&s, &cfg);
     let (b, _) = evaluate_mcml_dt(&s, &cfg);
     for (x, y) in a.iter().zip(b.iter()) {

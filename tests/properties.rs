@@ -10,19 +10,13 @@ use cip::partition::{
 use proptest::prelude::*;
 
 /// Random small point clouds with labels.
-fn points_and_labels(
-    max_pts: usize,
-    k: usize,
-) -> impl Strategy<Value = (Vec<Point<2>>, Vec<u32>)> {
-    proptest::collection::vec(
-        ((-100i32..100), (-100i32..100), 0u32..k as u32),
-        1..max_pts,
-    )
-    .prop_map(|v| {
-        let pts = v.iter().map(|&(x, y, _)| Point::new([x as f64, y as f64])).collect();
-        let labels = v.iter().map(|&(_, _, l)| l).collect();
-        (pts, labels)
-    })
+fn points_and_labels(max_pts: usize, k: usize) -> impl Strategy<Value = (Vec<Point<2>>, Vec<u32>)> {
+    proptest::collection::vec(((-100i32..100), (-100i32..100), 0u32..k as u32), 1..max_pts)
+        .prop_map(|v| {
+            let pts = v.iter().map(|&(x, y, _)| Point::new([x as f64, y as f64])).collect();
+            let labels = v.iter().map(|&(_, _, l)| l).collect();
+            (pts, labels)
+        })
 }
 
 proptest! {

@@ -35,7 +35,10 @@ fn setup(k: usize, snapshot: usize) -> Setup {
     Setup { view, node_parts, asg: asg_now, k }
 }
 
-fn run_step(s: &Setup, tolerance: f64) -> (cip::runtime::StepOutput, Vec<SurfaceElementInfo<3>>, Vec<u16>) {
+fn run_step(
+    s: &Setup,
+    tolerance: f64,
+) -> (cip::runtime::StepOutput, Vec<SurfaceElementInfo<3>>, Vec<u16>) {
     let elements = s.view.surface_elements(&s.node_parts);
     let bodies = s.view.face_bodies();
     let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();

@@ -37,10 +37,7 @@ fn graph_roundtrip_preserves_structure() {
     assert_eq!(h.ne(), g.ne());
     assert_eq!(h.total_vwgt(), g.total_vwgt());
     for v in 0..5u32 {
-        assert_eq!(
-            g.neighbors(v).collect::<Vec<_>>(),
-            h.neighbors(v).collect::<Vec<_>>()
-        );
+        assert_eq!(g.neighbors(v).collect::<Vec<_>>(), h.neighbors(v).collect::<Vec<_>>());
     }
 }
 

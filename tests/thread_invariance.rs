@@ -1,0 +1,89 @@
+//! Thread-count invariance of the multilevel partitioner.
+//!
+//! The determinism contract (`DESIGN.md` "Threading model") says every
+//! partitioner entry point is a pure function of `(graph, k, config)` —
+//! the rayon pool size must never change a result. These tests run the
+//! full drivers and the coarsening hierarchy under explicit pools of 1, 2,
+//! and 8 threads and require identical output, with `parallel_threshold`
+//! forced low so the parallel matcher and parallel contraction actually
+//! run even on this modest grid.
+
+use cip::graph::{Graph, GraphBuilder};
+use cip::partition::{
+    coarsen_with, partition_kway, partition_kway_multilevel, CoarsenParams, CoarsenWorkspace,
+    PartitionerConfig,
+};
+
+/// Two-constraint grid: unit FE weight everywhere, contact weight on the
+/// border (the paper's surface-node pattern).
+fn grid2(nx: usize, ny: usize) -> Graph {
+    let mut b = GraphBuilder::new(nx * ny, 2);
+    let id = |i: usize, j: usize| (j * nx + i) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            b.set_vwgt(id(i, j), &[1, i64::from(border)]);
+            if i + 1 < nx {
+                b.add_edge(id(i, j), id(i + 1, j), 1);
+            }
+            if j + 1 < ny {
+                b.add_edge(id(i, j), id(i, j + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(f)
+}
+
+const POOLS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn partition_kway_is_thread_count_invariant() {
+    let g = grid2(48, 48);
+    // Force the parallel coarsening path on every bisection sub-problem.
+    let cfg = PartitionerConfig { parallel_threshold: 64, ..PartitionerConfig::with_seed(17) };
+    for k in [4usize, 7] {
+        let reference = with_pool(1, || partition_kway(&g, k, &cfg));
+        for threads in POOLS {
+            let asg = with_pool(threads, || partition_kway(&g, k, &cfg));
+            assert_eq!(asg, reference, "k={k} differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn partition_kway_multilevel_is_thread_count_invariant() {
+    let g = grid2(48, 48);
+    let cfg = PartitionerConfig { parallel_threshold: 64, ..PartitionerConfig::with_seed(29) };
+    for k in [4usize, 9] {
+        let reference = with_pool(1, || partition_kway_multilevel(&g, k, &cfg));
+        for threads in POOLS {
+            let asg = with_pool(threads, || partition_kway_multilevel(&g, k, &cfg));
+            assert_eq!(asg, reference, "k={k} differs at {threads} threads");
+        }
+    }
+}
+
+/// The coarsening hierarchy itself — maps and coarse graphs — must be
+/// bit-identical at 1 vs N threads for a fixed seed.
+#[test]
+fn coarsen_hierarchy_is_bit_identical_across_pools() {
+    let g = grid2(48, 48);
+    let params = CoarsenParams { parallel_threshold: 0, ..CoarsenParams::new(40, 123) };
+    let reference = with_pool(1, || coarsen_with(&g, &params, &mut CoarsenWorkspace::new()));
+    assert!(!reference.is_empty(), "grid should coarsen");
+    for threads in POOLS {
+        let h = with_pool(threads, || coarsen_with(&g, &params, &mut CoarsenWorkspace::new()));
+        assert_eq!(h.len(), reference.len(), "level count differs at {threads} threads");
+        for (lvl, (a, b)) in h.levels.iter().zip(reference.levels.iter()).enumerate() {
+            assert_eq!(a.map, b.map, "map differs at level {lvl}, {threads} threads");
+            assert_eq!(a.graph.xadj(), b.graph.xadj(), "xadj differs at level {lvl}");
+            assert_eq!(a.graph.adjncy(), b.graph.adjncy(), "adjncy differs at level {lvl}");
+            assert_eq!(a.graph.adjwgt(), b.graph.adjwgt(), "adjwgt differs at level {lvl}");
+            assert_eq!(a.graph.vwgt_raw(), b.graph.vwgt_raw(), "vwgt differs at level {lvl}");
+        }
+    }
+}
