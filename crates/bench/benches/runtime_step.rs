@@ -7,6 +7,7 @@ use cip_dtree::{induce, DtreeConfig};
 use cip_partition::{partition_kway, PartitionerConfig};
 use cip_runtime::{build_decomposition, execute_step, StepInput};
 use cip_sim::SimConfig;
+use cip_telemetry::Recorder;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -58,6 +59,7 @@ fn bench_step(c: &mut Criterion) {
                     bodies: &bodies,
                     filter: &filter,
                     tolerance: 0.4,
+                    recorder: Recorder::disabled(),
                 }))
             });
         });

@@ -76,6 +76,7 @@ fn run_policy(sim: &SimResult, k: usize, hybrid_period: Option<usize>) -> Totals
             bodies: &bodies,
             filter: &filter,
             tolerance: 0.4,
+            recorder: cip_telemetry::Recorder::disabled(),
         });
         assert_eq!(out.ghost_mismatches, 0);
         totals.halo += out.traffic.total_halo();

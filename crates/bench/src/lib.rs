@@ -181,7 +181,10 @@ pub fn render_table1(entries: &[Table1Entry]) -> String {
 }
 
 /// Writes a serializable result to `results/<name>.json` (best effort; the
-/// textual output is the primary artifact).
+/// textual output is the primary artifact). The value is wrapped in the
+/// shared `cip-results-v1` envelope ([`cip_core::results_document`]), the
+/// same schema `cip-trace` writes, so everything under `results/` is
+/// machine-readable uniformly.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -190,7 +193,8 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
+            let doc = cip_core::results_document(name, &s);
+            if let Err(e) = std::fs::write(&path, doc) {
                 eprintln!("could not write {}: {e}", path.display());
             } else {
                 eprintln!("wrote {}", path.display());

@@ -71,6 +71,86 @@ impl MetricsRow {
     pub fn non_search_comm(&self) -> f64 {
         self.fe_comm + 2.0 * self.m2m_comm
     }
+
+    /// Serializes the row as a JSON object (self-contained — no serde
+    /// runtime needed), field names matching the struct.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"fe_comm\":{},\"nt_nodes\":{},\"n_remote\":{},\"m2m_comm\":{},",
+                "\"upd_comm\":{},\"edge_cut\":{},\"imbalance_fe\":{},",
+                "\"imbalance_contact\":{},\"contact_points\":{},\"surface_elements\":{}}}"
+            ),
+            json_f64(self.fe_comm),
+            json_f64(self.nt_nodes),
+            json_f64(self.n_remote),
+            json_f64(self.m2m_comm),
+            json_f64(self.upd_comm),
+            json_f64(self.edge_cut),
+            json_f64(self.imbalance_fe),
+            json_f64(self.imbalance_contact),
+            json_f64(self.contact_points),
+            json_f64(self.surface_elements),
+        )
+    }
+}
+
+impl SnapshotMetrics {
+    /// Serializes the snapshot metrics as a JSON object (self-contained —
+    /// no serde runtime needed), field names matching the struct.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"step\":{},\"fe_comm\":{},\"nt_nodes\":{},\"n_remote\":{},",
+                "\"m2m_comm\":{},\"upd_comm\":{},\"edge_cut\":{},\"imbalance_fe\":{},",
+                "\"imbalance_contact\":{},\"contact_points\":{},\"surface_elements\":{}}}"
+            ),
+            self.step,
+            self.fe_comm,
+            self.nt_nodes,
+            self.n_remote,
+            self.m2m_comm,
+            self.upd_comm,
+            self.edge_cut,
+            json_f64(self.imbalance_fe),
+            json_f64(self.imbalance_contact),
+            self.contact_points,
+            self.surface_elements,
+        )
+    }
+}
+
+/// Schema tag stamped on every results document written under `results/`
+/// (by the bench bins and `cip-trace` alike).
+pub const RESULTS_SCHEMA: &str = "cip-results-v1";
+
+/// Wraps a JSON payload in the shared results envelope:
+/// `{"schema": "cip-results-v1", "kind": <kind>, "payload": <payload>}`.
+///
+/// `payload_json` must already be valid JSON (e.g. from
+/// [`MetricsRow::to_json`] or serde).
+pub fn results_document(kind: &str, payload_json: &str) -> String {
+    let escaped: String = kind
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"schema\":\"{RESULTS_SCHEMA}\",\"kind\":\"{escaped}\",\"payload\":{payload_json}}}")
+}
+
+/// Renders a finite f64 as JSON (non-finite values become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Averages a metrics sequence into a Table-1 row.
@@ -133,5 +213,35 @@ mod tests {
     fn non_search_comm_counts_m2m_twice() {
         let row = MetricsRow { fe_comm: 100.0, m2m_comm: 30.0, ..Default::default() };
         assert_eq!(row.non_search_comm(), 160.0);
+    }
+
+    #[test]
+    fn json_exports_are_valid_and_carry_fields() {
+        let snap = SnapshotMetrics {
+            step: 7,
+            fe_comm: 123,
+            n_remote: 4,
+            imbalance_fe: 1.05,
+            ..Default::default()
+        };
+        let j = snap.to_json();
+        cip_telemetry::json::validate(&j).expect("snapshot JSON must parse");
+        assert!(j.contains("\"step\":7"));
+        assert!(j.contains("\"fe_comm\":123"));
+        assert!(j.contains("\"imbalance_fe\":1.05"));
+
+        let row = MetricsRow { fe_comm: 10.5, upd_comm: 3.0, ..Default::default() };
+        let j = row.to_json();
+        cip_telemetry::json::validate(&j).expect("row JSON must parse");
+        assert!(j.contains("\"fe_comm\":10.5"));
+        assert!(j.contains("\"upd_comm\":3.0"));
+    }
+
+    #[test]
+    fn results_document_wraps_payload() {
+        let doc = results_document("table\"1", &MetricsRow::default().to_json());
+        cip_telemetry::json::validate(&doc).expect("envelope must parse");
+        assert!(doc.starts_with(&format!("{{\"schema\":\"{RESULTS_SCHEMA}\"")));
+        assert!(doc.contains("\"kind\":\"table\\\"1\""));
     }
 }

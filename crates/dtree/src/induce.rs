@@ -24,6 +24,7 @@
 
 use crate::tree::{DecisionTree, DtNode};
 use cip_geom::{Aabb, AxisPlane, Point, Side};
+use cip_telemetry::Recorder;
 
 /// When to stop splitting a node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +184,20 @@ pub fn induce<const D: usize>(
     k: usize,
     cfg: &DtreeConfig,
 ) -> DecisionTree<D> {
+    induce_recorded(points, labels, k, cfg, &Recorder::disabled())
+}
+
+/// [`induce`] with a telemetry sink: emits a `dtree.induce` span and a
+/// `dtree.split_evals` counter (one increment per candidate hyperplane
+/// scored). [`DtreeConfig`] is `Copy`, so the recorder travels as a
+/// separate argument instead of living in the config.
+pub fn induce_recorded<const D: usize>(
+    points: &[Point<D>],
+    labels: &[u32],
+    k: usize,
+    cfg: &DtreeConfig,
+    rec: &Recorder,
+) -> DecisionTree<D> {
     assert_eq!(points.len(), labels.len(), "one label per point");
     assert!(labels.iter().all(|&l| (l as usize) < k), "label out of range");
     if points.is_empty() {
@@ -194,6 +209,8 @@ pub fn induce<const D: usize>(
             bounds: Aabb::empty(),
         }]);
     }
+
+    let mut span = rec.span("dtree.induce").attr("n", points.len()).attr("k", k);
 
     // Root-level sort along each dimension — the only sorting ever done.
     let mut sorted: Vec<Vec<u32>> = Vec::with_capacity(D);
@@ -211,11 +228,12 @@ pub fn induce<const D: usize>(
         counts[l as usize] += 1;
     }
 
-    let root = build(NodeSet::<D> { sorted, counts }, points, labels, k, cfg, 0);
+    let root = build(NodeSet::<D> { sorted, counts }, points, labels, k, cfg, 0, rec);
 
     // Flatten (preorder) into the arena.
     let mut nodes = Vec::new();
     flatten(&root, &mut nodes);
+    span.set_attr("nodes", nodes.len());
     DecisionTree::from_nodes(nodes)
 }
 
@@ -244,6 +262,7 @@ fn flatten<const D: usize>(b: &BNode<D>, out: &mut Vec<DtNode<D>>) -> u32 {
     at
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build<const D: usize>(
     set: NodeSet<D>,
     points: &[Point<D>],
@@ -251,6 +270,7 @@ fn build<const D: usize>(
     k: usize,
     cfg: &DtreeConfig,
     depth: usize,
+    rec: &Recorder,
 ) -> BNode<D> {
     let n = set.n();
     let pure = set.is_pure();
@@ -285,7 +305,7 @@ fn build<const D: usize>(
     let plane = if pure {
         median_split(&set, points)
     } else {
-        best_gini_split(&set, points, labels, k, cfg.splitter)
+        best_gini_split(&set, points, labels, k, cfg.splitter, rec)
             .or_else(|| median_split(&set, points))
     };
     let Some(plane) = plane else {
@@ -300,13 +320,13 @@ fn build<const D: usize>(
 
     let (l, r) = if left_set.n() + right_set.n() >= cfg.parallel_threshold {
         rayon::join(
-            || build(left_set, points, labels, k, cfg, depth + 1),
-            || build(right_set, points, labels, k, cfg, depth + 1),
+            || build(left_set, points, labels, k, cfg, depth + 1, rec),
+            || build(right_set, points, labels, k, cfg, depth + 1, rec),
         )
     } else {
         (
-            build(left_set, points, labels, k, cfg, depth + 1),
-            build(right_set, points, labels, k, cfg, depth + 1),
+            build(left_set, points, labels, k, cfg, depth + 1, rec),
+            build(right_set, points, labels, k, cfg, depth + 1, rec),
         )
     };
     BNode::Internal { plane, left: Box::new(l), right: Box::new(r) }
@@ -320,10 +340,12 @@ fn best_gini_split<const D: usize>(
     labels: &[u32],
     k: usize,
     splitter: Splitter,
+    rec: &Recorder,
 ) -> Option<AxisPlane> {
     let n = set.n();
     let mut best: Option<(f64, AxisPlane)> = None;
     let mut lcnt = vec![0i64; k];
+    let mut evals = 0u64;
 
     #[allow(clippy::needless_range_loop)] // d indexes sorted AND point coords
     for d in 0..D {
@@ -360,11 +382,15 @@ fn best_gini_split<const D: usize>(
             if let Splitter::MarginAware { alpha } = splitter {
                 score += alpha * (next - here) / extent;
             }
+            evals += 1;
             if best.as_ref().is_none_or(|(bs, _)| score > *bs) {
                 best = Some((score, AxisPlane::new(d, here)));
             }
         }
     }
+    // One counter update per node, not per candidate: keeps the disabled
+    // path at a single branch per *call* rather than per position.
+    rec.add("dtree.split_evals", evals);
     best.map(|(_, p)| p)
 }
 

@@ -33,6 +33,6 @@ pub mod refresh;
 pub mod tree;
 
 pub use export::TreeStats;
-pub use induce::{induce, DtreeConfig, Splitter, StopRule};
-pub use refresh::{refresh, RefreshStats};
+pub use induce::{induce, induce_recorded, DtreeConfig, Splitter, StopRule};
+pub use refresh::{refresh, refresh_recorded, RefreshStats};
 pub use tree::{DecisionTree, LeafInfo};

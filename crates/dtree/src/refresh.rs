@@ -13,9 +13,10 @@
 //! simulation drifts away from the geometry they were built for
 //! (`grown_nodes` tracks the degradation).
 
-use crate::induce::{induce, DtreeConfig};
+use crate::induce::{induce_recorded, DtreeConfig};
 use crate::tree::{DecisionTree, DtNode};
 use cip_geom::{Aabb, Point};
+use cip_telemetry::Recorder;
 
 /// Statistics of one refresh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +66,25 @@ pub fn refresh<const D: usize>(
     k: usize,
     cfg: &DtreeConfig,
 ) -> (DecisionTree<D>, RefreshStats) {
+    refresh_recorded(tree, points, labels, k, cfg, &Recorder::disabled())
+}
+
+/// [`refresh`] with a telemetry sink: emits a `dtree.refresh` span whose
+/// attributes record how much work was actually redone (kept vs.
+/// re-induced leaves, re-induced points). Subtree re-inductions nest
+/// `dtree.induce` spans underneath it.
+pub fn refresh_recorded<const D: usize>(
+    tree: &DecisionTree<D>,
+    points: &[Point<D>],
+    labels: &[u32],
+    k: usize,
+    cfg: &DtreeConfig,
+    rec: &Recorder,
+) -> (DecisionTree<D>, RefreshStats) {
     assert_eq!(points.len(), labels.len(), "one label per point");
     assert!(labels.iter().all(|&l| (l as usize) < k), "label out of range");
+
+    let mut span = rec.span("dtree.refresh").attr("n", points.len()).attr("k", k);
 
     // Assign every point to its arena leaf.
     let mut membership: Vec<Vec<u32>> = vec![Vec::new(); tree.num_nodes()];
@@ -77,8 +95,11 @@ pub fn refresh<const D: usize>(
     let mut stats =
         RefreshStats { kept_leaves: 0, reinduced_leaves: 0, reinduced_points: 0, grown_nodes: 0 };
     let mut nodes: Vec<DtNode<D>> = Vec::with_capacity(tree.num_nodes());
-    rebuild(tree, 0, &membership, points, labels, k, cfg, &mut nodes, &mut stats);
+    rebuild(tree, 0, &membership, points, labels, k, cfg, &mut nodes, &mut stats, rec);
     stats.grown_nodes = nodes.len() as isize - tree.num_nodes() as isize;
+    span.set_attr("kept_leaves", stats.kept_leaves);
+    span.set_attr("reinduced_leaves", stats.reinduced_leaves);
+    span.set_attr("reinduced_points", stats.reinduced_points);
     (DecisionTree::from_nodes(nodes), stats)
 }
 
@@ -109,13 +130,14 @@ fn rebuild<const D: usize>(
     cfg: &DtreeConfig,
     out: &mut Vec<DtNode<D>>,
     stats: &mut RefreshStats,
+    rec: &Recorder,
 ) -> u32 {
     let slot = out.len() as u32;
     match &tree.nodes()[at as usize] {
         DtNode::Internal { plane, left, right } => {
             out.push(DtNode::Internal { plane: *plane, left: 0, right: 0 });
-            let l = rebuild(tree, *left, membership, points, labels, k, cfg, out, stats);
-            let r = rebuild(tree, *right, membership, points, labels, k, cfg, out, stats);
+            let l = rebuild(tree, *left, membership, points, labels, k, cfg, out, stats, rec);
+            let r = rebuild(tree, *right, membership, points, labels, k, cfg, out, stats, rec);
             if let DtNode::Internal { left: lf, right: rf, .. } = &mut out[slot as usize] {
                 *lf = l;
                 *rf = r;
@@ -154,7 +176,7 @@ fn rebuild<const D: usize>(
                 stats.reinduced_points += members.len();
                 let sub_pts: Vec<Point<D>> = members.iter().map(|&i| points[i as usize]).collect();
                 let sub_labels: Vec<u32> = members.iter().map(|&i| labels[i as usize]).collect();
-                let sub = induce(&sub_pts, &sub_labels, k, cfg);
+                let sub = induce_recorded(&sub_pts, &sub_labels, k, cfg, rec);
                 splice(sub.nodes(), 0, out);
             }
         }
@@ -191,6 +213,7 @@ fn splice<const D: usize>(sub: &[DtNode<D>], at: u32, out: &mut Vec<DtNode<D>>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::induce::induce;
 
     fn banded(offset: f64) -> (Vec<Point<2>>, Vec<u32>) {
         let mut pts = Vec::new();

@@ -28,6 +28,7 @@
 //! allocation.
 
 use cip_graph::{contract_with, ContractWorkspace, Graph};
+use cip_telemetry::Recorder;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -336,6 +337,19 @@ pub fn coarsen(g: &Graph, coarsen_to: usize, seed: u64) -> Hierarchy {
 /// graph is moved into the hierarchy exactly once and all scratch lives in
 /// `ws`, so the steady-state level loop allocates only its outputs.
 pub fn coarsen_with(g: &Graph, params: &CoarsenParams, ws: &mut CoarsenWorkspace) -> Hierarchy {
+    coarsen_recorded(g, params, ws, &Recorder::disabled())
+}
+
+/// [`coarsen_with`] with telemetry: each level emits a `coarsen.level`
+/// span (vertex/edge counts, chosen matcher) wrapping `coarsen.match` and
+/// `coarsen.contract` child spans. The recorder does not influence the
+/// result — the hierarchy stays a pure function of `(g, params)`.
+pub fn coarsen_recorded(
+    g: &Graph,
+    params: &CoarsenParams,
+    ws: &mut CoarsenWorkspace,
+    rec: &Recorder,
+) -> Hierarchy {
     let mut levels: Vec<Level> = Vec::new();
     let mut level_seed = params.seed;
     loop {
@@ -344,15 +358,30 @@ pub fn coarsen_with(g: &Graph, params: &CoarsenParams, ws: &mut CoarsenWorkspace
             break;
         }
         let parallel = current.nv() >= params.parallel_threshold;
-        let (map, cnv) = if parallel {
-            parallel_hem(current, level_seed, params.matching_rounds, ws)
-        } else {
-            sequential_hem(current, level_seed, ws)
+        let mut level_span = rec
+            .span("coarsen.level")
+            .attr("level", levels.len())
+            .attr("nv", current.nv())
+            .attr("ne", current.ne())
+            .attr("parallel", parallel);
+        let (map, cnv) = {
+            let _match_span =
+                rec.span("coarsen.match").attr("nv", current.nv()).attr("ne", current.ne());
+            if parallel {
+                parallel_hem(current, level_seed, params.matching_rounds, ws)
+            } else {
+                sequential_hem(current, level_seed, ws)
+            }
         };
+        level_span.set_attr("coarse_nv", cnv);
         if cnv as f64 > current.nv() as f64 * 0.95 {
             break; // matching stalled (e.g. star graphs)
         }
-        let coarse = contract_with(current, &map, cnv, parallel, &mut ws.contract);
+        let coarse = {
+            let _contract_span =
+                rec.span("coarsen.contract").attr("nv", current.nv()).attr("coarse_nv", cnv);
+            contract_with(current, &map, cnv, parallel, &mut ws.contract)
+        };
         levels.push(Level { graph: coarse, map });
         level_seed = level_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     }

@@ -1,5 +1,7 @@
 //! Partitioner configuration.
 
+use cip_telemetry::Recorder;
+
 /// Tuning knobs for the multilevel partitioner.
 ///
 /// The defaults follow METIS conventions: 5% imbalance tolerance on the
@@ -32,6 +34,10 @@ pub struct PartitionerConfig {
     /// Rounds cap for the parallel matcher's propose-then-resolve loop
     /// (it also stops as soon as a round stops matching new vertices).
     pub matching_rounds: usize,
+    /// Telemetry sink. Disabled by default; when enabled, the partitioner
+    /// emits per-level coarsen/match/contract/initial/refine spans (see
+    /// DESIGN.md §6). A disabled recorder costs one branch per event.
+    pub recorder: Recorder,
 }
 
 impl Default for PartitionerConfig {
@@ -45,6 +51,7 @@ impl Default for PartitionerConfig {
             kway_passes: 6,
             parallel_threshold: 4096,
             matching_rounds: 8,
+            recorder: Recorder::disabled(),
         }
     }
 }

@@ -11,7 +11,7 @@
 //! `k` parts at once instead of being confined inside bisection
 //! boundaries.
 
-use crate::coarsen::{coarsen_with, CoarsenParams, CoarsenWorkspace};
+use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
 use crate::config::PartitionerConfig;
 use crate::kway::{balance_kway, refine_kway};
 use crate::rb;
@@ -32,22 +32,36 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
         return crate::bisect::assign_distinct_parts(g.nv(), k);
     }
 
+    let rec = &cfg.recorder;
+    let _top = rec.span("partition.kway_ml").attr("nv", g.nv()).attr("ne", g.ne()).attr("k", k);
     let params = CoarsenParams {
         coarsen_to: cfg.coarsen_to.max(8 * k),
         seed: cfg.child_seed(0x57A9E),
         parallel_threshold: cfg.parallel_threshold,
         matching_rounds: cfg.matching_rounds,
     };
-    let hierarchy = coarsen_with(g, &params, &mut CoarsenWorkspace::new());
+    let hierarchy = {
+        let _span = rec.span("partition.coarsen").attr("nv", g.nv()).attr("ne", g.ne());
+        coarsen_recorded(g, &params, &mut CoarsenWorkspace::new(), rec)
+    };
 
     // Initial k-way partition of the coarsest graph via recursive
     // bisection (the coarsest graph is small, so this is cheap).
     let coarsest = hierarchy.coarsest().unwrap_or(g);
-    let mut asg = rb::partition_kway(coarsest, k, cfg);
+    let mut asg = {
+        let _span =
+            rec.span("partition.initial").attr("nv", coarsest.nv()).attr("levels", hierarchy.len());
+        rb::partition_kway(coarsest, k, cfg)
+    };
 
     // Uncoarsen with direct k-way refinement at every level.
     for lvl in (0..hierarchy.len()).rev() {
         let fine_graph = hierarchy.fine_graph(lvl, g);
+        let _span = rec
+            .span("partition.kway_refine")
+            .attr("level", lvl)
+            .attr("nv", fine_graph.nv())
+            .attr("ne", fine_graph.ne());
         let mut fine_asg = hierarchy.project(lvl, &asg);
         refine_kway(fine_graph, k, &mut fine_asg, cfg);
         balance_kway(fine_graph, k, &mut fine_asg, cfg);

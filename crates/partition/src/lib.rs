@@ -43,8 +43,8 @@ pub mod rb;
 pub mod repart;
 
 pub use coarsen::{
-    coarsen, coarsen_with, heavy_edge_matching, parallel_heavy_edge_matching, CoarsenParams,
-    CoarsenWorkspace, Hierarchy,
+    coarsen, coarsen_recorded, coarsen_with, heavy_edge_matching, parallel_heavy_edge_matching,
+    CoarsenParams, CoarsenWorkspace, Hierarchy,
 };
 pub use config::PartitionerConfig;
 pub use diffusion::diffusion_repartition;

@@ -12,7 +12,7 @@
 //! real bound and recovers cut quality across bisector boundaries.
 
 use crate::bisect::{assign_distinct_parts, greedy_bisection};
-use crate::coarsen::{coarsen_with, CoarsenParams, CoarsenWorkspace};
+use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
 use crate::config::{child_seed, PartitionerConfig};
 use crate::fm::{fm_refine, rebalance_bisection, BisectTargets};
 use crate::kway::{balance_kway, refine_kway};
@@ -55,6 +55,8 @@ pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> 
     if g.nv() <= k {
         return assign_distinct_parts(g.nv(), k);
     }
+    let _span =
+        cfg.recorder.span("partition.rb").attr("nv", g.nv()).attr("ne", g.ne()).attr("k", k);
 
     // Per-bisection eps: a fraction of the global tolerance, floored so the
     // bisections retain freedom to optimize the cut.
@@ -71,6 +73,7 @@ pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> 
 
     // Full-graph k-way polish: refine the cut across bisector boundaries,
     // then enforce the user's balance tolerance.
+    let _polish = cfg.recorder.span("partition.kway_polish").attr("nv", g.nv()).attr("k", k);
     refine_kway(g, k, &mut asg, cfg);
     balance_kway(g, k, &mut asg, cfg);
     refine_kway(g, k, &mut asg, cfg);
@@ -157,6 +160,7 @@ pub fn multilevel_bisect_seeded(
     eps: &[f64],
     seed: u64,
 ) -> Vec<u32> {
+    let rec = &cfg.recorder;
     let params = CoarsenParams {
         coarsen_to: cfg.coarsen_to.max(40),
         seed: child_seed(seed, 0xC0A25E),
@@ -164,16 +168,28 @@ pub fn multilevel_bisect_seeded(
         matching_rounds: cfg.matching_rounds,
     };
     let mut ws = CoarsenWorkspace::new();
-    let hierarchy = coarsen_with(g, &params, &mut ws);
+    let hierarchy = {
+        let _span = rec.span("partition.coarsen").attr("nv", g.nv()).attr("ne", g.ne());
+        coarsen_recorded(g, &params, &mut ws, rec)
+    };
 
     // Bisect the coarsest graph.
     let coarsest = hierarchy.coarsest().unwrap_or(g);
     let targets_coarse = BisectTargets::new(coarsest, frac0, eps);
-    let mut asg = greedy_bisection(coarsest, &targets_coarse, cfg, seed);
+    let mut asg = {
+        let _span =
+            rec.span("partition.initial").attr("nv", coarsest.nv()).attr("levels", hierarchy.len());
+        greedy_bisection(coarsest, &targets_coarse, cfg, seed)
+    };
 
     // Uncoarsen: project through each level and refine.
     for lvl in (0..hierarchy.len()).rev() {
         let fine_graph = hierarchy.fine_graph(lvl, g);
+        let _span = rec
+            .span("partition.fm_refine")
+            .attr("level", lvl)
+            .attr("nv", fine_graph.nv())
+            .attr("ne", fine_graph.ne());
         let mut fine_asg = hierarchy.project(lvl, &asg);
         let targets = BisectTargets::new(fine_graph, frac0, eps);
         rebalance_bisection(fine_graph, &mut fine_asg, &targets);

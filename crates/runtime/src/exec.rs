@@ -11,6 +11,7 @@
 use crate::plan::Decomposition;
 use cip_contact::{find_contact_pairs, ContactPair, GlobalFilter, SurfaceElementInfo};
 use cip_geom::{Aabb, Point};
+use cip_telemetry::Recorder;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// Inter-rank message.
@@ -37,6 +38,23 @@ enum Msg {
     Done(u32),
 }
 
+/// Message counts per communication phase of one executed step.
+///
+/// `halo_units` counts the node values *inside* halo messages (the same
+/// units as [`TrafficLog::total_halo`]); everything else counts messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTraffic {
+    /// Halo messages sent (one per `(src, dst)` pair with a non-empty
+    /// send-halo list).
+    pub halo_msgs: u64,
+    /// Node values carried inside halo messages.
+    pub halo_units: u64,
+    /// Element-shipment messages (one element each).
+    pub ship_msgs: u64,
+    /// End-of-step `Done` markers (always `k * (k - 1)`).
+    pub done_msgs: u64,
+}
+
 /// Measured traffic of one executed step (row-major `k x k` matrices,
 /// `[from * k + to]`).
 #[derive(Debug, Clone)]
@@ -47,6 +65,10 @@ pub struct TrafficLog {
     pub halo: Vec<u64>,
     /// Element shipments per rank pair.
     pub shipments: Vec<u64>,
+    /// Per-phase message breakdown. Invariant (asserted in the exec
+    /// tests): `phases.halo_units == total_halo()` and
+    /// `phases.ship_msgs == total_shipments()`.
+    pub phases: PhaseTraffic,
 }
 
 impl TrafficLog {
@@ -58,6 +80,22 @@ impl TrafficLog {
     /// Total shipments (the executed NRemote).
     pub fn total_shipments(&self) -> u64 {
         self.shipments.iter().sum()
+    }
+
+    /// `(halo, shipments)` sent from rank `from` to rank `to`.
+    pub fn pair(&self, from: usize, to: usize) -> (u64, u64) {
+        let i = from * self.k + to;
+        (self.halo[i], self.shipments[i])
+    }
+
+    /// `(halo, shipments)` totals sent by `rank` (row sum).
+    pub fn sent_by(&self, rank: usize) -> (u64, u64) {
+        (0..self.k).map(|to| self.pair(rank, to)).fold((0, 0), |(h, s), (a, b)| (h + a, s + b))
+    }
+
+    /// `(halo, shipments)` totals received by `rank` (column sum).
+    pub fn received_by(&self, rank: usize) -> (u64, u64) {
+        (0..self.k).map(|from| self.pair(from, rank)).fold((0, 0), |(h, s), (a, b)| (h + a, s + b))
     }
 }
 
@@ -78,6 +116,11 @@ pub struct StepInput<'a, F: GlobalFilter<3> + Sync> {
     pub filter: &'a F,
     /// Contact capture tolerance.
     pub tolerance: f64,
+    /// Telemetry sink. Disabled by default-constructed recorders; when
+    /// enabled, every rank thread binds chrome-trace lane `rank` and emits
+    /// `exec.halo` / `exec.ship` / `exec.drain` / `exec.search` spans plus
+    /// per-message histograms (see DESIGN.md §6).
+    pub recorder: Recorder,
 }
 
 /// Result of one executed step.
@@ -101,6 +144,8 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
         pairs: Vec<ContactPair>,
         halo_sent: Vec<u64>,      // per destination
         shipments_sent: Vec<u64>, // per destination
+        halo_msgs: u64,
+        done_msgs: u64,
         ghost_mismatches: usize,
     }
 
@@ -114,78 +159,105 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
             let input = &*input;
             handles.push(scope.spawn(move || {
                 let me = r as u32;
+                let rec = &input.recorder;
+                rec.set_lane(me);
                 let mut halo_sent = vec![0u64; k];
                 let mut shipments_sent = vec![0u64; k];
+                let mut halo_msgs = 0u64;
+                let mut done_msgs = 0u64;
 
                 // ---- Send halo values. --------------------------------
-                for (dest, nodes) in &plan.send_halo {
-                    let values: Vec<(u32, Point<3>)> =
-                        nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
-                    halo_sent[*dest as usize] += values.len() as u64;
-                    txs[*dest as usize]
-                        .send(Msg::Halo { from: me, values })
-                        .expect("rank channel closed");
-                }
-
-                // ---- Ship owned surface elements per the filter. ------
-                let mut candidates = Vec::new();
-                for &e in &plan.owned_surface {
-                    let el = &input.elements[e as usize];
-                    debug_assert_eq!(el.owner, me);
-                    input
-                        .filter
-                        .candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
-                    for &dest in candidates.iter() {
-                        if dest == me {
-                            continue;
-                        }
-                        shipments_sent[dest as usize] += 1;
-                        txs[dest as usize]
-                            .send(Msg::Element {
-                                from: me,
-                                id: e,
-                                bbox: el.bbox,
-                                body: input.bodies[e as usize],
-                            })
+                {
+                    let _span = rec.span("exec.halo").attr("rank", me);
+                    for (dest, nodes) in &plan.send_halo {
+                        let values: Vec<(u32, Point<3>)> =
+                            nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
+                        halo_sent[*dest as usize] += values.len() as u64;
+                        halo_msgs += 1;
+                        rec.record("exec.halo_msg_nodes", values.len() as u64);
+                        txs[*dest as usize]
+                            .send(Msg::Halo { from: me, values })
                             .expect("rank channel closed");
                     }
                 }
-                for (dest, tx) in txs.iter().enumerate() {
-                    if dest != r {
-                        tx.send(Msg::Done(me)).expect("rank channel closed");
+
+                // ---- Ship owned surface elements per the filter. ------
+                {
+                    let mut span = rec
+                        .span("exec.ship")
+                        .attr("rank", me)
+                        .attr("owned", plan.owned_surface.len());
+                    let mut candidates = Vec::new();
+                    for &e in &plan.owned_surface {
+                        let el = &input.elements[e as usize];
+                        debug_assert_eq!(el.owner, me);
+                        input
+                            .filter
+                            .candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
+                        for &dest in candidates.iter() {
+                            if dest == me {
+                                continue;
+                            }
+                            shipments_sent[dest as usize] += 1;
+                            txs[dest as usize]
+                                .send(Msg::Element {
+                                    from: me,
+                                    id: e,
+                                    bbox: el.bbox,
+                                    body: input.bodies[e as usize],
+                                })
+                                .expect("rank channel closed");
+                        }
                     }
+                    for (dest, tx) in txs.iter().enumerate() {
+                        if dest != r {
+                            tx.send(Msg::Done(me)).expect("rank channel closed");
+                            done_msgs += 1;
+                        }
+                    }
+                    span.set_attr("shipped", shipments_sent.iter().sum::<u64>());
                 }
                 drop(txs);
 
                 // ---- Drain the inbox until every peer is done. --------
                 let mut ghost_mismatches = 0usize;
                 let mut received: Vec<(u32, Aabb<3>, u16)> = Vec::new();
-                let mut done = 0usize;
-                while done + 1 < k {
-                    match rx.recv().expect("rank channel closed") {
-                        Msg::Halo { from, values } => {
-                            debug_assert_ne!(from, me, "rank sent halo to itself");
-                            for (node, pos) in values {
-                                // The "physics oracle" is global in this
-                                // harness, so a correct halo exchange
-                                // delivers exactly the oracle value.
-                                if input.positions[node as usize] != pos {
-                                    ghost_mismatches += 1;
+                {
+                    let mut span = rec.span("exec.drain").attr("rank", me);
+                    let mut done = 0usize;
+                    while done + 1 < k {
+                        match rx.recv().expect("rank channel closed") {
+                            Msg::Halo { from, values } => {
+                                debug_assert_ne!(from, me, "rank sent halo to itself");
+                                for (node, pos) in values {
+                                    // The "physics oracle" is global in this
+                                    // harness, so a correct halo exchange
+                                    // delivers exactly the oracle value.
+                                    if input.positions[node as usize] != pos {
+                                        ghost_mismatches += 1;
+                                    }
                                 }
                             }
-                        }
-                        Msg::Element { from, id, bbox, body } => {
-                            debug_assert_ne!(from, me, "rank shipped an element to itself");
-                            received.push((id, bbox, body));
-                        }
-                        Msg::Done(from) => {
-                            debug_assert_ne!(from, me, "rank signalled itself done");
-                            done += 1;
+                            Msg::Element { from, id, bbox, body } => {
+                                debug_assert_ne!(from, me, "rank shipped an element to itself");
+                                received.push((id, bbox, body));
+                            }
+                            Msg::Done(from) => {
+                                debug_assert_ne!(from, me, "rank signalled itself done");
+                                done += 1;
+                            }
                         }
                     }
+                    span.set_attr("received_elements", received.len());
+                    rec.record("exec.recv_elements", received.len() as u64);
                 }
 
                 // ---- Local contact search over owned + received. ------
+                let _span = rec
+                    .span("exec.search")
+                    .attr("rank", me)
+                    .attr("owned", plan.owned_surface.len())
+                    .attr("received", received.len());
                 let mut local_ids: Vec<u32> = plan.owned_surface.clone();
                 let mut boxes: Vec<Aabb<3>> =
                     plan.owned_surface.iter().map(|&e| input.elements[e as usize].bbox).collect();
@@ -210,7 +282,14 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
                         .collect();
                 pairs.sort_unstable();
                 pairs.dedup();
-                RankResult { pairs, halo_sent, shipments_sent, ghost_mismatches }
+                RankResult {
+                    pairs,
+                    halo_sent,
+                    shipments_sent,
+                    halo_msgs,
+                    done_msgs,
+                    ghost_mismatches,
+                }
             }));
         }
         drop(txs);
@@ -218,7 +297,12 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
     });
 
     // Aggregate.
-    let mut traffic = TrafficLog { k, halo: vec![0; k * k], shipments: vec![0; k * k] };
+    let mut traffic = TrafficLog {
+        k,
+        halo: vec![0; k * k],
+        shipments: vec![0; k * k],
+        phases: PhaseTraffic::default(),
+    };
     let mut contact_pairs = Vec::new();
     let mut ghost_mismatches = 0;
     for (r, res) in results.into_iter().enumerate() {
@@ -226,11 +310,19 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
             traffic.halo[r * k + dest] += res.halo_sent[dest];
             traffic.shipments[r * k + dest] += res.shipments_sent[dest];
         }
+        traffic.phases.halo_msgs += res.halo_msgs;
+        traffic.phases.done_msgs += res.done_msgs;
         contact_pairs.extend(res.pairs);
         ghost_mismatches += res.ghost_mismatches;
     }
+    traffic.phases.halo_units = traffic.total_halo();
+    traffic.phases.ship_msgs = traffic.total_shipments();
     contact_pairs.sort_unstable();
     contact_pairs.dedup();
+    // Summary counters mirror the TrafficLog exactly (added once at
+    // aggregation so `summary.json` totals can never drift from the log).
+    input.recorder.add("traffic.halo_units", traffic.phases.halo_units);
+    input.recorder.add("traffic.shipment_units", traffic.phases.ship_msgs);
     StepOutput { contact_pairs, traffic, ghost_mismatches }
 }
 
@@ -285,6 +377,7 @@ mod tests {
             bodies: &bodies,
             filter: &filter,
             tolerance: 0.2,
+            recorder: Recorder::disabled(),
         });
         assert_eq!(out.ghost_mismatches, 0);
         let serial = cip_contact::serial_contact_pairs(&elements, &bodies, 0.2);
@@ -304,11 +397,67 @@ mod tests {
             bodies: &bodies,
             filter: &filter,
             tolerance: 0.2,
+            recorder: Recorder::disabled(),
         });
         assert_eq!(out.traffic.total_halo(), d.total_halo_volume());
         // The chain boundary: rank 0 sends node 3, rank 1 sends node 4.
         assert_eq!(out.traffic.halo[1], 1);
         assert_eq!(out.traffic.halo[2], 1);
+        assert_eq!(out.traffic.pair(0, 1), (1, out.traffic.shipments[1]));
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_totals() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let out = execute_step(&StepInput {
+            decomposition: &d,
+            positions: &positions,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.2,
+            recorder: Recorder::disabled(),
+        });
+        let t = &out.traffic;
+        // Per-phase units must agree with the pairwise matrices exactly.
+        assert_eq!(t.phases.halo_units, t.total_halo());
+        assert_eq!(t.phases.ship_msgs, t.total_shipments());
+        assert_eq!(t.phases.done_msgs, (t.k * (t.k - 1)) as u64);
+        assert!(t.phases.halo_msgs <= (t.k * (t.k - 1)) as u64);
+        // Row/column accessors partition the same totals.
+        let sent: (u64, u64) =
+            (0..t.k).map(|r| t.sent_by(r)).fold((0, 0), |(h, s), (a, b)| (h + a, s + b));
+        let recv: (u64, u64) =
+            (0..t.k).map(|r| t.received_by(r)).fold((0, 0), |(h, s), (a, b)| (h + a, s + b));
+        assert_eq!(sent, (t.total_halo(), t.total_shipments()));
+        assert_eq!(recv, sent);
+    }
+
+    #[test]
+    fn enabled_recorder_counters_match_traffic_log() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let rec = Recorder::enabled();
+        let out = execute_step(&StepInput {
+            decomposition: &d,
+            positions: &positions,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.2,
+            recorder: rec.clone(),
+        });
+        assert_eq!(rec.counter_value("traffic.halo_units"), out.traffic.total_halo());
+        assert_eq!(rec.counter_value("traffic.shipment_units"), out.traffic.total_shipments());
+        // Every per-rank phase span landed in the trace.
+        let summary = rec.summary().expect("recorder is enabled");
+        for name in ["exec.halo", "exec.ship", "exec.drain", "exec.search"] {
+            let s = summary.span(name).unwrap_or_else(|| panic!("missing span {name}"));
+            assert_eq!(s.count, 2, "{name} once per rank");
+        }
     }
 
     #[test]
@@ -337,9 +486,11 @@ mod tests {
             bodies: &bodies,
             filter: &filter,
             tolerance: 0.2,
+            recorder: Recorder::disabled(),
         });
         assert_eq!(out.traffic.total_halo(), 0);
         assert_eq!(out.traffic.total_shipments(), 0);
+        assert_eq!(out.traffic.phases, PhaseTraffic::default());
         let serial = cip_contact::serial_contact_pairs(&elements1, &bodies, 0.2);
         assert_eq!(out.contact_pairs, serial);
     }

@@ -29,6 +29,6 @@ pub mod exec;
 pub mod migrate;
 pub mod plan;
 
-pub use exec::{execute_step, StepInput, StepOutput, TrafficLog};
-pub use migrate::{build_migration, MigrationPlan};
+pub use exec::{execute_step, PhaseTraffic, StepInput, StepOutput, TrafficLog};
+pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
 pub use plan::{build_decomposition, Decomposition, RankPlan};

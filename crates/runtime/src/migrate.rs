@@ -6,6 +6,8 @@
 //! matrix; the tests validate it against
 //! [`cip_partition::repart::migration_count`].
 
+use cip_telemetry::Recorder;
+
 /// A migration plan: per (from, to) rank pair, the nodes that move.
 #[derive(Debug, Clone)]
 pub struct MigrationPlan {
@@ -16,6 +18,24 @@ pub struct MigrationPlan {
 }
 
 impl MigrationPlan {
+    /// True when no node migrates — the common steady-state case, which
+    /// lets callers skip the shipping phase entirely.
+    pub fn is_empty(&self) -> bool {
+        self.moves.iter().all(|v| v.is_empty())
+    }
+
+    /// Applies the plan to an assignment: every planned move re-labels its
+    /// node with the destination rank. Applying the plan built from
+    /// `(old, new)` onto `old` reproduces `new` on every node both
+    /// assignments cover.
+    pub fn apply(&self, asg: &mut [u32]) {
+        for (pair, nodes) in self.moves.iter().enumerate() {
+            let to = (pair % self.k) as u32;
+            for &n in nodes {
+                asg[n as usize] = to;
+            }
+        }
+    }
     /// Row-major `k x k` traffic matrix (node counts).
     pub fn traffic_matrix(&self) -> Vec<u64> {
         self.moves.iter().map(|v| v.len() as u64).collect()
@@ -43,7 +63,20 @@ impl MigrationPlan {
 /// Builds the migration plan between two node-indexed assignments
 /// (`u32::MAX` entries — dead or unassigned nodes — never migrate).
 pub fn build_migration(old: &[u32], new: &[u32], k: usize) -> MigrationPlan {
+    build_migration_recorded(old, new, k, &Recorder::disabled())
+}
+
+/// [`build_migration`] with a telemetry sink: emits a `migrate.plan` span
+/// (node count, ranks, moved total) and a `traffic.migrated_units`
+/// counter that mirrors [`MigrationPlan::total_moved`].
+pub fn build_migration_recorded(
+    old: &[u32],
+    new: &[u32],
+    k: usize,
+    rec: &Recorder,
+) -> MigrationPlan {
     assert_eq!(old.len(), new.len(), "assignments must cover the same nodes");
+    let mut span = rec.span("migrate.plan").attr("nodes", old.len()).attr("k", k);
     let mut moves = vec![Vec::new(); k * k];
     for (n, (&o, &w)) in old.iter().zip(new.iter()).enumerate() {
         if o == u32::MAX || w == u32::MAX || o == w {
@@ -51,7 +84,10 @@ pub fn build_migration(old: &[u32], new: &[u32], k: usize) -> MigrationPlan {
         }
         moves[o as usize * k + w as usize].push(n as u32);
     }
-    MigrationPlan { k, moves }
+    let plan = MigrationPlan { k, moves };
+    span.set_attr("moved", plan.total_moved());
+    rec.add("traffic.migrated_units", plan.total_moved());
+    plan
 }
 
 #[cfg(test)]
@@ -94,5 +130,69 @@ mod tests {
         let plan = build_migration(&old, &new, 4);
         assert_eq!(plan.total_moved(), 3);
         assert_eq!(plan.max_rank_volume(), 3, "rank 0 receives everything");
+    }
+
+    #[test]
+    fn apply_round_trips_old_to_new() {
+        // Pseudo-random but deterministic assignments over 6 ranks.
+        let old: Vec<u32> = (0..500u32).map(|v| (v * 7 + 3) % 6).collect();
+        let new: Vec<u32> = (0..500u32).map(|v| (v * 13 + 1) % 6).collect();
+        let plan = build_migration(&old, &new, 6);
+        let mut applied = old.clone();
+        plan.apply(&mut applied);
+        assert_eq!(applied, new, "applying the plan must reproduce the target assignment");
+    }
+
+    #[test]
+    fn apply_skips_unassigned_nodes() {
+        let old = vec![0u32, u32::MAX, 1, 2];
+        let new = vec![1u32, 0, u32::MAX, 2];
+        let plan = build_migration(&old, &new, 3);
+        let mut applied = old.clone();
+        plan.apply(&mut applied);
+        // Only node 0 had a real move; MAX-labeled endpoints stay put.
+        assert_eq!(applied, vec![1, u32::MAX, 1, 2]);
+    }
+
+    #[test]
+    fn empty_migration_fast_path() {
+        let asg: Vec<u32> = (0..64u32).map(|v| v % 4).collect();
+        let plan = build_migration(&asg, &asg, 4);
+        assert!(plan.is_empty());
+        assert_eq!(plan.traffic_matrix(), vec![0u64; 16]);
+        let mut applied = asg.clone();
+        plan.apply(&mut applied);
+        assert_eq!(applied, asg, "applying an empty plan is a no-op");
+    }
+
+    #[test]
+    fn agrees_with_updcomm_prediction_per_rank() {
+        // The UpdComm prediction (cip_partition::repart::migration_count)
+        // counts relabeled nodes; the executable plan must agree in total
+        // and per-rank: each rank sends exactly the nodes it lost.
+        let old: Vec<u32> = (0..200u32).map(|v| (v / 50) % 4).collect();
+        let mut new = old.clone();
+        for n in (0..200).step_by(9) {
+            new[n] = (old[n] + 1) % 4;
+        }
+        let plan = build_migration(&old, &new, 4);
+        assert_eq!(plan.total_moved(), cip_partition::repart::migration_count(&old, &new) as u64);
+        for r in 0..4u32 {
+            let sent: u64 = (0..4).map(|t| plan.moves[r as usize * 4 + t].len() as u64).sum();
+            let lost =
+                old.iter().zip(new.iter()).filter(|&(&o, &w)| o == r && w != r).count() as u64;
+            assert_eq!(sent, lost, "rank {r} send volume");
+        }
+    }
+
+    #[test]
+    fn recorded_migration_emits_span_and_counter() {
+        let old = vec![0u32, 0, 1, 1];
+        let new = vec![1u32, 0, 1, 0];
+        let rec = Recorder::enabled();
+        let plan = build_migration_recorded(&old, &new, 2, &rec);
+        assert_eq!(rec.counter_value("traffic.migrated_units"), plan.total_moved());
+        let summary = rec.summary().expect("recorder is enabled");
+        assert_eq!(summary.span("migrate.plan").map(|s| s.count), Some(1));
     }
 }

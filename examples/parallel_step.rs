@@ -57,6 +57,7 @@ fn main() {
             bodies: &bodies,
             filter: &filter,
             tolerance: 0.4,
+            recorder: cip::telemetry::Recorder::disabled(),
         });
         let predicted = halo_traffic(&view.graph2.graph, &asg_now, k);
         println!(

@@ -1,0 +1,114 @@
+//! `cip-trace` — run a simulation scenario with telemetry enabled and
+//! export the timeline.
+//!
+//! Executes the full MCML+DT pipeline (partition → DT-friendly correction
+//! → search tree → threaded rank executor → optional diffusion
+//! repartitioning) with a live [`cip::telemetry::Recorder`], then writes
+//!
+//! * `trace.json` — chrome://tracing timeline, one lane per logical rank
+//!   (open in `about:tracing` or <https://ui.perfetto.dev>),
+//! * `summary.json` — executed totals + aggregated span/counter/histogram
+//!   summary in the shared `cip-results-v1` envelope,
+//!
+//! and prints the summary table. The tool asserts that the telemetry
+//! counters equal the executed `TrafficLog` totals exactly before writing
+//! anything.
+//!
+//! ```text
+//! cip-trace --scenario head_on --k 8 --snapshots 20 --out results
+//! cip-trace --scenario thick_plates --k 4 --no-repart
+//! ```
+
+use cip::trace::{run_traced, scenario_config, TraceOptions};
+
+struct Args {
+    opts: TraceOptions,
+    out_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { opts: TraceOptions::default(), out_dir: "results".to_string() };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scenario" if i + 1 < argv.len() => {
+                args.opts.scenario = argv[i + 1].clone();
+                i += 2;
+            }
+            "--k" if i + 1 < argv.len() => {
+                args.opts.k = argv[i + 1].parse().expect("--k takes an integer");
+                i += 2;
+            }
+            "--snapshots" if i + 1 < argv.len() => {
+                args.opts.snapshots =
+                    Some(argv[i + 1].parse().expect("--snapshots takes an integer"));
+                i += 2;
+            }
+            "--seed" if i + 1 < argv.len() => {
+                args.opts.seed = argv[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--period" if i + 1 < argv.len() => {
+                args.opts.repartition_period =
+                    Some(argv[i + 1].parse().expect("--period takes an integer"));
+                i += 2;
+            }
+            "--no-repart" => {
+                args.opts.repartition_period = None;
+                i += 1;
+            }
+            "--out" if i + 1 < argv.len() => {
+                args.out_dir = argv[i + 1].clone();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
+                     blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
+                     [--period N | --no-repart] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if scenario_config(&args.opts.scenario).is_none() {
+        eprintln!("unknown scenario '{}' (try --help)", args.opts.scenario);
+        std::process::exit(2);
+    }
+    eprintln!("tracing scenario '{}' across {} rank threads...", args.opts.scenario, args.opts.k);
+    let report = run_traced(&args.opts).expect("scenario was validated above");
+    report.verify_totals().expect("telemetry counters must equal the executed TrafficLog totals");
+
+    eprintln!(
+        "\nexecuted {} steps: halo {}, shipments {}, migrated {}, pairs {} ({} repartitions)",
+        report.steps,
+        report.halo,
+        report.shipments,
+        report.migrated,
+        report.contact_pairs,
+        report.repartitions
+    );
+    print!("{}", report.summary().render());
+
+    let dir = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let trace_path = dir.join("trace.json");
+    std::fs::write(&trace_path, report.chrome_trace()).expect("write trace.json");
+    let summary_path = dir.join("summary.json");
+    std::fs::write(&summary_path, report.summary_json()).expect("write summary.json");
+    eprintln!(
+        "\nwrote {} and {} (load the trace in about:tracing or ui.perfetto.dev)",
+        trace_path.display(),
+        summary_path.display()
+    );
+}

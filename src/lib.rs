@@ -11,3 +11,6 @@ pub use cip_mesh as mesh;
 pub use cip_partition as partition;
 pub use cip_runtime as runtime;
 pub use cip_sim as sim;
+pub use cip_telemetry as telemetry;
+
+pub mod trace;

@@ -1,0 +1,331 @@
+//! Traced end-to-end execution — the engine behind the `cip-trace`
+//! binary.
+//!
+//! Runs a simulation scenario through the full MCML+DT pipeline — §4.2
+//! partitioning with DT-friendly correction, §4.1 search-tree induction
+//! (incrementally refreshed between steps), the threaded rank executor,
+//! and optional §4.3 diffusion repartitioning with executed migration —
+//! with an **enabled** [`Recorder`] threaded through every layer. The
+//! result is a chrome://tracing timeline (one lane per logical rank, the
+//! driver on its own lane above them) and a flat summary whose traffic
+//! counters equal the executed [`cip_runtime::TrafficLog`] exactly.
+
+use cip_contact::DtreeFilter;
+use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
+use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
+use cip_partition::{diffusion_repartition, partition_kway, PartitionerConfig};
+use cip_runtime::{build_decomposition, build_migration_recorded, execute_step, StepInput};
+use cip_sim::{scenarios, SimConfig};
+use cip_telemetry::{export::Summary, Recorder};
+
+/// What to run and how.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Scenario name (see [`scenario_config`] for the accepted names).
+    pub scenario: String,
+    /// Number of logical ranks.
+    pub k: usize,
+    /// Snapshot-count override (`None` = the scenario's default).
+    pub snapshots: Option<usize>,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Diffusion-repartition period (`None` = fixed decomposition).
+    pub repartition_period: Option<usize>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            scenario: "head_on".to_string(),
+            k: 4,
+            snapshots: None,
+            seed: 1,
+            repartition_period: Some(10),
+        }
+    }
+}
+
+/// Resolves a scenario name to its simulation config. Accepted names:
+/// `head_on`, `offset_strike`, `thick_plates`, `blunt_impactor`, and the
+/// unit-test-sized `tiny`.
+pub fn scenario_config(name: &str) -> Option<SimConfig> {
+    match name {
+        "head_on" => Some(scenarios::head_on()),
+        "offset_strike" => Some(scenarios::offset_strike()),
+        "thick_plates" => Some(scenarios::thick_plates()),
+        "blunt_impactor" => Some(scenarios::blunt_impactor()),
+        "tiny" => Some(SimConfig::tiny()),
+        _ => None,
+    }
+}
+
+/// A completed traced run: the recorder (still holding every event) plus
+/// the executed totals the telemetry must agree with.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// The recorder that observed the run.
+    pub recorder: Recorder,
+    /// Ranks used.
+    pub k: usize,
+    /// Steps executed.
+    pub steps: usize,
+    /// Total executed halo traffic (sum of per-step
+    /// [`cip_runtime::TrafficLog::total_halo`]).
+    pub halo: u64,
+    /// Total executed element shipments.
+    pub shipments: u64,
+    /// Total nodes migrated by repartitioning.
+    pub migrated: u64,
+    /// Total contact pairs detected.
+    pub contact_pairs: u64,
+    /// Repartitions performed.
+    pub repartitions: usize,
+}
+
+impl TraceReport {
+    /// The chrome://tracing JSON of the run.
+    pub fn chrome_trace(&self) -> String {
+        self.recorder.chrome_trace().expect("trace recorder is always enabled")
+    }
+
+    /// The aggregated span/counter/histogram summary.
+    pub fn summary(&self) -> Summary {
+        self.recorder.summary().expect("trace recorder is always enabled")
+    }
+
+    /// The executed totals as a JSON object (the `totals` field of
+    /// `summary.json`).
+    pub fn totals_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"k\":{},\"steps\":{},\"halo\":{},\"shipments\":{},",
+                "\"migrated\":{},\"contact_pairs\":{},\"repartitions\":{}}}"
+            ),
+            self.k,
+            self.steps,
+            self.halo,
+            self.shipments,
+            self.migrated,
+            self.contact_pairs,
+            self.repartitions,
+        )
+    }
+
+    /// The full `summary.json` document: executed totals next to the
+    /// telemetry summary, wrapped in the shared results envelope
+    /// ([`cip_core::RESULTS_SCHEMA`]).
+    pub fn summary_json(&self) -> String {
+        let payload = format!(
+            "{{\"totals\":{},\"telemetry\":{}}}",
+            self.totals_json(),
+            self.summary().to_json()
+        );
+        cip_core::results_document("trace-summary", &payload)
+    }
+
+    /// Verifies the acceptance invariant: the summary's traffic counters
+    /// equal the executed totals exactly. Returns an error message
+    /// naming the first mismatch.
+    pub fn verify_totals(&self) -> Result<(), String> {
+        let checks = [
+            ("traffic.halo_units", self.halo),
+            ("traffic.shipment_units", self.shipments),
+            ("traffic.migrated_units", self.migrated),
+        ];
+        for (name, expect) in checks {
+            let got = self.recorder.counter_value(name);
+            if got != expect {
+                return Err(format!("counter {name} = {got}, executed total = {expect}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `opts` end to end with telemetry enabled.
+///
+/// Returns `Err` only for an unknown scenario name.
+pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
+    let mut scfg = scenario_config(&opts.scenario)
+        .ok_or_else(|| format!("unknown scenario '{}'", opts.scenario))?;
+    if let Some(s) = opts.snapshots {
+        scfg.snapshots = s;
+    }
+    let sim = cip_sim::run(&scfg);
+    let k = opts.k;
+
+    let rec = Recorder::enabled();
+    // Ranks own lanes 0..k; the driver thread sits above them.
+    rec.set_lane(k as u32);
+    rec.name_lane(k as u32, "driver");
+
+    let mut pcfg = PartitionerConfig::with_seed(opts.seed);
+    pcfg.recorder = rec.clone();
+
+    // Initial MCML+DT decomposition on snapshot 0.
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let mut asg = partition_kway(&view0.graph2.graph, k, &pcfg);
+    let positions: Vec<_> =
+        view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
+    dt_friendly_correct(&view0.graph2.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
+    let mut node_parts = view0.graph2.assignment_on_nodes(&asg);
+
+    let dcfg = DtreeConfig::search_tree();
+    let mut tree: Option<DecisionTree<3>> = None;
+    let mut report = TraceReport {
+        recorder: rec.clone(),
+        k,
+        steps: sim.len(),
+        halo: 0,
+        shipments: 0,
+        migrated: 0,
+        contact_pairs: 0,
+        repartitions: 0,
+    };
+
+    for i in 0..sim.len() {
+        let mut step_span = rec.span("trace.step").attr("step", i);
+        let view = SnapshotView::build(&sim, i, 5);
+
+        // §4.3 hybrid policy: periodic diffusion repartition + executed
+        // migration.
+        if let Some(period) = opts.repartition_period {
+            if i > 0 && i % period == 0 {
+                let old: Vec<u32> =
+                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+                let fresh = diffusion_repartition(&view.graph2.graph, k, &old, &pcfg);
+                let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
+                let plan = build_migration_recorded(&node_parts, &new_node_parts, k, &rec);
+                report.migrated += plan.total_moved();
+                report.repartitions += 1;
+                for (n, &p) in new_node_parts.iter().enumerate() {
+                    if p != u32::MAX {
+                        node_parts[n] = p;
+                    }
+                }
+                // The decomposition changed: the old tree no longer
+                // matches the labels, so induce from scratch.
+                tree = None;
+            }
+        }
+
+        let asg_now: Vec<u32> =
+            view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+        let elements = view.surface_elements(&node_parts);
+        let bodies = view.face_bodies();
+        let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+        let decomposition = build_decomposition(
+            &view.graph2.graph,
+            &view.graph2.node_of_vertex,
+            &asg_now,
+            &owners,
+            k,
+        );
+
+        // Search tree: fresh induction on the first step (and after
+        // repartitions), incremental refresh otherwise.
+        let labels = view.contact.labels_from_node_parts(&node_parts);
+        let new_tree = match &tree {
+            None => induce_recorded(&view.contact.positions, &labels, k, &dcfg, &rec),
+            Some(t) => refresh_recorded(t, &view.contact.positions, &labels, k, &dcfg, &rec).0,
+        };
+        let filter = DtreeFilter::new(&new_tree, k);
+
+        let out = execute_step(&StepInput {
+            decomposition: &decomposition,
+            positions: &view.mesh.points,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.4,
+            recorder: rec.clone(),
+        });
+        assert_eq!(out.ghost_mismatches, 0, "step {i}: halo exchange delivered stale ghosts");
+        report.halo += out.traffic.total_halo();
+        report.shipments += out.traffic.total_shipments();
+        report.contact_pairs += out.contact_pairs.len() as u64;
+        step_span.set_attr("halo", out.traffic.total_halo());
+        step_span.set_attr("shipments", out.traffic.total_shipments());
+        step_span.set_attr("pairs", out.contact_pairs.len());
+        tree = Some(new_tree);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_telemetry::json;
+
+    fn tiny_report() -> TraceReport {
+        run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 2,
+            snapshots: Some(4),
+            seed: 7,
+            repartition_period: Some(2),
+        })
+        .expect("tiny scenario runs")
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        let err =
+            run_traced(&TraceOptions { scenario: "bogus".to_string(), ..TraceOptions::default() });
+        assert!(err.is_err());
+        assert!(scenario_config("head_on").is_some());
+        assert!(scenario_config("bogus").is_none());
+    }
+
+    #[test]
+    fn summary_totals_match_traffic_log() {
+        let report = tiny_report();
+        report.verify_totals().expect("summary counters must equal executed totals");
+        assert!(report.repartitions >= 1, "period 2 over 4 snapshots must repartition");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_rank_lanes() {
+        let report = tiny_report();
+        let trace = report.chrome_trace();
+        json::validate(&trace).expect("chrome trace must be valid JSON");
+        // One thread-name row per rank, plus the phase spans on them.
+        for rank in 0..report.k {
+            assert!(trace.contains(&format!("\"rank {rank}\"")), "missing lane for rank {rank}");
+        }
+        assert!(trace.contains("\"driver\""), "missing the driver lane label");
+        for name in
+            ["exec.halo", "exec.ship", "exec.drain", "exec.search", "dtree.induce", "trace.step"]
+        {
+            assert!(trace.contains(&format!("\"name\":\"{name}\"")), "missing span {name}");
+        }
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_self_describing() {
+        let report = tiny_report();
+        let doc = report.summary_json();
+        json::validate(&doc).expect("summary.json must be valid JSON");
+        assert!(doc.contains(&format!("\"schema\":\"{}\"", cip_core::RESULTS_SCHEMA)));
+        assert!(doc.contains("\"totals\":"));
+        assert!(doc.contains("traffic.halo_units"));
+    }
+
+    #[test]
+    fn refresh_is_exercised_between_steps() {
+        let report = run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 2,
+            snapshots: Some(3),
+            seed: 1,
+            repartition_period: None,
+        })
+        .expect("tiny scenario runs");
+        let summary = report.summary();
+        // 1 fresh induction + 2 incremental refreshes (refresh may nest
+        // further inductions for impure leaves, so only a lower bound on
+        // induce counts holds).
+        assert_eq!(summary.span("dtree.refresh").map(|s| s.count), Some(2));
+        assert!(summary.span("dtree.induce").map(|s| s.count).unwrap_or(0) >= 1);
+    }
+}

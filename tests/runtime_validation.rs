@@ -59,6 +59,7 @@ fn run_step(
         bodies: &bodies,
         filter: &filter,
         tolerance,
+        recorder: cip::telemetry::Recorder::disabled(),
     });
     (out, elements, bodies)
 }
