@@ -1,0 +1,189 @@
+//! Uncoarsening-phase refinement throughput: the boundary-driven k-way
+//! sweep (sequential vs deterministic propose-then-resolve parallel), the
+//! full multilevel k-way driver it lives inside, and 2-way FM — plus a
+//! steady-state allocation check proving the workspace-resident paths are
+//! allocation-free once warm.
+//!
+//! `sequential` pins `parallel_threshold = usize::MAX`; `parallel` pins it
+//! to 0 so every pass takes the propose-then-resolve path (bit-identical
+//! at any rayon thread count). The allocation check runs before the
+//! criterion groups in the custom `main`: a warmed [`RefineWorkspace`]
+//! must serve a second `refine_kway_with` + `balance_kway_with` +
+//! `fm_refine_with` round with **zero** heap allocations (sequential path
+//! only — the rayon runtime itself allocates on the parallel path).
+
+use cip_graph::{Graph, GraphBuilder};
+use cip_partition::fm::BisectTargets;
+use cip_partition::{
+    balance_kway_with, fm_refine_with, partition_kway_multilevel, refine_kway_with,
+    PartitionerConfig, RefineWorkspace,
+};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting wrapper around the system allocator: every `alloc`/`realloc`
+/// bumps a global counter the steady-state check snapshots.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Two-constraint grid graph, the paper's surface-weight pattern.
+fn grid(nx: usize, ny: usize) -> Graph {
+    let mut b = GraphBuilder::new(nx * ny, 2);
+    let id = |i: usize, j: usize| (j * nx + i) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            b.set_vwgt(id(i, j), &[1, i64::from(border)]);
+            if i + 1 < nx {
+                b.add_edge(id(i, j), id(i + 1, j), 1);
+            }
+            if j + 1 < ny {
+                b.add_edge(id(i, j), id(i, j + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Diagonal-stripe start: balanced but with a terrible cut, so refinement
+/// has a full boundary of strictly improving moves to chew through.
+fn diagonal_start(side: usize, k: usize) -> Vec<u32> {
+    (0..side * side).map(|v| (((v % side) + (v / side)) % k) as u32).collect()
+}
+
+/// Zero-allocation steady state: after one warm-up round, re-running the
+/// sequential k-way refine + balance and 2-way FM against an identical
+/// starting assignment must not touch the allocator at all.
+fn assert_zero_alloc_steady_state() {
+    let side = 128;
+    let k = 8;
+    let g = grid(side, side);
+    let start = diagonal_start(side, k);
+    let cfg =
+        PartitionerConfig { parallel_threshold: usize::MAX, ..PartitionerConfig::with_seed(3) };
+    let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.05]);
+    let bis_start: Vec<u32> = (0..side * side).map(|v| ((v % side) % 2) as u32).collect();
+
+    let mut ws = RefineWorkspace::new();
+    // Warm-up round: buffers grow to their high-water marks here.
+    let mut asg = start.clone();
+    refine_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+    balance_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+    let mut bis = bis_start.clone();
+    fm_refine_with(&g, &mut bis, &targets, cfg.fm_passes, cfg.transient_violation, &mut ws);
+
+    // Measured round: identical inputs, warmed workspace.
+    asg.copy_from_slice(&start);
+    bis.copy_from_slice(&bis_start);
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    refine_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+    balance_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+    fm_refine_with(&g, &mut bis, &targets, cfg.fm_passes, cfg.transient_violation, &mut ws);
+    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state refine_kway_with/balance_kway_with/fm_refine_with must not allocate"
+    );
+    eprintln!("alloc check: 0 heap allocations in warmed refine/balance/fm round");
+    black_box(asg.len() + bis.len());
+}
+
+fn bench_refine_kway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+
+    // 16k (medium), 65k, 262k (≳ the paper's 156k-node EPIC mesh).
+    for &side in &[128usize, 256, 512] {
+        let g = grid(side, side);
+        let n = side * side;
+        let k = 8;
+        let start = diagonal_start(side, k);
+        for (label, threshold) in [("sequential", usize::MAX), ("parallel", 0usize)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                let cfg = PartitionerConfig {
+                    parallel_threshold: threshold,
+                    ..PartitionerConfig::with_seed(7)
+                };
+                let mut ws = RefineWorkspace::new();
+                let mut asg = start.clone();
+                b.iter(|| {
+                    asg.copy_from_slice(&start);
+                    refine_kway_with(g, k, &mut asg, &cfg, &mut ws);
+                    black_box(asg.last().copied())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kway_ml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_ml");
+    group.sample_size(10);
+
+    for &side in &[128usize, 256] {
+        let g = grid(side, side);
+        let n = side * side;
+        for (label, threshold) in [("sequential", usize::MAX), ("parallel", 0usize)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                let cfg = PartitionerConfig {
+                    parallel_threshold: threshold,
+                    ..PartitionerConfig::with_seed(11)
+                };
+                b.iter(|| black_box(partition_kway_multilevel(g, 8, &cfg)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm");
+    group.sample_size(10);
+
+    for &side in &[128usize, 256] {
+        let g = grid(side, side);
+        let n = side * side;
+        let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.05]);
+        // Interleaved columns: every vertex on the boundary.
+        let start: Vec<u32> = (0..n).map(|v| ((v % side) % 2) as u32).collect();
+        group.bench_with_input(BenchmarkId::new("refine", n), &g, |b, g| {
+            let mut ws = RefineWorkspace::new();
+            let mut asg = start.clone();
+            b.iter(|| {
+                asg.copy_from_slice(&start);
+                black_box(fm_refine_with(g, &mut asg, &targets, 4, 0.02, &mut ws))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine_kway, bench_kway_ml, bench_fm);
+
+fn main() {
+    assert_zero_alloc_steady_state();
+    benches();
+}

@@ -1,0 +1,181 @@
+//! Partition-benchmark snapshot for CI: times the hot partitioner paths
+//! (multilevel k-way, recursive bisection, the boundary-driven k-way
+//! refinement sweep sequential vs parallel, 2-way FM, and the grid broad
+//! phase) with plain `Instant` timing and writes
+//! `results/BENCH_partition.json` in the shared `cip-results-v1` envelope
+//! so CI can upload it as an artifact and successive runs can be diffed.
+//!
+//! Usage: `cargo run --release -p cip-bench --bin bench_snapshot
+//! [--side N] [--reps R]` (defaults: 256, 5). Wall-clock numbers are
+//! machine-dependent; the snapshot records the rayon thread count so
+//! comparisons across runs stay honest.
+
+use cip_bench::write_json;
+use cip_contact::find_contact_pairs;
+use cip_geom::{Aabb, Point};
+use cip_graph::{edge_cut, Graph, GraphBuilder};
+use cip_partition::fm::BisectTargets;
+use cip_partition::{
+    fm_refine_with, partition_kway, partition_kway_multilevel, refine_kway_with, PartitionerConfig,
+    RefineWorkspace,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRow {
+    /// Benchmark id, e.g. `refine_kway/parallel`.
+    name: String,
+    /// Problem size (vertices or boxes).
+    n: usize,
+    /// Part count (0 where not applicable).
+    k: usize,
+    /// Timed repetitions (after one untimed warm-up).
+    reps: usize,
+    /// Fastest repetition, milliseconds.
+    min_ms: f64,
+    /// Median repetition, milliseconds.
+    median_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    /// Rayon worker count the numbers were taken with.
+    threads: usize,
+    /// Grid side length used for the graph benchmarks.
+    side: usize,
+    rows: Vec<BenchRow>,
+}
+
+/// Two-constraint grid graph, the paper's surface-weight pattern.
+fn grid(nx: usize, ny: usize) -> Graph {
+    let mut b = GraphBuilder::new(nx * ny, 2);
+    let id = |i: usize, j: usize| (j * nx + i) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            let border = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            b.set_vwgt(id(i, j), &[1, i64::from(border)]);
+            if i + 1 < nx {
+                b.add_edge(id(i, j), id(i + 1, j), 1);
+            }
+            if j + 1 < ny {
+                b.add_edge(id(i, j), id(i, j + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Runs `f` once untimed (warm-up) then `reps` times timed; returns
+/// `(min_ms, median_ms)`.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[0], samples[reps / 2])
+}
+
+fn main() {
+    let mut side = 256usize;
+    let mut reps = 5usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--side" if i + 1 < args.len() => {
+                side = args[i + 1].parse().unwrap_or(side);
+                i += 2;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or(reps).max(1);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+
+    let g = grid(side, side);
+    let n = side * side;
+    let k = 8usize;
+    let start: Vec<u32> = (0..n).map(|v| (((v % side) + (v / side)) % k) as u32).collect();
+    let threads = rayon::current_num_threads();
+    eprintln!("bench snapshot: side={side} ({n} vertices), k={k}, reps={reps}, {threads} threads");
+
+    let mut rows = Vec::new();
+    let mut push = |name: &str, n: usize, k: usize, (min_ms, median_ms): (f64, f64)| {
+        eprintln!("  {name:<28} min {min_ms:9.2} ms   median {median_ms:9.2} ms");
+        rows.push(BenchRow { name: name.to_string(), n, k, reps, min_ms, median_ms });
+    };
+
+    // Refinement sweep in isolation, sequential vs propose-then-resolve.
+    for (label, threshold) in [("sequential", usize::MAX), ("parallel", 0usize)] {
+        let cfg =
+            PartitionerConfig { parallel_threshold: threshold, ..PartitionerConfig::with_seed(7) };
+        let mut ws = RefineWorkspace::new();
+        let mut asg = start.clone();
+        let timing = time_reps(reps, || {
+            asg.copy_from_slice(&start);
+            refine_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+        });
+        push(&format!("refine_kway/{label}"), n, k, timing);
+        eprintln!("    cut {} -> {}", edge_cut(&g, &start), edge_cut(&g, &asg));
+    }
+
+    // Full drivers (coarsening + initial partition + uncoarsening).
+    for (label, threshold) in [("sequential", usize::MAX), ("parallel", 0usize)] {
+        let cfg =
+            PartitionerConfig { parallel_threshold: threshold, ..PartitionerConfig::with_seed(11) };
+        let timing = time_reps(reps, || {
+            std::hint::black_box(partition_kway_multilevel(&g, k, &cfg));
+        });
+        push(&format!("partition_kway_multilevel/{label}"), n, k, timing);
+    }
+    {
+        let cfg = PartitionerConfig::with_seed(13);
+        let timing = time_reps(reps, || {
+            std::hint::black_box(partition_kway(&g, k, &cfg));
+        });
+        push("partition_kway", n, k, timing);
+    }
+
+    // 2-way FM on an interleaved-column start (every vertex boundary).
+    {
+        let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.05]);
+        let bis_start: Vec<u32> = (0..n).map(|v| ((v % side) % 2) as u32).collect();
+        let mut ws = RefineWorkspace::new();
+        let mut asg = bis_start.clone();
+        let timing = time_reps(reps, || {
+            asg.copy_from_slice(&bis_start);
+            std::hint::black_box(fm_refine_with(&g, &mut asg, &targets, 4, 0.02, &mut ws));
+        });
+        push("fm_refine", n, 2, timing);
+    }
+
+    // Grid broad phase: jittered lattice of boxes from two bodies.
+    {
+        let boxes: Vec<Aabb<2>> = (0..n)
+            .map(|v| {
+                let (x, y) = ((v % side) as f64, (v / side) as f64);
+                let j = ((v * 2_654_435_761) % 97) as f64 / 97.0 * 0.3;
+                Aabb::new(Point::new([x + j, y + j]), Point::new([x + j + 1.1, y + j + 1.1]))
+            })
+            .collect();
+        let body: Vec<u16> = (0..n).map(|v| (v % 2) as u16).collect();
+        let timing = time_reps(reps, || {
+            std::hint::black_box(find_contact_pairs(&boxes, &body, 0.05));
+        });
+        push("find_contact_pairs", n, 0, timing);
+    }
+
+    let snapshot = Snapshot { threads, side, rows };
+    write_json("BENCH_partition", &snapshot);
+}

@@ -34,20 +34,24 @@ pub fn find_contact_pairs<const D: usize>(
 ) -> Vec<ContactPair> {
     assert_eq!(boxes.len(), body.len(), "one body id per element");
     let grid = UniformGrid::build_auto(boxes);
+    // One (stamp scratch, candidate buffer) per worker via map_init, so
+    // the hot query loop does not allocate per element.
     let mut pairs: Vec<ContactPair> = (0..boxes.len() as u32)
         .into_par_iter()
-        .map(|a| {
-            let mut local = Vec::new();
-            let mut out = Vec::new();
-            let q = boxes[a as usize].inflate(tolerance);
-            grid.query(&q, &mut out);
-            for &b in &out {
-                if b > a && body[a as usize] != body[b as usize] {
-                    local.push(ContactPair { a, b });
+        .map_init(
+            || (grid.scratch(), Vec::new()),
+            |(scratch, out), a| {
+                let q = boxes[a as usize].inflate(tolerance);
+                grid.query(&q, scratch, out);
+                let mut local = Vec::new();
+                for &b in out.iter() {
+                    if b > a && body[a as usize] != body[b as usize] {
+                        local.push(ContactPair { a, b });
+                    }
                 }
-            }
-            local
-        })
+                local
+            },
+        )
         .flatten()
         .collect();
     pairs.sort_unstable();

@@ -38,25 +38,29 @@ pub fn find_node_face_contacts<const D: usize>(
     assert_eq!(faces.len(), face_body.len(), "one body per face");
     let grid = UniformGrid::build_auto(faces);
     let tol2 = tolerance * tolerance;
+    // One (stamp scratch, candidate buffer) per worker via map_init, so
+    // the hot query loop does not allocate per node.
     let mut contacts: Vec<NodeFaceContact> = nodes
         .par_iter()
         .enumerate()
-        .map(|(n, p)| {
-            let mut local = Vec::new();
-            let mut out = Vec::new();
-            let q = Aabb::from_point(*p).inflate(tolerance);
-            grid.query(&q, &mut out);
-            for &f in &out {
-                if node_body[n] == face_body[f as usize] {
-                    continue;
+        .map_init(
+            || (grid.scratch(), Vec::new()),
+            |(scratch, out), (n, p)| {
+                let q = Aabb::from_point(*p).inflate(tolerance);
+                grid.query(&q, scratch, out);
+                let mut local = Vec::new();
+                for &f in out.iter() {
+                    if node_body[n] == face_body[f as usize] {
+                        continue;
+                    }
+                    let d2 = faces[f as usize].dist2_to_point(p);
+                    if d2 <= tol2 {
+                        local.push(NodeFaceContact { node: n as u32, face: f, dist2: d2 });
+                    }
                 }
-                let d2 = faces[f as usize].dist2_to_point(p);
-                if d2 <= tol2 {
-                    local.push(NodeFaceContact { node: n as u32, face: f, dist2: d2 });
-                }
-            }
-            local
-        })
+                local
+            },
+        )
         .flatten()
         .collect();
     contacts.sort_by_key(|c| (c.node, c.face));

@@ -8,7 +8,8 @@
 //! feasible result (lowest cut) is kept.
 
 use crate::config::{child_seed, PartitionerConfig};
-use crate::fm::{fm_refine, rebalance_bisection, side_weights, BisectTargets};
+use crate::fm::{fm_refine_with, rebalance_bisection, side_weights, BisectTargets};
+use crate::RefineWorkspace;
 use cip_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -26,13 +27,25 @@ pub fn greedy_bisection(
     cfg: &PartitionerConfig,
     seed: u64,
 ) -> Vec<u32> {
+    greedy_bisection_with(g, targets, cfg, seed, &mut RefineWorkspace::new())
+}
+
+/// [`greedy_bisection`] with a reusable workspace: the FM polish of every
+/// attempt shares the workspace's scratch, so restarts stop re-allocating.
+pub fn greedy_bisection_with(
+    g: &Graph,
+    targets: &BisectTargets,
+    cfg: &PartitionerConfig,
+    seed: u64,
+    ws: &mut RefineWorkspace,
+) -> Vec<u32> {
     assert!(g.nv() >= 2, "bisection needs at least two vertices");
     let mut best: Option<(f64, i64, Vec<u32>)> = None;
     for t in 0..cfg.init_tries.max(1) {
         let try_seed = child_seed(seed, 0xB15EC7 + t as u64);
         let mut asg = grow_once(g, targets, try_seed);
         rebalance_bisection(g, &mut asg, targets);
-        let cut = fm_refine(g, &mut asg, targets, cfg.fm_passes);
+        let cut = fm_refine_with(g, &mut asg, targets, cfg.fm_passes, cfg.transient_violation, ws);
         let violation = targets.violation(&side_weights(g, &asg));
         let key = (violation, cut);
         if best.as_ref().is_none_or(|(bv, bc, _)| key < (*bv, *bc)) {

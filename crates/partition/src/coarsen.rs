@@ -90,7 +90,18 @@ impl Hierarchy {
     /// Projects a part assignment of level `lvl`'s coarse graph onto its
     /// fine graph.
     pub fn project(&self, lvl: usize, coarse_asg: &[u32]) -> Vec<u32> {
-        self.levels[lvl].map.iter().map(|&c| coarse_asg[c as usize]).collect()
+        let mut out = Vec::new();
+        self.project_into(lvl, coarse_asg, &mut out);
+        out
+    }
+
+    /// [`Self::project`] into a caller-owned buffer, so the uncoarsening
+    /// loop can ping-pong two assignment buffers instead of allocating a
+    /// fresh `Vec` per level.
+    pub fn project_into(&self, lvl: usize, coarse_asg: &[u32], out: &mut Vec<u32>) {
+        let map = &self.levels[lvl].map;
+        out.clear();
+        out.extend(map.iter().map(|&c| coarse_asg[c as usize]));
     }
 }
 

@@ -34,6 +34,15 @@ pub struct PartitionerConfig {
     /// Rounds cap for the parallel matcher's propose-then-resolve loop
     /// (it also stops as soon as a round stops matching new vertices).
     pub matching_rounds: usize,
+    /// Rounds cap per k-way refinement pass for the parallel
+    /// (propose-then-resolve) sweep used on graphs at or above
+    /// `parallel_threshold` vertices (the sweep also stops as soon as a
+    /// round commits no move).
+    pub refine_rounds: usize,
+    /// Largest *transient* balance violation an FM hill-climb may cross
+    /// mid-pass (the best-prefix rollback never commits to a state less
+    /// feasible than the start, so this only widens the search).
+    pub transient_violation: f64,
     /// Telemetry sink. Disabled by default; when enabled, the partitioner
     /// emits per-level coarsen/match/contract/initial/refine spans (see
     /// DESIGN.md §6). A disabled recorder costs one branch per event.
@@ -51,6 +60,8 @@ impl Default for PartitionerConfig {
             kway_passes: 6,
             parallel_threshold: 4096,
             matching_rounds: 8,
+            refine_rounds: 8,
+            transient_violation: 0.02,
             recorder: Recorder::disabled(),
         }
     }

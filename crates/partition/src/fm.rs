@@ -8,10 +8,25 @@
 //! partition, or after the paper's majority-relabel step), moves that
 //! reduce the total violation are admitted even if the destination is over
 //! cap, so refinement doubles as balance repair.
+//!
+//! Gains are never recomputed from scratch: the [`FmScratch`] inside
+//! [`crate::RefineWorkspace`] keeps the internal degree `id[v]` (edge
+//! weight from `v` into its own side) incrementally updated on every move
+//! and rollback. With the graph-constant weighted degree `tdeg[v]`, the
+//! external degree is `ed[v] = tdeg[v] - id[v]` and the FM gain is
+//! `ed - id = tdeg - 2·id` — the METIS id/ed invariant. The boundary set
+//! (`ed > 0`) is maintained the same way, so each pass seeds its queue
+//! from the boundary list instead of scanning every vertex, and the
+//! post-rollback cut is updated move-by-move instead of recomputed in
+//! `O(|E|)`.
 
 use cip_graph::Graph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Default largest transient violation an FM hill-climb may cross (see
+/// [`crate::PartitionerConfig::transient_violation`]).
+pub(crate) const DEFAULT_TRANSIENT_VIOLATION: f64 = 0.02;
 
 /// Balance targets for a bisection.
 ///
@@ -91,6 +106,258 @@ pub fn bisection_cut(g: &Graph, asg: &[u32]) -> i64 {
     cip_graph::edge_cut(g, asg)
 }
 
+/// Reusable 2-way FM scratch: id/ed degrees, boundary set, move queue and
+/// move log. Lives inside [`crate::RefineWorkspace`]; all buffers are
+/// resized (never shrunk) per call, so repeated refinement at a given
+/// graph size performs no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct FmScratch {
+    /// Weighted degree per vertex (graph-constant within one call).
+    tdeg: Vec<i64>,
+    /// Edge weight from `v` into its own side (`ed = tdeg - id`).
+    id: Vec<i64>,
+    /// Moved-this-pass flags.
+    moved: Vec<bool>,
+    /// Lazy max-queue of `(gain, Reverse(vertex))`; stale entries are
+    /// skipped on pop by re-deriving the gain from `id`.
+    heap: BinaryHeap<(i64, Reverse<u32>)>,
+    /// Boundary vertices (every `v` with `ed[v] > 0`), unordered.
+    bnd: Vec<u32>,
+    /// Position of `v` in `bnd`, or `u32::MAX` when interior.
+    bnd_pos: Vec<u32>,
+    /// Committed moves of the current pass, in order.
+    log: Vec<u32>,
+    /// Side weights (`2 * ncon`, side-major).
+    sw: Vec<i64>,
+}
+
+impl FmScratch {
+    /// (Re)derives every structure from `asg`: degrees, boundary set, side
+    /// weights. Returns the current cut (from `Σ ed = 2·cut`).
+    fn init(&mut self, g: &Graph, asg: &[u32]) -> i64 {
+        let nv = g.nv();
+        let ncon = g.ncon();
+        self.tdeg.clear();
+        self.tdeg.resize(nv, 0);
+        self.id.clear();
+        self.id.resize(nv, 0);
+        self.moved.clear();
+        self.moved.resize(nv, false);
+        self.bnd.clear();
+        self.bnd_pos.clear();
+        self.bnd_pos.resize(nv, u32::MAX);
+        self.heap.clear();
+        self.log.clear();
+        self.sw.clear();
+        self.sw.resize(2 * ncon, 0);
+
+        let mut ed_sum = 0i64;
+        for v in 0..nv as u32 {
+            let side = asg[v as usize];
+            let mut td = 0i64;
+            let mut idv = 0i64;
+            for (u, w) in g.neighbors(v) {
+                td += w;
+                if asg[u as usize] == side {
+                    idv += w;
+                }
+            }
+            self.tdeg[v as usize] = td;
+            self.id[v as usize] = idv;
+            ed_sum += td - idv;
+            if td > idv {
+                self.bnd_pos[v as usize] = self.bnd.len() as u32;
+                self.bnd.push(v);
+            }
+            let base = side as usize * ncon;
+            for (j, x) in g.vwgt(v).iter().enumerate() {
+                self.sw[base + j] += x;
+            }
+        }
+        ed_sum / 2
+    }
+
+    /// Current FM gain of `v` (`ed - id`).
+    #[inline]
+    fn gain(&self, v: u32) -> i64 {
+        self.tdeg[v as usize] - 2 * self.id[v as usize]
+    }
+
+    /// Re-syncs `v`'s boundary membership with its current `ed`.
+    #[inline]
+    fn sync_bnd(&mut self, v: u32) {
+        let on = self.tdeg[v as usize] > self.id[v as usize];
+        let pos = self.bnd_pos[v as usize];
+        if on && pos == u32::MAX {
+            self.bnd_pos[v as usize] = self.bnd.len() as u32;
+            self.bnd.push(v);
+        } else if !on && pos != u32::MAX {
+            let last = *self.bnd.last().unwrap();
+            self.bnd.swap_remove(pos as usize);
+            if last != v {
+                self.bnd_pos[last as usize] = pos;
+            }
+            self.bnd_pos[v as usize] = u32::MAX;
+        }
+    }
+
+    /// Flips `v` to the other side, updating `asg`, side weights, id
+    /// degrees and boundary membership of `v` and its neighbors. Returns
+    /// the gain the flip realized (callers subtract it from the cut).
+    fn flip(&mut self, g: &Graph, asg: &mut [u32], v: u32, ncon: usize) -> i64 {
+        let gain = self.gain(v);
+        let from = asg[v as usize] as usize;
+        let to = 1 - from;
+        for (j, w) in g.vwgt(v).iter().enumerate() {
+            self.sw[from * ncon + j] -= w;
+            self.sw[to * ncon + j] += w;
+        }
+        asg[v as usize] = to as u32;
+        // 2-way: the weight to the new side is everything that was not on
+        // the old side.
+        self.id[v as usize] = self.tdeg[v as usize] - self.id[v as usize];
+        self.sync_bnd(v);
+        for (u, w) in g.neighbors(v) {
+            if asg[u as usize] as usize == from {
+                self.id[u as usize] -= w;
+            } else {
+                self.id[u as usize] += w;
+            }
+            self.sync_bnd(u);
+        }
+        gain
+    }
+}
+
+/// Runs up to `passes` FM passes on the bisection `asg`, returning the
+/// final cut. `asg` must contain only sides 0 and 1.
+pub fn fm_refine(g: &Graph, asg: &mut [u32], targets: &BisectTargets, passes: usize) -> i64 {
+    fm_refine_with(
+        g,
+        asg,
+        targets,
+        passes,
+        DEFAULT_TRANSIENT_VIOLATION,
+        &mut crate::RefineWorkspace::new(),
+    )
+}
+
+/// [`fm_refine`] with an explicit transient-violation bound and a reusable
+/// workspace: repeated calls (across passes, uncoarsening levels, or
+/// `init_tries` restarts) perform no heap allocation once the workspace
+/// has grown to the finest graph's size.
+pub fn fm_refine_with(
+    g: &Graph,
+    asg: &mut [u32],
+    targets: &BisectTargets,
+    passes: usize,
+    transient_violation: f64,
+    ws: &mut crate::RefineWorkspace,
+) -> i64 {
+    let scratch = &mut ws.fm;
+    let mut cut = scratch.init(g, asg);
+    for _ in 0..passes {
+        let improved = fm_pass(g, asg, targets, transient_violation, scratch, &mut cut);
+        if !improved {
+            break;
+        }
+    }
+    debug_assert_eq!(cut, bisection_cut(g, asg));
+    cut
+}
+
+/// One FM pass over `scratch`'s boundary set. Returns whether the pass
+/// strictly improved (cut, violation) lexicographically with violation
+/// first. `scratch` must be in sync with `asg` on entry and is left in
+/// sync on exit (including after rollback).
+#[allow(clippy::needless_range_loop)] // indexing lets us push to the heap mid-loop
+fn fm_pass(
+    g: &Graph,
+    asg: &mut [u32],
+    targets: &BisectTargets,
+    transient_violation: f64,
+    scratch: &mut FmScratch,
+    cut: &mut i64,
+) -> bool {
+    let nv = g.nv();
+    let ncon = g.ncon();
+    scratch.moved.fill(false);
+    scratch.log.clear();
+    scratch.heap.clear();
+    for i in 0..scratch.bnd.len() {
+        let v = scratch.bnd[i];
+        scratch.heap.push((scratch.gain(v), Reverse(v)));
+    }
+
+    let start_violation = targets.violation(&scratch.sw);
+    let start_cut = *cut;
+    // Best state seen: (violation, cut) lexicographic, preferring lower
+    // violation, then lower cut. Index = number of applied moves.
+    let mut best_key = (start_violation, start_cut);
+    let mut best_len = 0usize;
+    let limit = (nv / 50).clamp(32, 2048);
+
+    while let Some((gain, Reverse(v))) = scratch.heap.pop() {
+        if scratch.moved[v as usize] || scratch.gain(v) != gain {
+            continue; // stale entry
+        }
+        let from = asg[v as usize] as usize;
+        let to = 1 - from;
+
+        // Tentative side weights after the move.
+        for (j, w) in g.vwgt(v).iter().enumerate() {
+            scratch.sw[from * ncon + j] -= w;
+            scratch.sw[to * ncon + j] += w;
+        }
+        let violation_after = targets.violation(&scratch.sw);
+        // Roll the weights back; we only commit below.
+        for (j, w) in g.vwgt(v).iter().enumerate() {
+            scratch.sw[from * ncon + j] += w;
+            scratch.sw[to * ncon + j] -= w;
+        }
+        let violation_now = targets.violation(&scratch.sw);
+        // Admissible moves either keep the violation from growing (within-
+        // cap moves always qualify, and over-cap starts can still be
+        // repaired) or incur only a small *transient* violation — the pass
+        // may cross the balance line while hill-climbing, because the
+        // best-prefix rollback below never commits to a state less
+        // feasible than the start.
+        if violation_after > violation_now + 1e-12 && violation_after > transient_violation {
+            continue;
+        }
+
+        // Commit the move; `flip` updates sw, id/ed and the boundary set.
+        *cut -= scratch.flip(g, asg, v, ncon);
+        scratch.moved[v as usize] = true;
+        scratch.log.push(v);
+
+        for (u, _) in g.neighbors(v) {
+            if !scratch.moved[u as usize] {
+                scratch.heap.push((scratch.gain(u), Reverse(u)));
+            }
+        }
+
+        let key = (violation_after, *cut);
+        if key < best_key {
+            best_key = key;
+            best_len = scratch.log.len();
+        }
+        if scratch.log.len() - best_len > limit {
+            break; // hill climb exhausted
+        }
+    }
+
+    // Roll back every move after the best prefix, updating the cut
+    // incrementally (the flip's gain is exact under the maintained id/ed).
+    for i in (best_len..scratch.log.len()).rev() {
+        let v = scratch.log[i];
+        *cut -= scratch.flip(g, asg, v, ncon);
+    }
+    debug_assert_eq!(*cut, bisection_cut(g, asg));
+
+    (targets.violation(&scratch.sw), *cut) < (start_violation, start_cut)
+}
+
 /// FM gain of moving `v` to the other side: external minus internal degree.
 fn gain_of(g: &Graph, asg: &[u32], v: u32) -> i64 {
     let side = asg[v as usize];
@@ -103,141 +370,6 @@ fn gain_of(g: &Graph, asg: &[u32], v: u32) -> i64 {
         }
     }
     gain
-}
-
-/// Runs up to `passes` FM passes on the bisection `asg`, returning the
-/// final cut. `asg` must contain only sides 0 and 1.
-pub fn fm_refine(g: &Graph, asg: &mut [u32], targets: &BisectTargets, passes: usize) -> i64 {
-    let mut cut = bisection_cut(g, asg);
-    let mut sw = side_weights(g, asg);
-    for _ in 0..passes {
-        let improved = fm_pass(g, asg, targets, &mut sw, &mut cut);
-        if !improved {
-            break;
-        }
-    }
-    debug_assert_eq!(cut, bisection_cut(g, asg));
-    cut
-}
-
-/// One FM pass. Returns whether the pass strictly improved
-/// (cut, violation) lexicographically with violation first.
-fn fm_pass(
-    g: &Graph,
-    asg: &mut [u32],
-    targets: &BisectTargets,
-    sw: &mut [i64],
-    cut: &mut i64,
-) -> bool {
-    let nv = g.nv();
-    let ncon = g.ncon();
-    let mut gains: Vec<i64> = (0..nv as u32).map(|v| gain_of(g, asg, v)).collect();
-    let mut moved = vec![false; nv];
-
-    // Seed the queue with boundary vertices; interior vertices enter when a
-    // neighbor's move puts them on the boundary (or when balance repair
-    // needs them — they enter with their negative gain and are simply less
-    // attractive).
-    let mut heap: BinaryHeap<(i64, Reverse<u32>)> = BinaryHeap::new();
-    for v in 0..nv as u32 {
-        let on_boundary = g.adj(v).iter().any(|&u| asg[u as usize] != asg[v as usize]);
-        if on_boundary {
-            heap.push((gains[v as usize], Reverse(v)));
-        }
-    }
-
-    let start_violation = targets.violation(sw);
-    let start_cut = *cut;
-    // Best state seen: (violation, cut) lexicographic, preferring lower
-    // violation, then lower cut. Index = number of applied moves.
-    let mut best_key = (start_violation, start_cut);
-    let mut best_len = 0usize;
-    let mut log: Vec<u32> = Vec::new();
-    let limit = (nv / 50).clamp(32, 2048);
-
-    while let Some((gain, Reverse(v))) = heap.pop() {
-        if moved[v as usize] || gains[v as usize] != gain {
-            continue; // stale entry
-        }
-        let from = asg[v as usize] as usize;
-        let to = 1 - from;
-
-        // Tentative side weights after the move.
-        for j in 0..ncon {
-            let w = g.vwgt(v)[j];
-            sw[from * ncon + j] -= w;
-            sw[to * ncon + j] += w;
-        }
-        let violation_after = targets.violation(sw);
-        // Roll the weights back; we only commit below.
-        for j in 0..ncon {
-            let w = g.vwgt(v)[j];
-            sw[from * ncon + j] += w;
-            sw[to * ncon + j] -= w;
-        }
-        let violation_now = targets.violation(sw);
-        // Admissible moves either keep the violation from growing (within-
-        // cap moves always qualify, and over-cap starts can still be
-        // repaired) or incur only a small *transient* violation — the pass
-        // may cross the balance line while hill-climbing, because the
-        // best-prefix rollback below never commits to a state less
-        // feasible than the start.
-        const TRANSIENT_VIOLATION: f64 = 0.02;
-        if violation_after > violation_now + 1e-12 && violation_after > TRANSIENT_VIOLATION {
-            continue;
-        }
-
-        // Commit the move.
-        for j in 0..ncon {
-            let w = g.vwgt(v)[j];
-            sw[from * ncon + j] -= w;
-            sw[to * ncon + j] += w;
-        }
-        asg[v as usize] = to as u32;
-        *cut -= gain;
-        moved[v as usize] = true;
-        log.push(v);
-
-        for (u, w) in g.neighbors(v) {
-            if moved[u as usize] {
-                continue;
-            }
-            // v left `from`: edges to same-side (from) neighbors become
-            // external (+2w to their gain); edges to `to`-side neighbors
-            // become internal (-2w).
-            if asg[u as usize] as usize == from {
-                gains[u as usize] += 2 * w;
-            } else {
-                gains[u as usize] -= 2 * w;
-            }
-            heap.push((gains[u as usize], Reverse(u)));
-        }
-
-        let key = (violation_after, *cut);
-        if key < best_key {
-            best_key = key;
-            best_len = log.len();
-        }
-        if log.len() - best_len > limit {
-            break; // hill climb exhausted
-        }
-    }
-
-    // Roll back every move after the best prefix.
-    for &v in log[best_len..].iter().rev() {
-        let from = asg[v as usize] as usize;
-        let to = 1 - from;
-        for j in 0..ncon {
-            let w = g.vwgt(v)[j];
-            sw[from * ncon + j] -= w;
-            sw[to * ncon + j] += w;
-        }
-        asg[v as usize] = to as u32;
-    }
-    // Recompute the cut exactly after rollback (cheap relative to the pass).
-    *cut = bisection_cut(g, asg);
-
-    (targets.violation(sw), *cut) < (start_violation, start_cut)
 }
 
 /// Balance repair: greedily moves vertices off over-cap sides, choosing the
@@ -305,6 +437,7 @@ pub fn rebalance_bisection(g: &Graph, asg: &mut [u32], targets: &BisectTargets) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RefineWorkspace;
     use cip_graph::GraphBuilder;
 
     /// Path of 8 vertices, unit weights.
@@ -338,6 +471,24 @@ mod tests {
         let targets = BisectTargets::new(&g, 0.5, &[0.05]);
         let cut = fm_refine(&g, &mut asg, &targets, 4);
         assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let g = path8();
+        let targets = BisectTargets::new(&g, 0.5, &[0.05]);
+        let mut ws = RefineWorkspace::new();
+        // Dirty the workspace with an unrelated refinement first.
+        let mut dirty: Vec<u32> = (0..8).map(|v| u32::from(v >= 3)).collect();
+        let _ = fm_refine_with(&g, &mut dirty, &targets, 2, 0.02, &mut ws);
+
+        let start: Vec<u32> = (0..8).map(|v| (v % 2) as u32).collect();
+        let mut a = start.clone();
+        let mut b = start.clone();
+        let cut_reused = fm_refine_with(&g, &mut a, &targets, 8, 0.02, &mut ws);
+        let cut_fresh = fm_refine_with(&g, &mut b, &targets, 8, 0.02, &mut RefineWorkspace::new());
+        assert_eq!(a, b);
+        assert_eq!(cut_reused, cut_fresh);
     }
 
     #[test]

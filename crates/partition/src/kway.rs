@@ -1,4 +1,4 @@
-//! Greedy multi-constraint `k`-way refinement and balancing.
+//! Boundary-driven multi-constraint `k`-way refinement and balancing.
 //!
 //! This is the refinement primitive the paper's §4.2 relies on twice:
 //! once as the final polish of the initial multi-constraint partitioning,
@@ -6,25 +6,232 @@
 //! majority-relabel step, where each vertex is a whole axis-parallel
 //! region, so every move provably preserves the piecewise axes-parallel
 //! boundary geometry.
+//!
+//! The implementation follows the METIS id/ed discipline instead of
+//! recomputing gains from scratch: a [`RefineWorkspace`] keeps, per
+//! vertex, the internal degree `id[v]` (edge weight into the own part)
+//! and the graph-constant weighted degree `tdeg[v]`; the external degree
+//! is `ed = tdeg - id` and a vertex is *boundary* iff `ed > 0`. Every
+//! move updates `id` of the moved vertex and its neighbors in `O(deg)`
+//! and keeps an incremental boundary list in sync, so sweeps touch only
+//! boundary vertices and [`balance_kway`] picks candidates from the
+//! boundary list instead of scanning all `V` vertices per move.
+//!
+//! Two sweep schedules implement the same move rule:
+//!
+//! * **sequential** (below `parallel_threshold`): the boundary snapshot is
+//!   visited in seeded random order, committing each strictly-improving
+//!   feasible move immediately — the classic greedy sweep.
+//! * **parallel** (at or above `parallel_threshold`): propose-then-resolve
+//!   rounds, mirroring the coarsening matcher. Every boundary vertex
+//!   computes its best strictly-positive feasible move against a frozen
+//!   assignment snapshot (in parallel); a vertex *wins* its round iff its
+//!   `(gain, seeded rank)` priority beats every proposing neighbor, so
+//!   the committed set is an independent set and the cut drops by exactly
+//!   the sum of the winning gains; winners then commit in priority order
+//!   under live balance caps. Every step is a pure function of the
+//!   previous snapshot, so the result is **bit-identical at any rayon
+//!   thread count**.
 
 use crate::config::PartitionerConfig;
-use cip_graph::{Graph, Partition};
+use cip_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
-/// Per-part weight caps for a uniform `k`-way partition.
-fn caps(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<i64> {
-    let totals = g.total_vwgt();
-    (0..k)
-        .flat_map(|_| {
-            totals
-                .iter()
-                .enumerate()
-                .map(|(j, &t)| ((1.0 + cfg.eps_for(j)) * t as f64 / k as f64).ceil() as i64)
-                .collect::<Vec<_>>()
-        })
-        .collect()
+use crate::fm::FmScratch;
+
+/// Reusable scratch for the whole uncoarsening path: k-way id/ed degrees
+/// and boundary set, per-part weights and caps, the parallel sweep's
+/// proposal tables, the 2-way FM scratch, and the projection ping-pong
+/// buffer. Create one per multilevel call (or hold one across calls) and
+/// every refinement pass, level and restart reuses it — zero steady-state
+/// heap allocation on the sequential paths.
+#[derive(Debug, Default)]
+pub struct RefineWorkspace {
+    /// 2-way FM scratch (see `fm.rs`).
+    pub(crate) fm: FmScratch,
+    /// Projection ping-pong buffer for [`crate::Hierarchy::project_into`].
+    pub(crate) proj: Vec<u32>,
+    /// Weighted degree per vertex (graph-constant within one call).
+    tdeg: Vec<i64>,
+    /// Edge weight from `v` into its own part (`ed = tdeg - id`).
+    id: Vec<i64>,
+    /// Boundary vertices (every `v` with `ed[v] > 0`), unordered.
+    bnd: Vec<u32>,
+    /// Position of `v` in `bnd`, or `u32::MAX` when interior.
+    bnd_pos: Vec<u32>,
+    /// Per-part weights (`k * ncon`, part-major).
+    pwgts: Vec<i64>,
+    /// Per-part weight caps (`k * ncon`).
+    caps: Vec<i64>,
+    /// Total vertex weight per constraint (derived from `pwgts`, avoiding
+    /// the allocating `Graph::total_vwgt`).
+    totals: Vec<i64>,
+    /// Per-vertex (part, weight) connectivity scratch.
+    conn: Vec<(u32, i64)>,
+    /// Sequential sweep: the shuffled boundary snapshot.
+    order: Vec<u32>,
+    /// Parallel sweep: per-vertex proposed gain (i64::MIN = no proposal).
+    prop_gain: Vec<i64>,
+    /// Parallel sweep: per-vertex proposed destination part.
+    prop_to: Vec<u32>,
+    /// Parallel sweep: seeded priority rank per vertex.
+    rank: Vec<u32>,
+    /// Parallel sweep: this round's winners.
+    winners: Vec<u32>,
+}
+
+impl RefineWorkspace {
+    /// A workspace with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserves every per-vertex buffer for graphs up to `nv`
+    /// vertices, so a following uncoarsening loop never reallocates.
+    pub fn reserve(&mut self, nv: usize) {
+        self.proj.reserve(nv);
+        self.tdeg.reserve(nv);
+        self.id.reserve(nv);
+        self.bnd.reserve(nv);
+        self.bnd_pos.reserve(nv);
+        self.order.reserve(nv);
+        self.prop_gain.reserve(nv);
+        self.prop_to.reserve(nv);
+        self.rank.reserve(nv);
+        self.winners.reserve(nv);
+    }
+
+    /// (Re)derives degrees, boundary list, part weights and caps from
+    /// `asg`. Gain initialization (the `id` sweep) runs in parallel on
+    /// graphs at or above `cfg.parallel_threshold` vertices; both paths
+    /// write identical contents.
+    fn init_kway(&mut self, g: &Graph, k: usize, asg: &[u32], cfg: &PartitionerConfig) {
+        let nv = g.nv();
+        let ncon = g.ncon();
+        self.tdeg.clear();
+        self.tdeg.resize(nv, 0);
+        self.id.clear();
+        self.id.resize(nv, 0);
+        self.bnd.clear();
+        self.bnd_pos.clear();
+        self.bnd_pos.resize(nv, u32::MAX);
+        self.pwgts.clear();
+        self.pwgts.resize(k * ncon, 0);
+        self.conn.reserve(16);
+
+        if nv >= cfg.parallel_threshold {
+            let (tdeg, id) = (&mut self.tdeg, &mut self.id);
+            tdeg.par_iter_mut().zip(id.par_iter_mut()).enumerate().for_each(|(v, (td, idv))| {
+                let v = v as u32;
+                let own = asg[v as usize];
+                for (u, w) in g.neighbors(v) {
+                    *td += w;
+                    if asg[u as usize] == own {
+                        *idv += w;
+                    }
+                }
+            });
+        } else {
+            for v in 0..nv as u32 {
+                let own = asg[v as usize];
+                let mut td = 0i64;
+                let mut idv = 0i64;
+                for (u, w) in g.neighbors(v) {
+                    td += w;
+                    if asg[u as usize] == own {
+                        idv += w;
+                    }
+                }
+                self.tdeg[v as usize] = td;
+                self.id[v as usize] = idv;
+            }
+        }
+        for v in 0..nv as u32 {
+            if self.tdeg[v as usize] > self.id[v as usize] {
+                self.bnd_pos[v as usize] = self.bnd.len() as u32;
+                self.bnd.push(v);
+            }
+        }
+        for (v, &p) in asg.iter().enumerate() {
+            let base = p as usize * ncon;
+            for (j, w) in g.vwgt(v as u32).iter().enumerate() {
+                self.pwgts[base + j] += w;
+            }
+        }
+
+        // Uniform per-part caps from the imbalance tolerances. The totals
+        // come from the freshly built part weights, not the allocating
+        // `Graph::total_vwgt`.
+        self.totals.clear();
+        self.totals.resize(ncon, 0);
+        for p in 0..k {
+            for j in 0..ncon {
+                self.totals[j] += self.pwgts[p * ncon + j];
+            }
+        }
+        self.caps.clear();
+        for _ in 0..k {
+            for j in 0..ncon {
+                let t = self.totals[j];
+                self.caps.push(((1.0 + cfg.eps_for(j)) * t as f64 / k as f64).ceil() as i64);
+            }
+        }
+    }
+
+    /// Re-syncs `v`'s boundary membership with its current `ed`.
+    #[inline]
+    fn sync_bnd(&mut self, v: u32) {
+        let on = self.tdeg[v as usize] > self.id[v as usize];
+        let pos = self.bnd_pos[v as usize];
+        if on && pos == u32::MAX {
+            self.bnd_pos[v as usize] = self.bnd.len() as u32;
+            self.bnd.push(v);
+        } else if !on && pos != u32::MAX {
+            let last = *self.bnd.last().unwrap();
+            self.bnd.swap_remove(pos as usize);
+            if last != v {
+                self.bnd_pos[last as usize] = pos;
+            }
+            self.bnd_pos[v as usize] = u32::MAX;
+        }
+    }
+
+    /// Moves `v` to part `to`, given `v`'s edge weight into `to`
+    /// (`conn_to`). Updates `asg`, part weights, id degrees and boundary
+    /// membership of `v` and its neighbors in `O(deg)`.
+    fn apply_move(&mut self, g: &Graph, asg: &mut [u32], v: u32, to: u32, conn_to: i64) {
+        let from = asg[v as usize];
+        debug_assert_ne!(from, to);
+        let ncon = g.ncon();
+        let fb = from as usize * ncon;
+        let tb = to as usize * ncon;
+        for (j, w) in g.vwgt(v).iter().enumerate() {
+            self.pwgts[fb + j] -= w;
+            self.pwgts[tb + j] += w;
+        }
+        asg[v as usize] = to;
+        self.id[v as usize] = conn_to;
+        self.sync_bnd(v);
+        for (u, w) in g.neighbors(v) {
+            if asg[u as usize] == from {
+                self.id[u as usize] -= w;
+            } else if asg[u as usize] == to {
+                self.id[u as usize] += w;
+            }
+            self.sync_bnd(u);
+        }
+    }
+
+    /// Whether moving `v` into part `p` keeps every constraint of `p`
+    /// within its cap.
+    #[inline]
+    fn fits(&self, g: &Graph, v: u32, p: u32, ncon: usize) -> bool {
+        let base = p as usize * ncon;
+        g.vwgt(v).iter().enumerate().all(|(j, &w)| self.pwgts[base + j] + w <= self.caps[base + j])
+    }
 }
 
 /// The connectivity of `v` to each part among its neighbors:
@@ -40,36 +247,75 @@ fn connectivity(g: &Graph, asg: &[u32], v: u32, out: &mut Vec<(u32, i64)>) {
     }
 }
 
-/// Greedy `k`-way refinement: repeatedly sweeps the boundary vertices in
-/// random order, moving each to the adjacent part with the highest positive
-/// gain that keeps every constraint within its cap. Stops when a sweep
-/// makes no move or after `cfg.kway_passes` sweeps.
+/// Greedy `k`-way refinement: sweeps the boundary vertices, moving each to
+/// the adjacent part with the highest positive gain that keeps every
+/// constraint within its cap. Stops when a sweep makes no move or after
+/// `cfg.kway_passes` sweeps. Graphs at or above `cfg.parallel_threshold`
+/// vertices use the deterministic parallel propose-then-resolve sweep
+/// (bit-identical at any thread count); smaller graphs use the seeded
+/// sequential sweep.
 ///
 /// Never worsens the edge-cut and never moves a vertex into a part that
 /// would exceed its cap (moves out of over-cap parts are always allowed).
 pub fn refine_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig) {
+    refine_kway_with(g, k, asg, cfg, &mut RefineWorkspace::new());
+}
+
+/// [`refine_kway`] with a reusable workspace: after the workspace has
+/// grown to the graph's size, the sequential path performs no heap
+/// allocation across passes, levels and calls.
+pub fn refine_kway_with(
+    g: &Graph,
+    k: usize,
+    asg: &mut [u32],
+    cfg: &PartitionerConfig,
+    ws: &mut RefineWorkspace,
+) {
+    if g.nv() == 0 || k <= 1 {
+        return;
+    }
+    ws.init_kway(g, k, asg, cfg);
+    if g.nv() >= cfg.parallel_threshold {
+        refine_parallel(g, asg, cfg, ws);
+    } else {
+        refine_sequential(g, asg, cfg, ws);
+    }
+    debug_assert!(check_scratch(g, asg, ws));
+}
+
+/// Sequential boundary sweep (graphs below `parallel_threshold`).
+#[allow(clippy::needless_range_loop)] // indexing lets us mutate `ws` mid-loop
+fn refine_sequential(
+    g: &Graph,
+    asg: &mut [u32],
+    cfg: &PartitionerConfig,
+    ws: &mut RefineWorkspace,
+) {
     let ncon = g.ncon();
-    let caps = caps(g, k, cfg);
-    let mut part = Partition::from_assignment(g, k, asg.to_vec());
+    let rec = &cfg.recorder;
     let mut rng = SmallRng::seed_from_u64(cfg.child_seed(0x4EF1E));
-    let mut conn: Vec<(u32, i64)> = Vec::with_capacity(16);
 
     for _pass in 0..cfg.kway_passes.max(1) {
-        let mut boundary: Vec<u32> = (0..g.nv() as u32)
-            .filter(|&v| {
-                let pv = part.part(v);
-                g.adj(v).iter().any(|&u| part.part(u) != pv)
-            })
-            .collect();
-        boundary.shuffle(&mut rng);
+        rec.add("partition.refine.passes", 1);
+        rec.record("partition.refine.boundary", ws.bnd.len() as u64);
+        // Snapshot the boundary in seeded random order; vertices that
+        // leave the boundary mid-pass are skipped when reached.
+        ws.order.clear();
+        ws.order.extend_from_slice(&ws.bnd);
+        ws.order.shuffle(&mut rng);
 
         let mut moves = 0usize;
-        for &v in &boundary {
-            let from = part.part(v);
-            connectivity(g, part.assignment(), v, &mut conn);
-            let id_w = conn.iter().find(|(p, _)| *p == from).map_or(0, |(_, w)| *w);
+        for i in 0..ws.order.len() {
+            let v = ws.order[i];
+            if ws.bnd_pos[v as usize] == u32::MAX {
+                continue; // no longer boundary
+            }
+            let from = asg[v as usize];
+            let id_w = ws.id[v as usize];
             // Best strictly-improving feasible target part.
-            let mut best: Option<(i64, u32)> = None;
+            let mut conn = std::mem::take(&mut ws.conn);
+            connectivity(g, asg, v, &mut conn);
+            let mut best: Option<(i64, u32, i64)> = None;
             for &(p, w) in conn.iter() {
                 if p == from {
                     continue;
@@ -78,94 +324,307 @@ pub fn refine_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig
                 if gain <= 0 {
                     continue;
                 }
-                let fits = (0..ncon)
-                    .all(|j| part.part_weight(p, j) + g.vwgt(v)[j] <= caps[p as usize * ncon + j]);
-                if fits && best.is_none_or(|(bg, _)| gain > bg) {
-                    best = Some((gain, p));
+                if ws.fits(g, v, p, ncon) && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, p, w));
                 }
             }
-            if let Some((_, p)) = best {
-                part.move_vertex(g, v, p);
+            ws.conn = conn;
+            if let Some((_, p, w)) = best {
+                ws.apply_move(g, asg, v, p, w);
                 moves += 1;
             }
         }
+        rec.add("partition.refine.moves", moves as u64);
         if moves == 0 {
             break;
         }
     }
-    asg.copy_from_slice(part.assignment());
+}
+
+/// Deterministic parallel propose-then-resolve sweep (graphs at or above
+/// `parallel_threshold`). Runs up to `kway_passes * refine_rounds` rounds,
+/// stopping as soon as a round commits nothing.
+#[allow(clippy::needless_range_loop)] // indexing lets us mutate `ws` mid-loop
+fn refine_parallel(g: &Graph, asg: &mut [u32], cfg: &PartitionerConfig, ws: &mut RefineWorkspace) {
+    let nv = g.nv();
+    let ncon = g.ncon();
+    let rec = &cfg.recorder;
+
+    // Seeded priority rank (shared by every round; unique per vertex so
+    // priority comparisons are total).
+    ws.order.clear();
+    ws.order.extend(0..nv as u32);
+    let mut rng = SmallRng::seed_from_u64(cfg.child_seed(0x4EF1E));
+    ws.order.shuffle(&mut rng);
+    ws.rank.clear();
+    ws.rank.resize(nv, 0);
+    for (i, &v) in ws.order.iter().enumerate() {
+        ws.rank[v as usize] = i as u32;
+    }
+    ws.prop_gain.clear();
+    ws.prop_gain.resize(nv, i64::MIN);
+    ws.prop_to.clear();
+    ws.prop_to.resize(nv, u32::MAX);
+
+    let rounds = cfg.kway_passes.max(1) * cfg.refine_rounds.max(1);
+    for _round in 0..rounds {
+        rec.add("partition.refine.passes", 1);
+        rec.record("partition.refine.boundary", ws.bnd.len() as u64);
+
+        // Propose: every boundary vertex picks its best strictly-positive
+        // feasible move against the frozen assignment and part weights.
+        // Each task writes only its own vertex's slots — pure function of
+        // the snapshot, hence thread-count invariant.
+        {
+            let (prop_gain, prop_to) = (&mut ws.prop_gain, &mut ws.prop_to);
+            let (id, tdeg, pwgts, caps) = (&ws.id, &ws.tdeg, &ws.pwgts, &ws.caps);
+            let asg_ro: &[u32] = asg;
+            prop_gain.par_iter_mut().zip(prop_to.par_iter_mut()).enumerate().for_each_init(
+                || Vec::with_capacity(16),
+                |conn, (vi, (pg, pt))| {
+                    let v = vi as u32;
+                    *pg = i64::MIN;
+                    *pt = u32::MAX;
+                    if tdeg[vi] <= id[vi] {
+                        return; // interior
+                    }
+                    connectivity(g, asg_ro, v, conn);
+                    let from = asg_ro[vi];
+                    let id_w = id[vi];
+                    // Highest gain wins; gain ties keep the first part
+                    // in adjacency order — a deterministic,
+                    // snapshot-only choice.
+                    let mut best: Option<(i64, u32)> = None;
+                    for &(p, w) in conn.iter() {
+                        if p == from {
+                            continue;
+                        }
+                        let gain = w - id_w;
+                        if gain <= 0 {
+                            continue;
+                        }
+                        let base = p as usize * ncon;
+                        let fits = g
+                            .vwgt(v)
+                            .iter()
+                            .enumerate()
+                            .all(|(j, &vw)| pwgts[base + j] + vw <= caps[base + j]);
+                        if fits && best.is_none_or(|(bg, _)| gain > bg) {
+                            best = Some((gain, p));
+                        }
+                    }
+                    if let Some((gain, p)) = best {
+                        *pg = gain;
+                        *pt = p;
+                    }
+                },
+            );
+        }
+
+        // Resolve: a vertex wins iff its (gain, rank) priority beats every
+        // proposing neighbor — winners form an independent set, so the cut
+        // drops by exactly the sum of their gains. Pure function of the
+        // proposal table.
+        {
+            let (prop_gain, rank) = (&ws.prop_gain, &ws.rank);
+            let winners: Vec<u32> = ws
+                .bnd
+                .par_iter()
+                .filter(|&&v| {
+                    let vi = v as usize;
+                    if prop_gain[vi] == i64::MIN {
+                        return false;
+                    }
+                    let my = (prop_gain[vi], u32::MAX - rank[vi]);
+                    g.neighbors(v).all(|(u, _)| {
+                        let ui = u as usize;
+                        prop_gain[ui] == i64::MIN || my > (prop_gain[ui], u32::MAX - rank[ui])
+                    })
+                })
+                .copied()
+                .collect();
+            ws.winners.clear();
+            ws.winners.extend_from_slice(&winners);
+        }
+        // Commit in descending priority so the best moves get the cap
+        // headroom first; caps are re-checked against live part weights
+        // because independent winners can share a destination part.
+        let (prop_gain, rank) = (&ws.prop_gain, &ws.rank);
+        ws.winners.sort_unstable_by_key(|&v| {
+            std::cmp::Reverse((prop_gain[v as usize], u32::MAX - rank[v as usize]))
+        });
+
+        let mut moves = 0usize;
+        for i in 0..ws.winners.len() {
+            let v = ws.winners[i];
+            let to = ws.prop_to[v as usize];
+            if !ws.fits(g, v, to, ncon) {
+                continue;
+            }
+            // The winner's gain is exact (no committed neighbor this
+            // round), but its connectivity to `to` must be recomputed for
+            // the id update.
+            let mut conn = std::mem::take(&mut ws.conn);
+            connectivity(g, asg, v, &mut conn);
+            let w_to = conn.iter().find(|(p, _)| *p == to).map_or(0, |(_, w)| *w);
+            ws.conn = conn;
+            debug_assert_eq!(w_to - ws.id[v as usize], ws.prop_gain[v as usize]);
+            ws.apply_move(g, asg, v, to, w_to);
+            moves += 1;
+        }
+        rec.add("partition.refine.moves", moves as u64);
+        if moves == 0 {
+            break;
+        }
+    }
+}
+
+/// Debug check: the workspace's id/pwgts/boundary agree with `asg`.
+fn check_scratch(g: &Graph, asg: &[u32], ws: &RefineWorkspace) -> bool {
+    for v in 0..g.nv() as u32 {
+        let own = asg[v as usize];
+        let mut idv = 0i64;
+        let mut td = 0i64;
+        for (u, w) in g.neighbors(v) {
+            td += w;
+            if asg[u as usize] == own {
+                idv += w;
+            }
+        }
+        if ws.id[v as usize] != idv || ws.tdeg[v as usize] != td {
+            return false;
+        }
+        let on = td > idv;
+        if on != (ws.bnd_pos[v as usize] != u32::MAX) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Balance enforcement: for every constraint whose imbalance exceeds the
 /// tolerance, moves weight out of over-cap parts into parts with headroom,
-/// choosing the (vertex, destination) with the least cut damage. Bounded
-/// effort; leaves the partition as balanced as it could make it.
+/// choosing the (vertex, destination) with the least cut damage among the
+/// over-cap part's *boundary* vertices (falling back to a full member scan
+/// only when the boundary offers no candidate). Bounded effort; leaves the
+/// partition as balanced as it could make it.
 pub fn balance_kway(g: &Graph, k: usize, asg: &mut [u32], cfg: &PartitionerConfig) {
+    balance_kway_with(g, k, asg, cfg, &mut RefineWorkspace::new());
+}
+
+/// [`balance_kway`] with a reusable workspace (same contract as
+/// [`refine_kway_with`]).
+pub fn balance_kway_with(
+    g: &Graph,
+    k: usize,
+    asg: &mut [u32],
+    cfg: &PartitionerConfig,
+    ws: &mut RefineWorkspace,
+) {
+    if g.nv() == 0 || k <= 1 {
+        return;
+    }
     let ncon = g.ncon();
-    let caps = caps(g, k, cfg);
-    let mut part = Partition::from_assignment(g, k, asg.to_vec());
-    let mut conn: Vec<(u32, i64)> = Vec::with_capacity(16);
+    ws.init_kway(g, k, asg, cfg);
+    let rec = &cfg.recorder;
 
     for j in 0..ncon {
-        if part.total_weight(j) == 0 {
+        if ws.totals[j] == 0 {
             continue;
         }
         let mut budget = g.nv();
         loop {
             // Most overloaded part under constraint j.
             let over: Option<u32> = (0..k as u32)
-                .filter(|&p| part.part_weight(p, j) > caps[p as usize * ncon + j])
-                .max_by_key(|&p| part.part_weight(p, j) - caps[p as usize * ncon + j]);
+                .filter(|&p| ws.pwgts[p as usize * ncon + j] > ws.caps[p as usize * ncon + j])
+                .max_by_key(|&p| ws.pwgts[p as usize * ncon + j] - ws.caps[p as usize * ncon + j]);
             let Some(from) = over else { break };
             if budget == 0 {
                 break;
             }
 
-            // Candidate vertices: members of `from` carrying weight in j;
-            // prefer boundary vertices and small cut damage.
-            let mut best: Option<(i64, u32, u32)> = None; // (damage, v, to)
-            for v in 0..g.nv() as u32 {
-                if part.part(v) != from || g.vwgt(v)[j] <= 0 {
-                    continue;
-                }
-                connectivity(g, part.assignment(), v, &mut conn);
-                let id_w = conn.iter().find(|(p, _)| *p == from).map_or(0, |(_, w)| *w);
-                // Destinations: neighbor parts first, then the globally
-                // least-loaded part as a fallback for interior vertices.
-                let try_part = |p: u32, best: &mut Option<(i64, u32, u32)>| {
-                    if p == from {
-                        return;
-                    }
-                    let fits = (0..ncon).all(|jj| {
-                        part.part_weight(p, jj) + g.vwgt(v)[jj] <= caps[p as usize * ncon + jj]
-                    });
-                    if !fits {
-                        return;
-                    }
-                    let ext = conn.iter().find(|(q, _)| *q == p).map_or(0, |(_, w)| *w);
-                    let damage = id_w - ext; // negative damage = cut improves
-                    if best.is_none_or(|(bd, _, _)| damage < bd) {
-                        *best = Some((damage, v, p));
-                    }
-                };
-                for &(p, _) in conn.iter() {
-                    try_part(p, &mut best);
-                }
-                let least: u32 = (0..k as u32).min_by_key(|&p| part.part_weight(p, j)).unwrap();
-                try_part(least, &mut best);
+            // Candidates: boundary members of `from` carrying weight in j
+            // (the incremental boundary list makes this O(|boundary|)
+            // instead of O(V)); interior members only when the boundary
+            // has nothing to offer.
+            let mut best = best_balance_move(g, asg, ws, from, j, k, ncon, BalanceScan::Boundary);
+            if best.is_none() {
+                best = best_balance_move(g, asg, ws, from, j, k, ncon, BalanceScan::AllMembers);
             }
-            let Some((_, v, to)) = best else { break };
-            part.move_vertex(g, v, to);
+            let Some((_, v, to, w_to)) = best else { break };
+            ws.apply_move(g, asg, v, to, w_to);
+            rec.add("partition.balance.moves", 1);
             budget -= 1;
         }
     }
-    asg.copy_from_slice(part.assignment());
+    debug_assert!(check_scratch(g, asg, ws));
+}
+
+/// Candidate source for [`best_balance_move`].
+#[derive(Clone, Copy, PartialEq)]
+enum BalanceScan {
+    /// Only the over-cap part's boundary vertices.
+    Boundary,
+    /// Every member of the over-cap part (fallback for interior weight).
+    AllMembers,
+}
+
+/// The least-damage feasible move of a `from`-member carrying weight in
+/// constraint `j`: `(damage, vertex, destination, conn_to_destination)`.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn best_balance_move(
+    g: &Graph,
+    asg: &[u32],
+    ws: &mut RefineWorkspace,
+    from: u32,
+    j: usize,
+    k: usize,
+    ncon: usize,
+    scan: BalanceScan,
+) -> Option<(i64, u32, u32, i64)> {
+    let mut best: Option<(i64, u32, u32, i64)> = None;
+    let mut conn = std::mem::take(&mut ws.conn);
+    let candidates = ws.bnd.len();
+    let n = if scan == BalanceScan::Boundary { candidates } else { g.nv() };
+    for i in 0..n {
+        let v = match scan {
+            BalanceScan::Boundary => ws.bnd[i],
+            BalanceScan::AllMembers => i as u32,
+        };
+        if asg[v as usize] != from || g.vwgt(v)[j] <= 0 {
+            continue;
+        }
+        connectivity(g, asg, v, &mut conn);
+        let id_w = ws.id[v as usize];
+        // Destinations: neighbor parts first, then the globally
+        // least-loaded part as a fallback for poorly-connected vertices.
+        let try_part = |p: u32, best: &mut Option<(i64, u32, u32, i64)>| {
+            if p == from || !ws.fits(g, v, p, ncon) {
+                return;
+            }
+            let ext = conn.iter().find(|(q, _)| *q == p).map_or(0, |(_, w)| *w);
+            let damage = id_w - ext; // negative damage = cut improves
+                                     // Deterministic tie-break on (vertex, part) keeps the result
+                                     // independent of the boundary list's internal order.
+            if best.is_none_or(|(bd, bv, bp, _)| (damage, v, p) < (bd, bv, bp)) {
+                *best = Some((damage, v, p, ext));
+            }
+        };
+        for idx in 0..conn.len() {
+            let p = conn[idx].0;
+            try_part(p, &mut best);
+        }
+        let least: u32 = (0..k as u32).min_by_key(|&p| ws.pwgts[p as usize * ncon + j]).unwrap();
+        try_part(least, &mut best);
+    }
+    ws.conn = conn;
+    best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cip_graph::{edge_cut, GraphBuilder};
+    use cip_graph::{edge_cut, GraphBuilder, Partition};
 
     fn grid(nx: usize, ny: usize, ncon: usize) -> Graph {
         let mut b = GraphBuilder::new(nx * ny, ncon);
@@ -204,12 +663,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_reduces_cut_without_breaking_balance() {
+        let g = grid(12, 12, 1);
+        let mut asg: Vec<u32> = (0..144).map(|v| ((v % 12) % 2) as u32).collect();
+        let before = edge_cut(&g, &asg);
+        // Force the propose-then-resolve path.
+        let cfg = PartitionerConfig { parallel_threshold: 0, ..PartitionerConfig::with_seed(4) };
+        refine_kway(&g, 2, &mut asg, &cfg);
+        let after = edge_cut(&g, &asg);
+        assert!(after < before, "cut {before} -> {after}");
+        let p = Partition::from_assignment(&g, 2, asg);
+        assert!(p.max_imbalance() <= 1.06);
+    }
+
+    #[test]
     fn refinement_never_increases_cut() {
         let g = grid(10, 10, 1);
-        let mut asg: Vec<u32> = (0..100).map(|v| if v < 50 { 0 } else { 1 }).collect();
-        let before = edge_cut(&g, &asg);
-        refine_kway(&g, 2, &mut asg, &PartitionerConfig::with_seed(8));
-        assert!(edge_cut(&g, &asg) <= before);
+        for threshold in [usize::MAX, 0] {
+            let mut asg: Vec<u32> = (0..100).map(|v| if v < 50 { 0 } else { 1 }).collect();
+            let before = edge_cut(&g, &asg);
+            let cfg = PartitionerConfig {
+                parallel_threshold: threshold,
+                ..PartitionerConfig::with_seed(8)
+            };
+            refine_kway(&g, 2, &mut asg, &cfg);
+            assert!(edge_cut(&g, &asg) <= before);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let g = grid(12, 12, 2);
+        let start: Vec<u32> = (0..144).map(|v| ((v % 12) % 3) as u32).collect();
+        for threshold in [usize::MAX, 0] {
+            let cfg = PartitionerConfig {
+                parallel_threshold: threshold,
+                ..PartitionerConfig::with_seed(6)
+            };
+            let mut ws = RefineWorkspace::new();
+            // Dirty the workspace with an unrelated run.
+            let mut dirty = start.clone();
+            refine_kway_with(&g, 3, &mut dirty, &PartitionerConfig::with_seed(1), &mut ws);
+
+            let mut a = start.clone();
+            let mut b = start.clone();
+            refine_kway_with(&g, 3, &mut a, &cfg, &mut ws);
+            refine_kway_with(&g, 3, &mut b, &cfg, &mut RefineWorkspace::new());
+            assert_eq!(a, b, "threshold {threshold}");
+
+            let mut c = start.clone();
+            let mut d = start.clone();
+            balance_kway_with(&g, 3, &mut c, &cfg, &mut ws);
+            balance_kway_with(&g, 3, &mut d, &cfg, &mut RefineWorkspace::new());
+            assert_eq!(c, d, "balance, threshold {threshold}");
+        }
     }
 
     #[test]

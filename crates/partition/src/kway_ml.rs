@@ -13,7 +13,7 @@
 
 use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
 use crate::config::PartitionerConfig;
-use crate::kway::{balance_kway, refine_kway};
+use crate::kway::{balance_kway_with, refine_kway_with, RefineWorkspace};
 use crate::rb;
 use cip_graph::Graph;
 
@@ -54,7 +54,14 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
         rb::partition_kway(coarsest, k, cfg)
     };
 
-    // Uncoarsen with direct k-way refinement at every level.
+    // Uncoarsen with direct k-way refinement at every level. One
+    // workspace serves every level (reserved at the finest size up
+    // front), and projection ping-pongs between `asg` and the workspace's
+    // projection buffer, so the whole loop runs without steady-state
+    // allocation on the sequential paths.
+    let mut ws = RefineWorkspace::new();
+    ws.reserve(g.nv());
+    let mut fine_asg = Vec::with_capacity(g.nv());
     for lvl in (0..hierarchy.len()).rev() {
         let fine_graph = hierarchy.fine_graph(lvl, g);
         let _span = rec
@@ -62,12 +69,12 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
             .attr("level", lvl)
             .attr("nv", fine_graph.nv())
             .attr("ne", fine_graph.ne());
-        let mut fine_asg = hierarchy.project(lvl, &asg);
-        refine_kway(fine_graph, k, &mut fine_asg, cfg);
-        balance_kway(fine_graph, k, &mut fine_asg, cfg);
-        asg = fine_asg;
+        hierarchy.project_into(lvl, &asg, &mut fine_asg);
+        refine_kway_with(fine_graph, k, &mut fine_asg, cfg, &mut ws);
+        balance_kway_with(fine_graph, k, &mut fine_asg, cfg, &mut ws);
+        std::mem::swap(&mut asg, &mut fine_asg);
     }
-    refine_kway(g, k, &mut asg, cfg);
+    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
     asg
 }
 

@@ -48,8 +48,9 @@ pub use coarsen::{
 };
 pub use config::PartitionerConfig;
 pub use diffusion::diffusion_repartition;
+pub use fm::{fm_refine, fm_refine_with};
 pub use hungarian::max_weight_assignment;
-pub use kway::{balance_kway, refine_kway};
+pub use kway::{balance_kway, balance_kway_with, refine_kway, refine_kway_with, RefineWorkspace};
 pub use kway_ml::partition_kway_multilevel;
 pub use rb::partition_kway;
 pub use repart::{remap_to_maximize_overlap, repartition};

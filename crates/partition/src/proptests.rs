@@ -7,6 +7,7 @@ use crate::coarsen::{coarsen, heavy_edge_matching, parallel_heavy_edge_matching}
 use crate::config::PartitionerConfig;
 use crate::fm::{bisection_cut, fm_refine, side_weights, BisectTargets};
 use crate::hungarian::max_weight_assignment;
+use crate::kway::{balance_kway, refine_kway};
 use cip_graph::{contract, edge_cut, Graph, GraphBuilder};
 use proptest::prelude::*;
 
@@ -33,6 +34,50 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
             }
             b.build()
         })
+}
+
+/// Like [`arb_graph`] but with 1–3 constraints: constraint 0 is unit FE
+/// weight, higher constraints are random sparse weights (the paper's lumpy
+/// contact-node pattern).
+fn arb_graph_mc(max_n: usize) -> impl Strategy<Value = Graph> {
+    (6usize..max_n, 1usize..4)
+        .prop_flat_map(|(n, ncon)| {
+            let chords =
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1i64..4), 0..2 * n);
+            let extra = proptest::collection::vec(0i64..3, n * ncon.saturating_sub(1));
+            (Just(n), Just(ncon), chords, extra)
+        })
+        .prop_map(|(n, ncon, chords, extra)| {
+            let mut b = GraphBuilder::new(n, ncon);
+            for v in 0..n as u32 {
+                let mut w = vec![1i64; ncon];
+                for j in 1..ncon {
+                    w[j] = extra[(j - 1) * n + v as usize];
+                }
+                b.set_vwgt(v, &w);
+            }
+            for v in 0..n as u32 - 1 {
+                b.add_edge(v, v + 1, 1);
+            }
+            for (u, v, w) in chords {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Per-part weights (`k * ncon`, part-major) of an assignment.
+fn part_weights(g: &Graph, k: usize, asg: &[u32]) -> Vec<i64> {
+    let ncon = g.ncon();
+    let mut w = vec![0i64; k * ncon];
+    for (v, &p) in asg.iter().enumerate() {
+        for (j, x) in g.vwgt(v as u32).iter().enumerate() {
+            w[p as usize * ncon + j] += x;
+        }
+    }
+    w
 }
 
 proptest! {
@@ -141,6 +186,69 @@ proptest! {
         };
         // Optimal values differ exactly by the shift.
         prop_assert_eq!(weight(&w2, &a2), weight(&w, &a1) + shift);
+    }
+
+    /// K-way refinement — both the sequential boundary sweep and the
+    /// parallel propose-then-resolve sweep — never increases the cut and
+    /// never breaks multi-constraint feasibility: a part within its cap
+    /// for some constraint before refinement stays within that cap.
+    #[test]
+    fn kway_refinement_preserves_feasibility(
+        g in arb_graph_mc(40),
+        k in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let ncon = g.ncon();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let start: Vec<u32> = (0..g.nv()).map(|_| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state % k as u64) as u32
+        }).collect();
+
+        for threshold in [usize::MAX, 0] {
+            let cfg = PartitionerConfig {
+                parallel_threshold: threshold,
+                ..PartitionerConfig::with_seed(seed)
+            };
+            let caps: Vec<i64> = (0..k).flat_map(|_| {
+                g.total_vwgt().iter().enumerate().map(|(j, &t)| {
+                    ((1.0 + cfg.eps_for(j)) * t as f64 / k as f64).ceil() as i64
+                }).collect::<Vec<_>>()
+            }).collect();
+
+            let mut asg = start.clone();
+            let cut_before = edge_cut(&g, &asg);
+            let pw_before = part_weights(&g, k, &asg);
+            refine_kway(&g, k, &mut asg, &cfg);
+            let cut_after = edge_cut(&g, &asg);
+            let pw_after = part_weights(&g, k, &asg);
+
+            prop_assert!(cut_after <= cut_before,
+                "threshold {threshold}: cut {cut_before} -> {cut_after}");
+            prop_assert!(asg.iter().all(|&p| (p as usize) < k));
+            for i in 0..k * ncon {
+                // Refinement only moves weight into parts with headroom, so
+                // no cap violation can appear (existing violations may
+                // persist — that is balance_kway's job).
+                prop_assert!(
+                    pw_after[i] <= pw_before[i].max(caps[i]),
+                    "threshold {threshold}: part-constraint {i} grew over cap: \
+                     {} -> {} (cap {})", pw_before[i], pw_after[i], caps[i]
+                );
+            }
+
+            // balance_kway obeys the same no-new-violation contract.
+            let mut bal = start.clone();
+            balance_kway(&g, k, &mut bal, &cfg);
+            let pw_bal = part_weights(&g, k, &bal);
+            for i in 0..k * ncon {
+                prop_assert!(
+                    pw_bal[i] <= pw_before[i].max(caps[i]),
+                    "balance: part-constraint {i} grew over cap: \
+                     {} -> {} (cap {})", pw_before[i], pw_bal[i], caps[i]
+                );
+            }
+        }
     }
 
     /// Config child seeds never collide across a small salt range.

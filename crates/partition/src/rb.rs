@@ -11,11 +11,11 @@
 //! k-way refinement + balancing pass on the full graph then enforces the
 //! real bound and recovers cut quality across bisector boundaries.
 
-use crate::bisect::{assign_distinct_parts, greedy_bisection};
+use crate::bisect::{assign_distinct_parts, greedy_bisection_with};
 use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
 use crate::config::{child_seed, PartitionerConfig};
-use crate::fm::{fm_refine, rebalance_bisection, BisectTargets};
-use crate::kway::{balance_kway, refine_kway};
+use crate::fm::{fm_refine_with, rebalance_bisection, BisectTargets};
+use crate::kway::{balance_kway_with, refine_kway_with, RefineWorkspace};
 use cip_graph::subgraph::induced_subgraph;
 use cip_graph::Graph;
 
@@ -72,11 +72,13 @@ pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> 
     }
 
     // Full-graph k-way polish: refine the cut across bisector boundaries,
-    // then enforce the user's balance tolerance.
+    // then enforce the user's balance tolerance. One workspace serves all
+    // three passes.
     let _polish = cfg.recorder.span("partition.kway_polish").attr("nv", g.nv()).attr("k", k);
-    refine_kway(g, k, &mut asg, cfg);
-    balance_kway(g, k, &mut asg, cfg);
-    refine_kway(g, k, &mut asg, cfg);
+    let mut ws = RefineWorkspace::new();
+    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
+    balance_kway_with(g, k, &mut asg, cfg, &mut ws);
+    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
     asg
 }
 
@@ -173,16 +175,25 @@ pub fn multilevel_bisect_seeded(
         coarsen_recorded(g, &params, &mut ws, rec)
     };
 
+    // One refinement workspace per bisection: shared across the initial
+    // partition's restarts and every uncoarsening level. Sibling recursion
+    // nodes each build their own (they may run on different rayon
+    // threads), but within a node nothing re-allocates.
+    let mut rws = RefineWorkspace::new();
+    rws.reserve(g.nv());
+
     // Bisect the coarsest graph.
     let coarsest = hierarchy.coarsest().unwrap_or(g);
     let targets_coarse = BisectTargets::new(coarsest, frac0, eps);
     let mut asg = {
         let _span =
             rec.span("partition.initial").attr("nv", coarsest.nv()).attr("levels", hierarchy.len());
-        greedy_bisection(coarsest, &targets_coarse, cfg, seed)
+        greedy_bisection_with(coarsest, &targets_coarse, cfg, seed, &mut rws)
     };
 
-    // Uncoarsen: project through each level and refine.
+    // Uncoarsen: project through each level (in place, ping-ponging with
+    // the workspace's buffer) and refine.
+    let mut fine_asg = Vec::with_capacity(g.nv());
     for lvl in (0..hierarchy.len()).rev() {
         let fine_graph = hierarchy.fine_graph(lvl, g);
         let _span = rec
@@ -190,17 +201,24 @@ pub fn multilevel_bisect_seeded(
             .attr("level", lvl)
             .attr("nv", fine_graph.nv())
             .attr("ne", fine_graph.ne());
-        let mut fine_asg = hierarchy.project(lvl, &asg);
+        hierarchy.project_into(lvl, &asg, &mut fine_asg);
         let targets = BisectTargets::new(fine_graph, frac0, eps);
         rebalance_bisection(fine_graph, &mut fine_asg, &targets);
-        fm_refine(fine_graph, &mut fine_asg, &targets, cfg.fm_passes);
-        asg = fine_asg;
+        fm_refine_with(
+            fine_graph,
+            &mut fine_asg,
+            &targets,
+            cfg.fm_passes,
+            cfg.transient_violation,
+            &mut rws,
+        );
+        std::mem::swap(&mut asg, &mut fine_asg);
     }
     if hierarchy.is_empty() {
         // No coarsening happened; `asg` is already on `g` but unrefined.
         let targets = BisectTargets::new(g, frac0, eps);
         rebalance_bisection(g, &mut asg, &targets);
-        fm_refine(g, &mut asg, &targets, cfg.fm_passes);
+        fm_refine_with(g, &mut asg, &targets, cfg.fm_passes, cfg.transient_violation, &mut rws);
     }
     asg
 }

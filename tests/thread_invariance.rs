@@ -8,10 +8,10 @@
 //! forced low so the parallel matcher and parallel contraction actually
 //! run even on this modest grid.
 
-use cip::graph::{Graph, GraphBuilder};
+use cip::graph::{edge_cut, Graph, GraphBuilder};
 use cip::partition::{
-    coarsen_with, partition_kway, partition_kway_multilevel, CoarsenParams, CoarsenWorkspace,
-    PartitionerConfig,
+    coarsen_with, partition_kway, partition_kway_multilevel, refine_kway, CoarsenParams,
+    CoarsenWorkspace, PartitionerConfig,
 };
 
 /// Two-constraint grid: unit FE weight everywhere, contact weight on the
@@ -62,6 +62,35 @@ fn partition_kway_multilevel_is_thread_count_invariant() {
         let reference = with_pool(1, || partition_kway_multilevel(&g, k, &cfg));
         for threads in POOLS {
             let asg = with_pool(threads, || partition_kway_multilevel(&g, k, &cfg));
+            assert_eq!(asg, reference, "k={k} differs at {threads} threads");
+        }
+    }
+}
+
+/// The parallel propose-then-resolve k-way refinement sweep in isolation:
+/// identical assignments at any pool size, and the cut never increases.
+#[test]
+fn parallel_kway_refinement_is_thread_count_invariant() {
+    let g = grid2(48, 48);
+    // Diagonal stripes: balanced but terrible cut (every vertex boundary
+    // with a strictly positive best gain), so the sweep has real work.
+    for k in [2usize, 5] {
+        let start: Vec<u32> = (0..g.nv()).map(|v| (((v % 48) + (v / 48)) % k) as u32).collect();
+        // threshold 0 forces the propose-then-resolve path on every pass.
+        let cfg = PartitionerConfig { parallel_threshold: 0, ..PartitionerConfig::with_seed(41) };
+        let cut_before = edge_cut(&g, &start);
+        let reference = with_pool(1, || {
+            let mut asg = start.clone();
+            refine_kway(&g, k, &mut asg, &cfg);
+            asg
+        });
+        assert!(edge_cut(&g, &reference) < cut_before, "k={k}: refinement should help");
+        for threads in POOLS {
+            let asg = with_pool(threads, || {
+                let mut asg = start.clone();
+                refine_kway(&g, k, &mut asg, &cfg);
+                asg
+            });
             assert_eq!(asg, reference, "k={k} differs at {threads} threads");
         }
     }
