@@ -61,6 +61,7 @@ fn bench_step(c: &mut Criterion) {
                     tolerance: 0.4,
                     recorder: Recorder::disabled(),
                 }))
+                .expect("step executes")
             });
         });
     }

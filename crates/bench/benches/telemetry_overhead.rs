@@ -15,13 +15,23 @@
 //! in `cip-telemetry`), so the `disabled` rows must sit within noise —
 //! well under 2% — of what an uninstrumented build would measure.
 //! Compare `disabled` against `enabled` to see the headroom directly.
+//!
+//! The same contract covers the fault-injection hooks (DESIGN.md §6c):
+//! `execute_step/fault_off` runs with the default
+//! [`cip_runtime::FaultInjector::none`] (one `None` branch per send),
+//! and `execute_step/fault_armed_quiet` runs with an armed all-zero-rate
+//! plan (full chaos bookkeeping, zero injected faults). `fault_off` must
+//! sit within noise — well under 2% — of `disabled`.
 
 use cip_contact::DtreeFilter;
 use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
 use cip_dtree::{induce, DtreeConfig};
 use cip_partition::rb::multilevel_bisect;
 use cip_partition::{partition_kway, PartitionerConfig};
-use cip_runtime::{build_decomposition, execute_step, StepInput};
+use cip_runtime::{
+    build_decomposition, execute_step, execute_step_with, ExecOptions, FaultInjector, FaultPlan,
+    StepInput,
+};
 use cip_sim::SimConfig;
 use cip_telemetry::Recorder;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -97,6 +107,31 @@ fn bench_step(c: &mut Criterion) {
                     tolerance: 0.4,
                     recorder: recorder.clone(),
                 }))
+                .expect("step executes")
+            })
+        });
+    }
+    let armed = [
+        ("fault_off", FaultInjector::none()),
+        ("fault_armed_quiet", FaultInjector::with_plan(FaultPlan::quiet(7))),
+    ];
+    for (label, fault) in armed {
+        let opts = ExecOptions { fault: fault.clone(), ..ExecOptions::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(execute_step_with(
+                    &StepInput {
+                        decomposition: &decomposition,
+                        positions: &view.mesh.points,
+                        elements: &elements,
+                        bodies: &bodies,
+                        filter: &filter,
+                        tolerance: 0.4,
+                        recorder: Recorder::disabled(),
+                    },
+                    &opts,
+                ))
+                .expect("step executes")
             })
         });
     }

@@ -77,7 +77,8 @@ fn run_policy(sim: &SimResult, k: usize, hybrid_period: Option<usize>) -> Totals
             filter: &filter,
             tolerance: 0.4,
             recorder: cip_telemetry::Recorder::disabled(),
-        });
+        })
+        .expect("step executes without injected faults");
         assert_eq!(out.ghost_mismatches, 0);
         totals.halo += out.traffic.total_halo();
         totals.shipments += out.traffic.total_shipments();

@@ -44,7 +44,7 @@ pub use comm::{halo_traffic, m2m_traffic, shipment_traffic, RankTraffic};
 pub use common::{face_owner, ContactPoints, FaceView, SnapshotView};
 pub use dt_friendly::{dt_friendly_correct, recommended_max_pi, DtFriendlyConfig, DtFriendlyStats};
 pub use known_contact::{evaluate_known_contact, KnownContactConfig};
-pub use mcml_dt::{evaluate_mcml_dt, McmlDtConfig, RepartitionMethod, UpdatePolicy};
+pub use mcml_dt::{evaluate_mcml_dt, McmlDtConfig, RankLoss, RepartitionMethod, UpdatePolicy};
 pub use metrics::{average_metrics, results_document, MetricsRow, SnapshotMetrics, RESULTS_SCHEMA};
 pub use ml_rcb::{evaluate_ml_rcb, MlRcbConfig};
 pub use policy::{select_hybrid_period, CostModel, PolicyChoice};

@@ -16,7 +16,9 @@ use crate::metrics::SnapshotMetrics;
 use cip_contact::{n_remote, DtreeFilter};
 use cip_dtree::{induce, DtreeConfig};
 use cip_graph::{edge_cut, total_comm_volume, Partition};
-use cip_partition::{diffusion_repartition, partition_kway, repartition, PartitionerConfig};
+use cip_partition::{
+    diffusion_repartition, partition_kway, repartition, repartition_survivors, PartitionerConfig,
+};
 use cip_sim::SimResult;
 use rayon::prelude::*;
 
@@ -47,6 +49,17 @@ pub enum UpdatePolicy {
     PerStep,
 }
 
+/// A scripted rank loss for robustness evaluation: at the given
+/// snapshot, one rank disappears and its load is diffused over the
+/// survivors (cf. DESIGN.md §6c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankLoss {
+    /// Snapshot index at which the rank dies.
+    pub snapshot: usize,
+    /// The dying rank.
+    pub rank: u32,
+}
+
 /// MCML+DT configuration.
 #[derive(Debug, Clone)]
 pub struct McmlDtConfig {
@@ -69,6 +82,11 @@ pub struct McmlDtConfig {
     pub tight_filter: bool,
     /// Repartitioning algorithm for the `Hybrid` / `PerStep` policies.
     pub repartition_method: RepartitionMethod,
+    /// Optional scripted rank loss: from that snapshot on, the sweep
+    /// continues over `k - 1` (then `k - 2`, ...) parts, with the dead
+    /// rank's load diffused onto the survivors. Forces the sequential
+    /// sweep (the loss carries state between snapshots).
+    pub rank_loss: Option<RankLoss>,
 }
 
 impl McmlDtConfig {
@@ -85,6 +103,7 @@ impl McmlDtConfig {
             update: UpdatePolicy::Fixed,
             tight_filter: false,
             repartition_method: RepartitionMethod::ScratchRemap,
+            rank_loss: None,
         }
     }
 }
@@ -116,8 +135,9 @@ pub fn evaluate_mcml_dt(
     // ---- Sweep the sequence. ------------------------------------------
     // Under the fixed policy the snapshots are independent given the
     // step-0 partition, so they evaluate in parallel; the repartitioning
-    // policies carry state from snapshot to snapshot and stay sequential.
-    if cfg.update == UpdatePolicy::Fixed {
+    // policies — and a scripted rank loss — carry state from snapshot to
+    // snapshot and stay sequential.
+    if cfg.update == UpdatePolicy::Fixed && cfg.rank_loss.is_none() {
         let out: Vec<SnapshotMetrics> = (0..sim.len())
             .into_par_iter()
             .map(|i| {
@@ -128,12 +148,13 @@ pub fn evaluate_mcml_dt(
                     built = SnapshotView::build(sim, i, cfg.contact_edge_weight);
                     &built
                 };
-                snapshot_metrics(sim, i, view, &node_parts, cfg, 0)
+                snapshot_metrics(sim, i, view, &node_parts, cfg, k, 0)
             })
             .collect();
         return (out, friendly_stats);
     }
 
+    let mut live_k = k;
     let mut out = Vec::with_capacity(sim.len());
     for i in 0..sim.len() {
         let built;
@@ -145,6 +166,36 @@ pub fn evaluate_mcml_dt(
         };
 
         let mut upd_comm = 0u64;
+
+        // Scripted rank loss: diffuse the dead rank's load over the
+        // survivors (or collapse to a single part when too few remain).
+        if let Some(loss) = cfg.rank_loss {
+            if i == loss.snapshot && (loss.rank as usize) < live_k {
+                let old: Vec<u32> =
+                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+                let new_node_parts = if live_k > 2 {
+                    let (fresh, new_k) = repartition_survivors(
+                        &view.graph2.graph,
+                        live_k,
+                        &old,
+                        &[loss.rank],
+                        &cfg.partitioner,
+                    );
+                    live_k = new_k;
+                    view.graph2.assignment_on_nodes(&fresh)
+                } else {
+                    live_k = 1;
+                    view.graph2.assignment_on_nodes(&vec![0u32; old.len()])
+                };
+                upd_comm += migrated_contact_points(view, &node_parts, &new_node_parts);
+                for (n, &p) in new_node_parts.iter().enumerate() {
+                    if p != u32::MAX {
+                        node_parts[n] = p;
+                    }
+                }
+            }
+        }
+
         let repartition_now = match cfg.update {
             UpdatePolicy::Fixed => false,
             UpdatePolicy::PerStep => i > 0,
@@ -155,10 +206,10 @@ pub fn evaluate_mcml_dt(
                 view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
             let mut fresh = match cfg.repartition_method {
                 RepartitionMethod::ScratchRemap => {
-                    repartition(&view.graph2.graph, k, &old, &cfg.partitioner)
+                    repartition(&view.graph2.graph, live_k, &old, &cfg.partitioner)
                 }
                 RepartitionMethod::Diffusion => {
-                    diffusion_repartition(&view.graph2.graph, k, &old, &cfg.partitioner)
+                    diffusion_repartition(&view.graph2.graph, live_k, &old, &cfg.partitioner)
                 }
             };
             if let Some(fc) = &cfg.dt_friendly {
@@ -168,19 +219,11 @@ pub fn evaluate_mcml_dt(
                     .iter()
                     .map(|&n| view.mesh.points[n as usize])
                     .collect();
-                dt_friendly_correct(&view.graph2.graph, &positions, k, &mut fresh, fc);
+                dt_friendly_correct(&view.graph2.graph, &positions, live_k, &mut fresh, fc);
             }
             // UpdComm: contact points migrated by the repartitioning.
             let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
-            upd_comm = view
-                .contact
-                .nodes
-                .iter()
-                .filter(|&&n| {
-                    node_parts[n as usize] != u32::MAX
-                        && node_parts[n as usize] != new_node_parts[n as usize]
-                })
-                .count() as u64;
+            upd_comm += migrated_contact_points(view, &node_parts, &new_node_parts);
             // Keep parts of still-dead nodes from before (irrelevant, but
             // cheap to carry): merge live updates only.
             for (n, &p) in new_node_parts.iter().enumerate() {
@@ -190,21 +233,33 @@ pub fn evaluate_mcml_dt(
             }
         }
 
-        out.push(snapshot_metrics(sim, i, view, &node_parts, cfg, upd_comm));
+        out.push(snapshot_metrics(sim, i, view, &node_parts, cfg, live_k, upd_comm));
     }
     (out, friendly_stats)
 }
 
-/// Evaluates one snapshot's metrics under the current node partition.
+/// Contact points whose part changes between two node assignments (the
+/// UpdComm unit).
+fn migrated_contact_points(view: &SnapshotView, old: &[u32], new: &[u32]) -> u64 {
+    view.contact
+        .nodes
+        .iter()
+        .filter(|&&n| old[n as usize] != u32::MAX && old[n as usize] != new[n as usize])
+        .count() as u64
+}
+
+/// Evaluates one snapshot's metrics under the current node partition
+/// (`k` is the *live* part count — after a rank loss it is smaller than
+/// `cfg.k`).
 fn snapshot_metrics(
     sim: &SimResult,
     i: usize,
     view: &SnapshotView,
     node_parts: &[u32],
     cfg: &McmlDtConfig,
+    k: usize,
     upd_comm: u64,
 ) -> SnapshotMetrics {
-    let k = cfg.k;
     let asg_now: Vec<u32> =
         view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
     debug_assert!(asg_now.iter().all(|&p| p != u32::MAX));
@@ -302,6 +357,56 @@ mod tests {
                 assert_eq!(m.upd_comm, 0, "snapshot {i}");
             }
         }
+    }
+
+    #[test]
+    fn rank_loss_diffuses_load_onto_survivors() {
+        let sim = tiny_sim();
+        let cfg = McmlDtConfig {
+            rank_loss: Some(RankLoss { snapshot: 1, rank: 1 }),
+            ..McmlDtConfig::paper(4)
+        };
+        let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
+        assert_eq!(metrics.len(), sim.len());
+        // Snapshot 0 runs on the full machine, untouched.
+        assert_eq!(metrics[0].upd_comm, 0);
+        // The loss snapshot migrates the dead rank's contact points (the
+        // partitioner balances the contact constraint, so a dying rank
+        // always owns some).
+        assert!(metrics[1].upd_comm > 0, "rank loss migrated nothing");
+        // The sweep keeps producing sane metrics over the 3 survivors.
+        for m in &metrics[1..] {
+            assert!(m.fe_comm > 0);
+            assert!(m.imbalance_fe >= 1.0);
+        }
+        // The survivors are rebalanced at the loss, not left lopsided
+        // with a silent hole where the dead rank was.
+        assert!(
+            metrics[1].imbalance_fe <= 1.5,
+            "post-loss FE imbalance {}",
+            metrics[1].imbalance_fe
+        );
+    }
+
+    #[test]
+    fn rank_loss_below_three_survivors_collapses_to_serial() {
+        let sim = tiny_sim();
+        let cfg = McmlDtConfig {
+            rank_loss: Some(RankLoss { snapshot: 1, rank: 0 }),
+            ..McmlDtConfig::paper(2)
+        };
+        let (metrics, _) = evaluate_mcml_dt(&sim, &cfg);
+        assert_eq!(metrics.len(), sim.len());
+        // One part left: no cross-part traffic from the loss on.
+        for (i, m) in metrics.iter().enumerate().skip(1) {
+            assert_eq!(m.fe_comm, 0, "snapshot {i} still has halo traffic");
+            assert!((m.imbalance_fe - 1.0).abs() < 1e-9, "snapshot {i}");
+        }
+        // The collapse itself migrated the other part's contact points —
+        // proof the pre-loss snapshot really ran on two ranks. (FEComm
+        // can legitimately be 0 at k=2: the two bodies share no FE edges,
+        // and the dt-friendly correction may align parts with bodies.)
+        assert!(metrics[1].upd_comm > 0, "collapse to serial migrated nothing");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The paper discusses the search complexity in terms of tree height and
 //! the number of leaves describing each subdomain ("each subdomain will in
 //! general be described by more than one leaf node"); [`TreeStats`]
-//! quantifies exactly that, and [`to_dot`] renders the tree for
+//! quantifies exactly that, and [`DecisionTree::to_dot`] renders the tree for
 //! inspection, mirroring Figures 1(c) and 2(b).
 
 use crate::tree::{DecisionTree, DtNode};

@@ -9,7 +9,7 @@
 //! approximates the subdomain's actual shape far more tightly than a
 //! bounding box and thus eliminates most false-positive element shipments.
 //!
-//! * [`induce`] — tree induction with the paper's modified gini splitting
+//! * [`induce()`] — tree induction with the paper's modified gini splitting
 //!   index (Equation 1), the incremental `O(1)`-per-position sweep over
 //!   pre-sorted dimensions the paper describes, and the two stopping rules:
 //!   purity (for search trees) and `max_p`/`max_i` (for the DT-friendly
@@ -21,7 +21,7 @@
 //!   space should be preferred.
 //!
 //! Induction is parallel (rayon) across independent subtrees. Between
-//! adjacent time steps, [`refresh`] maintains an existing tree
+//! adjacent time steps, [`refresh()`] maintains an existing tree
 //! incrementally — only the subtrees whose leaves went impure are
 //! re-induced — which is the efficient form of the paper's §4.3
 //! "re-induce the tree every step" update policy.

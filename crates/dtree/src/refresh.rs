@@ -8,7 +8,7 @@
 //! tree, keeps the leaves that are still pure (just updating their counts
 //! and tight bounds), and re-induces **only the subtrees of leaves that
 //! became impure**. The result is a fully valid purity tree — the same
-//! contract as [`crate::induce`] — at a fraction of the work, and it
+//! contract as [`crate::induce()`] — at a fraction of the work, and it
 //! directly measures the paper's observation that trees degrade as the
 //! simulation drifts away from the geometry they were built for
 //! (`grown_nodes` tracks the degradation).
@@ -37,7 +37,7 @@ pub struct RefreshStats {
 /// Refreshes a purity-stopped search tree for moved/changed points.
 ///
 /// Returns a tree satisfying the same purity contract as a fresh
-/// [`induce`] over `points`/`labels`, reusing every still-pure leaf of
+/// [`crate::induce()`] over `points`/`labels`, reusing every still-pure leaf of
 /// `tree`.
 ///
 /// ```

@@ -59,7 +59,7 @@ pub struct LeafInfo<const D: usize> {
 
 /// A binary space-partitioning decision tree over `D`-dimensional points.
 ///
-/// Built by [`crate::induce`]; nodes are stored in an arena with the root
+/// Built by [`crate::induce()`]; nodes are stored in an arena with the root
 /// at index 0.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionTree<const D: usize> {

@@ -12,7 +12,7 @@
 //!   and per-constraint load-imbalance queries,
 //! * [`metrics`] — edge-cut and Hendrickson's *total communication volume*
 //!   (the paper's FEComm metric),
-//! * [`contract`] / [`subgraph`] — the coarsening and recursive-bisection
+//! * [`contract()`] / [`subgraph`] — the coarsening and recursive-bisection
 //!   primitives (vertex-group contraction, induced subgraphs),
 //! * [`components`] — connected components and per-part fragment counts
 //!   (subdomain-connectivity diagnostics).

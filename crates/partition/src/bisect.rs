@@ -8,14 +8,13 @@
 //! feasible result (lowest cut) is kept.
 
 use crate::config::{child_seed, PartitionerConfig};
-use crate::fm::{fm_refine_with, rebalance_bisection, side_weights, BisectTargets};
+use crate::fm::{fm_refine_with, rebalance_bisection_with, side_weights, BisectTargets};
 use crate::RefineWorkspace;
 use cip_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Computes an initial bisection of `g` with side-0 target fraction
 /// `targets.frac0`, trying `cfg.init_tries` seeded growings (with random
@@ -30,8 +29,10 @@ pub fn greedy_bisection(
     greedy_bisection_with(g, targets, cfg, seed, &mut RefineWorkspace::new())
 }
 
-/// [`greedy_bisection`] with a reusable workspace: the FM polish of every
-/// attempt shares the workspace's scratch, so restarts stop re-allocating.
+/// [`greedy_bisection`] with a reusable workspace: the growing frontier,
+/// the balance repair and the FM polish of every attempt share the
+/// workspace's scratch, so restarts stop re-allocating — the best
+/// assignment is cloned out only when an attempt actually improves.
 pub fn greedy_bisection_with(
     g: &Graph,
     targets: &BisectTargets,
@@ -40,26 +41,46 @@ pub fn greedy_bisection_with(
     ws: &mut RefineWorkspace,
 ) -> Vec<u32> {
     assert!(g.nv() >= 2, "bisection needs at least two vertices");
+    // Take the assignment buffer out so `ws` stays borrowable by the
+    // rebalance/FM scratch below; restored before returning.
+    let mut asg = std::mem::take(&mut ws.grow_asg);
     let mut best: Option<(f64, i64, Vec<u32>)> = None;
     for t in 0..cfg.init_tries.max(1) {
         let try_seed = child_seed(seed, 0xB15EC7 + t as u64);
-        let mut asg = grow_once(g, targets, try_seed);
-        rebalance_bisection(g, &mut asg, targets);
+        grow_once(g, targets, try_seed, ws, &mut asg);
+        rebalance_bisection_with(g, &mut asg, targets, ws);
         let cut = fm_refine_with(g, &mut asg, targets, cfg.fm_passes, cfg.transient_violation, ws);
         let violation = targets.violation(&side_weights(g, &asg));
         let key = (violation, cut);
         if best.as_ref().is_none_or(|(bv, bc, _)| key < (*bv, *bc)) {
-            best = Some((violation, cut, asg));
+            match &mut best {
+                Some((bv, bc, kept)) => {
+                    *bv = violation;
+                    *bc = cut;
+                    kept.clone_from(&asg);
+                }
+                None => best = Some((violation, cut, asg.clone())),
+            }
         }
     }
+    ws.grow_asg = asg;
     best.expect("at least one bisection attempt").2
 }
 
-/// One greedy growing from a random seed vertex.
-fn grow_once(g: &Graph, targets: &BisectTargets, seed: u64) -> Vec<u32> {
+/// One greedy growing from a random seed vertex, written into `asg`. The
+/// frontier heap, gain table and membership flags live in the workspace,
+/// so repeated attempts perform no heap allocation.
+fn grow_once(
+    g: &Graph,
+    targets: &BisectTargets,
+    seed: u64,
+    ws: &mut RefineWorkspace,
+    asg: &mut Vec<u32>,
+) {
     let nv = g.nv();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut asg = vec![1u32; nv];
+    asg.clear();
+    asg.resize(nv, 1);
 
     // Primary stopping constraint: the first constraint with nonzero total
     // (constraint 0 in practice — every mesh node does FE work).
@@ -67,9 +88,14 @@ fn grow_once(g: &Graph, targets: &BisectTargets, seed: u64) -> Vec<u32> {
     let target0 = targets.frac0 * targets.totals[primary] as f64;
 
     let mut grown = 0i64;
-    let mut heap: BinaryHeap<(i64, Reverse<u32>)> = BinaryHeap::new();
-    let mut gains: Vec<i64> = vec![0; nv];
-    let mut in_side0 = vec![false; nv];
+    let heap = &mut ws.grow_heap;
+    heap.clear();
+    let gains = &mut ws.grow_gains;
+    gains.clear();
+    gains.resize(nv, 0);
+    let in_side0 = &mut ws.grow_in0;
+    in_side0.clear();
+    in_side0.resize(nv, false);
 
     let start = rng.gen_range(0..nv as u32);
     let mut pending: Option<u32> = Some(start);
@@ -109,7 +135,6 @@ fn grow_once(g: &Graph, targets: &BisectTargets, seed: u64) -> Vec<u32> {
             }
         }
     }
-    asg
 }
 
 /// Splits a graph that is smaller than the requested part count: each
@@ -199,6 +224,22 @@ mod tests {
         let asg = greedy_bisection(&g, &targets, &cfg, cfg.seed);
         let sw = side_weights(&g, &asg);
         assert!(targets.feasible(&sw));
+    }
+
+    #[test]
+    fn reused_workspace_bisection_matches_fresh() {
+        let g = grid(12, 12, 2);
+        let targets = BisectTargets::new(&g, 0.5, &[0.05, 0.2]);
+        let cfg = PartitionerConfig::with_seed(9);
+        let mut ws = RefineWorkspace::new();
+        // Dirty every grow/FM buffer on a different graph size first.
+        let g2 = grid(6, 7, 1);
+        let t2 = BisectTargets::new(&g2, 0.5, &[0.05]);
+        let _ = greedy_bisection_with(&g2, &t2, &cfg, cfg.seed, &mut ws);
+
+        let reused = greedy_bisection_with(&g, &targets, &cfg, cfg.seed, &mut ws);
+        let fresh = greedy_bisection(&g, &targets, &cfg, cfg.seed);
+        assert_eq!(reused, fresh, "scratch reuse must not change the result");
     }
 
     #[test]

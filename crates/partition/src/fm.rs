@@ -9,7 +9,7 @@
 //! reduce the total violation are admitted even if the destination is over
 //! cap, so refinement doubles as balance repair.
 //!
-//! Gains are never recomputed from scratch: the [`FmScratch`] inside
+//! Gains are never recomputed from scratch: the `FmScratch` inside
 //! [`crate::RefineWorkspace`] keeps the internal degree `id[v]` (edge
 //! weight from `v` into its own side) incrementally updated on every move
 //! and rollback. With the graph-constant weighted degree `tdeg[v]`, the
@@ -358,30 +358,65 @@ fn fm_pass(
     (targets.violation(&scratch.sw), *cut) < (start_violation, start_cut)
 }
 
-/// FM gain of moving `v` to the other side: external minus internal degree.
-fn gain_of(g: &Graph, asg: &[u32], v: u32) -> i64 {
-    let side = asg[v as usize];
-    let mut gain = 0i64;
-    for (u, w) in g.neighbors(v) {
-        if asg[u as usize] == side {
-            gain -= w;
-        } else {
-            gain += w;
+/// Total violation after hypothetically moving a vertex with weights
+/// `vwgt` off `side`, evaluated in `O(ncon)` from the per-(side,
+/// constraint) terms the move touches — the violation is a sum of
+/// independent terms, so nothing else changes.
+fn violation_after_move(
+    targets: &BisectTargets,
+    sw: &[i64],
+    vwgt: &[i64],
+    side: usize,
+    violation_now: f64,
+) -> f64 {
+    let ncon = targets.ncon();
+    let other = 1 - side;
+    let mut v = violation_now;
+    for (j, &w) in vwgt.iter().enumerate() {
+        if targets.totals[j] == 0 || w == 0 {
+            continue;
         }
+        let tj = targets.totals[j] as f64;
+        let cap_s = targets.cap(side, j);
+        let cap_o = targets.cap(other, j);
+        let old_s = (sw[side * ncon + j] - cap_s).max(0);
+        let new_s = (sw[side * ncon + j] - w - cap_s).max(0);
+        let old_o = (sw[other * ncon + j] - cap_o).max(0);
+        let new_o = (sw[other * ncon + j] + w - cap_o).max(0);
+        v += (new_s - old_s + new_o - old_o) as f64 / tj;
     }
-    gain
+    v
 }
 
 /// Balance repair: greedily moves vertices off over-cap sides, choosing the
 /// highest-gain vertex that strictly reduces total violation. Used when the
 /// initial bisection or a projected partition is infeasible.
 pub fn rebalance_bisection(g: &Graph, asg: &mut [u32], targets: &BisectTargets) {
+    rebalance_bisection_with(g, asg, targets, &mut crate::RefineWorkspace::new());
+}
+
+/// [`rebalance_bisection`] with a reusable workspace — the same
+/// boundary-list + incremental-weights discipline as `balance_kway`.
+/// Candidates come from the maintained boundary list (moving a boundary
+/// vertex repairs balance *and* tends to help the cut), falling back to a
+/// full vertex scan only when no boundary vertex can reduce the violation
+/// (e.g. a fully one-sided start has an empty boundary). Each candidate's
+/// violation change is evaluated in `O(ncon)` from the incrementally
+/// maintained side weights — no per-candidate clone — and its FM gain
+/// comes from the maintained id/ed degrees in `O(1)`.
+pub fn rebalance_bisection_with(
+    g: &Graph,
+    asg: &mut [u32],
+    targets: &BisectTargets,
+    ws: &mut crate::RefineWorkspace,
+) {
     let ncon = g.ncon();
-    let mut sw = side_weights(g, asg);
+    let scratch = &mut ws.fm;
+    scratch.init(g, asg);
     let mut budget = 2 * g.nv();
     while budget > 0 {
         budget -= 1;
-        let violation = targets.violation(&sw);
+        let violation = targets.violation(&scratch.sw);
         if violation == 0.0 {
             return;
         }
@@ -392,7 +427,7 @@ pub fn rebalance_bisection(g: &Graph, asg: &mut [u32], targets: &BisectTargets) 
                 if targets.totals[j] == 0 {
                     continue;
                 }
-                let over = sw[side * ncon + j] - targets.cap(side, j);
+                let over = scratch.sw[side * ncon + j] - targets.cap(side, j);
                 if over > 0 {
                     let score = over as f64 / targets.totals[j] as f64;
                     if worst.is_none_or(|(s, _, _)| score > s) {
@@ -403,34 +438,43 @@ pub fn rebalance_bisection(g: &Graph, asg: &mut [u32], targets: &BisectTargets) 
         }
         let Some((_, side, j)) = worst else { return };
 
-        // Candidate: vertex on `side` with positive weight in `j` whose move
-        // reduces total violation the most; break ties by FM gain.
+        // Candidate: vertex on `side` with positive weight in `j` whose
+        // move reduces total violation the most; break ties by FM gain,
+        // then by lowest vertex id (deterministic regardless of boundary
+        // list order).
         let mut best: Option<(f64, i64, u32)> = None;
-        for v in 0..g.nv() as u32 {
-            if asg[v as usize] as usize != side || g.vwgt(v)[j] <= 0 {
-                continue;
+        for pass in 0..2 {
+            let scan_all = pass == 1;
+            let count = if scan_all { g.nv() } else { scratch.bnd.len() };
+            for i in 0..count {
+                let v = if scan_all { i as u32 } else { scratch.bnd[i] };
+                if asg[v as usize] as usize != side || g.vwgt(v)[j] <= 0 {
+                    continue;
+                }
+                let v_after =
+                    violation_after_move(targets, &scratch.sw, g.vwgt(v), side, violation);
+                if v_after >= violation {
+                    continue;
+                }
+                let key = (violation - v_after, scratch.gain(v), v);
+                let better = match best {
+                    None => true,
+                    Some((d, bg, bv)) => {
+                        (key.0, key.1) > (d, bg) || ((key.0, key.1) == (d, bg) && v < bv)
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
             }
-            let mut trial = sw.clone();
-            for (jj, w) in g.vwgt(v).iter().enumerate() {
-                trial[side * ncon + jj] -= w;
-                trial[(1 - side) * ncon + jj] += w;
-            }
-            let v_after = targets.violation(&trial);
-            if v_after >= violation {
-                continue;
-            }
-            let gain = gain_of(g, asg, v);
-            let key = (violation - v_after, gain, v);
-            if best.is_none_or(|(d, bg, _)| (key.0, key.1) > (d, bg)) {
-                best = Some(key);
+            if best.is_some() {
+                break;
             }
         }
         let Some((_, _, v)) = best else { return };
-        for (jj, w) in g.vwgt(v).iter().enumerate() {
-            sw[side * ncon + jj] -= w;
-            sw[(1 - side) * ncon + jj] += w;
-        }
-        asg[v as usize] = 1 - side as u32;
+        // `flip` keeps asg, side weights, id/ed and the boundary list in
+        // sync, so the next iteration's candidates are exact.
+        scratch.flip(g, asg, v, ncon);
     }
 }
 
@@ -523,6 +567,24 @@ mod tests {
         let sw = side_weights(&g, &asg);
         // Constraint 1 must now be split 2/2 (cap = ceil(1.05 * 2) = 3).
         assert!(sw[1] <= 3 && sw[3] <= 3, "contact weights {sw:?}");
+    }
+
+    #[test]
+    fn rebalance_with_reused_workspace_matches_fresh() {
+        let g = path8();
+        let targets = BisectTargets::new(&g, 0.5, &[0.05]);
+        let mut ws = RefineWorkspace::new();
+        // Dirty the workspace with an unrelated refinement first.
+        let mut dirty: Vec<u32> = (0..8).map(|v| u32::from(v >= 3)).collect();
+        let _ = fm_refine_with(&g, &mut dirty, &targets, 2, 0.02, &mut ws);
+
+        let start = vec![0u32, 0, 0, 0, 0, 0, 0, 1];
+        let mut a = start.clone();
+        let mut b = start.clone();
+        rebalance_bisection_with(&g, &mut a, &targets, &mut ws);
+        rebalance_bisection_with(&g, &mut b, &targets, &mut RefineWorkspace::new());
+        assert_eq!(a, b);
+        assert!(targets.feasible(&side_weights(&g, &a)));
     }
 
     #[test]

@@ -39,6 +39,8 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::fm::FmScratch;
 
@@ -81,6 +83,14 @@ pub struct RefineWorkspace {
     rank: Vec<u32>,
     /// Parallel sweep: this round's winners.
     winners: Vec<u32>,
+    /// Greedy-growing frontier heap for `bisect::grow_once` restarts.
+    pub(crate) grow_heap: BinaryHeap<(i64, Reverse<u32>)>,
+    /// Greedy-growing per-vertex frontier gains.
+    pub(crate) grow_gains: Vec<i64>,
+    /// Greedy-growing side-0 membership flags.
+    pub(crate) grow_in0: Vec<bool>,
+    /// Greedy-growing assignment buffer, reused across attempts.
+    pub(crate) grow_asg: Vec<u32>,
 }
 
 impl RefineWorkspace {
@@ -102,6 +112,10 @@ impl RefineWorkspace {
         self.prop_to.reserve(nv);
         self.rank.reserve(nv);
         self.winners.reserve(nv);
+        self.grow_heap.reserve(nv);
+        self.grow_gains.reserve(nv);
+        self.grow_in0.reserve(nv);
+        self.grow_asg.reserve(nv);
     }
 
     /// (Re)derives degrees, boundary list, part weights and caps from

@@ -3,7 +3,7 @@
 //! The recursive-bisection driver ([`crate::rb`]) coarsens the graph once
 //! per bisection — `O(log k)` coarsening sweeps. The multilevel k-way
 //! scheme of Karypis & Kumar (*Multilevel k-way partitioning scheme for
-//! irregular graphs*, cited by the paper as [17]) coarsens **once**,
+//! irregular graphs*, cited by the paper as \[17\]) coarsens **once**,
 //! computes a k-way partition of the coarsest graph (here: recursive
 //! bisection, which is cheap at that size), and then refines the k-way
 //! partition directly at every uncoarsening level. This is both faster

@@ -4,7 +4,7 @@
 //! builds on (Karypis & Kumar, *Multilevel algorithms for multi-constraint
 //! graph partitioning*, SC'98):
 //!
-//! * [`coarsen`] — heavy-edge matching and graph contraction,
+//! * [`mod@coarsen`] — heavy-edge matching and graph contraction,
 //! * [`bisect`] — multi-constraint greedy graph growing for the initial
 //!   bisection of the coarsest graph, plus a balance-repair pass,
 //! * [`fm`] — 2-way Fiduccia–Mattheyses refinement with multi-constraint
@@ -53,4 +53,6 @@ pub use hungarian::max_weight_assignment;
 pub use kway::{balance_kway, balance_kway_with, refine_kway, refine_kway_with, RefineWorkspace};
 pub use kway_ml::partition_kway_multilevel;
 pub use rb::partition_kway;
-pub use repart::{remap_to_maximize_overlap, repartition};
+pub use repart::{
+    compact_parts_after_loss, remap_to_maximize_overlap, repartition, repartition_survivors,
+};

@@ -14,7 +14,7 @@
 use crate::bisect::{assign_distinct_parts, greedy_bisection_with};
 use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
 use crate::config::{child_seed, PartitionerConfig};
-use crate::fm::{fm_refine_with, rebalance_bisection, BisectTargets};
+use crate::fm::{fm_refine_with, rebalance_bisection_with, BisectTargets};
 use crate::kway::{balance_kway_with, refine_kway_with, RefineWorkspace};
 use cip_graph::subgraph::induced_subgraph;
 use cip_graph::Graph;
@@ -203,7 +203,7 @@ pub fn multilevel_bisect_seeded(
             .attr("ne", fine_graph.ne());
         hierarchy.project_into(lvl, &asg, &mut fine_asg);
         let targets = BisectTargets::new(fine_graph, frac0, eps);
-        rebalance_bisection(fine_graph, &mut fine_asg, &targets);
+        rebalance_bisection_with(fine_graph, &mut fine_asg, &targets, &mut rws);
         fm_refine_with(
             fine_graph,
             &mut fine_asg,
@@ -217,7 +217,7 @@ pub fn multilevel_bisect_seeded(
     if hierarchy.is_empty() {
         // No coarsening happened; `asg` is already on `g` but unrefined.
         let targets = BisectTargets::new(g, frac0, eps);
-        rebalance_bisection(g, &mut asg, &targets);
+        rebalance_bisection_with(g, &mut asg, &targets, &mut rws);
         fm_refine_with(g, &mut asg, &targets, cfg.fm_passes, cfg.transient_violation, &mut rws);
     }
     asg

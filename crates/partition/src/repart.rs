@@ -46,6 +46,76 @@ pub fn migration_count(old: &[u32], new: &[u32]) -> usize {
     old.iter().zip(new.iter()).filter(|(&o, &n)| o != u32::MAX && n != u32::MAX && o != n).count()
 }
 
+/// Compacts a `k`-part assignment after losing the ranks in `dead`:
+/// vertices of a dead part become unassigned (`u32::MAX`, for the
+/// diffusion repartitioner to adopt), and the surviving labels are made
+/// contiguous in `0..k - dead.len()` by moving the *highest* surviving
+/// labels into the freed slots (swap-style, so at most `dead.len()` parts
+/// are relabeled and no surviving vertex migrates because of the
+/// renumbering itself). Returns the new part count.
+///
+/// The same swap discipline is used by
+/// `cip_core::comm::RankTraffic::without_rank`, so traffic matrices and
+/// assignments stay label-compatible through a loss.
+pub fn compact_parts_after_loss(parts: &mut [u32], k: usize, dead: &[u32]) -> usize {
+    assert!(dead.len() <= k, "cannot lose more ranks than exist");
+    let mut is_dead = vec![false; k];
+    for &d in dead {
+        assert!((d as usize) < k, "dead rank {d} out of range for k={k}");
+        is_dead[d as usize] = true;
+    }
+    // Orphan the dead parts' vertices first.
+    for p in parts.iter_mut() {
+        if *p != u32::MAX && is_dead[*p as usize] {
+            *p = u32::MAX;
+        }
+    }
+    // Fill freed low slots from the top: for each dead slot below the new
+    // part count, relabel the highest surviving part into it.
+    let new_k = k - dead.len();
+    let mut relabel: Vec<u32> = (0..k as u32).collect();
+    let mut top = k;
+    for slot in 0..new_k {
+        if !is_dead[slot] {
+            continue;
+        }
+        // Find the highest surviving label above new_k.
+        top -= 1;
+        while is_dead[top] {
+            top -= 1;
+        }
+        relabel[top] = slot as u32;
+    }
+    for p in parts.iter_mut() {
+        if *p != u32::MAX {
+            *p = relabel[*p as usize];
+        }
+    }
+    new_k
+}
+
+/// Rank-loss recovery: compacts `old` over the survivors of `dead`, then
+/// diffusion-repartitions the orphaned weight across the remaining
+/// `k - dead.len()` parts (minimal migration for the survivors). Returns
+/// the new assignment and the new part count.
+///
+/// Requires at least two survivors — with fewer there is nothing to
+/// partition, and callers should fall back to a serial step (see
+/// `cip::trace::run_traced`).
+pub fn repartition_survivors(
+    g: &Graph,
+    k: usize,
+    old: &[u32],
+    dead: &[u32],
+    cfg: &PartitionerConfig,
+) -> (Vec<u32>, usize) {
+    let mut parts = old.to_vec();
+    let new_k = compact_parts_after_loss(&mut parts, k, dead);
+    assert!(new_k >= 2, "repartition_survivors needs >= 2 survivors, got {new_k}");
+    let fresh = crate::diffusion::diffusion_repartition(g, new_k, &parts, cfg);
+    (fresh, new_k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +179,48 @@ mod tests {
         assert_eq!(migration_count(&[0, 1, 2], &[0, 1, 2]), 0);
         assert_eq!(migration_count(&[0, 1, 2], &[2, 1, 0]), 2);
         assert_eq!(migration_count(&[u32::MAX, 1], &[0, 0]), 1);
+    }
+
+    #[test]
+    fn compact_orphans_dead_part_and_keeps_labels_contiguous() {
+        // Losing the top part: survivors keep their labels untouched.
+        let mut parts = vec![0, 1, 2, 3, 2, 1, 0, 3];
+        let new_k = compact_parts_after_loss(&mut parts, 4, &[3]);
+        assert_eq!(new_k, 3);
+        let m = u32::MAX;
+        assert_eq!(parts, vec![0, 1, 2, m, 2, 1, 0, m]);
+
+        // Losing a middle part: only the top label moves (into the hole).
+        let mut parts = vec![0, 1, 2, 3, 2, 1, 0, 3];
+        let new_k = compact_parts_after_loss(&mut parts, 4, &[1]);
+        assert_eq!(new_k, 3);
+        assert_eq!(parts, vec![0, m, 2, 1, 2, m, 0, 1]);
+
+        // Multiple losses, already-unassigned entries pass through.
+        let mut parts = vec![m, 0, 1, 2, 3, 0];
+        let new_k = compact_parts_after_loss(&mut parts, 4, &[0, 3]);
+        assert_eq!(new_k, 2);
+        assert_eq!(parts, vec![m, m, 1, 0, m, m]);
+        assert!(parts.iter().all(|&p| p == m || (p as usize) < new_k));
+    }
+
+    #[test]
+    fn repartition_survivors_covers_everything_in_fewer_parts() {
+        let g = grid(12, 12);
+        let cfg = PartitionerConfig::with_seed(9);
+        let old = partition_kway(&g, 4, &cfg);
+        let (fresh, new_k) = repartition_survivors(&g, 4, &old, &[2], &cfg);
+        assert_eq!(new_k, 3);
+        assert_eq!(fresh.len(), g.nv());
+        assert!(fresh.iter().all(|&p| (p as usize) < new_k), "orphans must all be adopted");
+        for p in 0..new_k as u32 {
+            assert!(fresh.contains(&p), "survivor part {p} lost all its vertices");
+        }
+        // Survivors of the dead part aside, diffusion keeps migration low:
+        // vertices that stayed assigned mostly keep their (compacted) label.
+        let mut compacted = old.clone();
+        compact_parts_after_loss(&mut compacted, 4, &[2]);
+        let moved = migration_count(&compacted, &fresh);
+        assert!(moved < g.nv() / 2, "diffusion recovery moved {moved}/{} vertices", g.nv());
     }
 }

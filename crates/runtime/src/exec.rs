@@ -7,19 +7,40 @@
 //! owner, body), the halo and shipment phases need no barrier — each rank
 //! streams all its sends, then drains its inbox until every peer's `Done`
 //! marker has arrived.
+//!
+//! The executor is fault tolerant (see DESIGN.md §6c). Every payload
+//! message carries a per-`(from, to)` sequence number and every `Done`
+//! marker carries the count of payloads the sender first-transmitted to
+//! that receiver, so a draining rank can *detect* loss and duplication
+//! instead of miscounting, and repair loss with a `Resend` request served
+//! from the sender's history buffer. Draining is bounded by
+//! [`ExecOptions::timeout`] with [`ExecOptions::retries`] repair rounds;
+//! peers still unaccounted for after that are declared dead and the step
+//! returns [`RuntimeError::RankLost`] with the survivors' partial output,
+//! so the driver can repartition over the survivors and re-execute. All
+//! of this lives behind [`FaultInjector`]: with the injector disabled
+//! (the default) the send path is byte-for-byte the old streaming loop
+//! plus one `Option` discriminant test per message, and the drain loop
+//! needs no history, no dedup bitmap, and no completion round.
 
-use crate::plan::Decomposition;
+use crate::fault::{Fate, FaultInjector};
+use crate::plan::{Decomposition, RankPlan};
+use crate::RuntimeError;
 use cip_contact::{find_contact_pairs, ContactPair, GlobalFilter, SurfaceElementInfo};
 use cip_geom::{Aabb, Point};
 use cip_telemetry::Recorder;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Duration;
 
 /// Inter-rank message.
+#[derive(Clone)]
 enum Msg {
     /// Halo exchange: updated positions of nodes the receiver ghosts.
     Halo {
         /// Sending rank.
         from: u32,
+        /// Position in the sender's payload stream to this receiver.
+        seq: u64,
         /// `(global node id, position)` pairs.
         values: Vec<(u32, Point<3>)>,
     },
@@ -27,6 +48,8 @@ enum Msg {
     Element {
         /// Sending rank (the element's owner).
         from: u32,
+        /// Position in the sender's payload stream to this receiver.
+        seq: u64,
         /// Global element index.
         id: u32,
         /// Bounding box at the current configuration.
@@ -34,14 +57,38 @@ enum Msg {
         /// Body id (local search only pairs different bodies).
         body: u16,
     },
-    /// The sender has finished all sends for this step.
-    Done(u32),
+    /// The sender has finished all sends for this step; `sent` is the
+    /// number of payload messages it first-transmitted to this receiver,
+    /// so the receiver can detect gaps.
+    Done {
+        /// Sending rank.
+        from: u32,
+        /// First-transmission payload count for this `(from, to)` pair.
+        sent: u64,
+    },
+    /// Repair request: "re-send me these sequence numbers of yours".
+    Resend {
+        /// Requesting rank (the destination of the resends).
+        from: u32,
+        /// Missing sequence numbers.
+        seqs: Vec<u64>,
+    },
+    /// Chaos-mode barrier: the sender has received everything it expects
+    /// and will need no further resends (only used with an armed
+    /// [`FaultInjector`]).
+    Complete {
+        /// Sending rank.
+        from: u32,
+    },
 }
 
 /// Message counts per communication phase of one executed step.
 ///
 /// `halo_units` counts the node values *inside* halo messages (the same
 /// units as [`TrafficLog::total_halo`]); everything else counts messages.
+/// Under fault injection the counts cover **first transmissions only** —
+/// dropped messages still count (they are logical traffic, repaired by
+/// resends), duplicates and resends do not.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseTraffic {
     /// Halo messages sent (one per `(src, dst)` pair with a non-empty
@@ -57,7 +104,7 @@ pub struct PhaseTraffic {
 
 /// Measured traffic of one executed step (row-major `k x k` matrices,
 /// `[from * k + to]`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrafficLog {
     /// Number of ranks.
     pub k: usize,
@@ -124,7 +171,7 @@ pub struct StepInput<'a, F: GlobalFilter<3> + Sync> {
 }
 
 /// Result of one executed step.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepOutput {
     /// Cross-body candidate pairs, global element ids, sorted, deduped.
     pub contact_pairs: Vec<ContactPair>,
@@ -135,168 +182,455 @@ pub struct StepOutput {
     pub ghost_mismatches: usize,
 }
 
-/// Executes one contact/impact step across `k` rank threads.
-pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> StepOutput {
-    let k = input.decomposition.k;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
+/// Execution policy: drain timeout, repair budget, fault injection.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// How long a draining rank waits for any message before starting a
+    /// repair round (and, once `retries` rounds are spent, declaring the
+    /// unaccounted peers dead).
+    pub timeout: Duration,
+    /// Repair rounds before silent peers are declared dead.
+    pub retries: u32,
+    /// Fault injection plan; [`FaultInjector::none`] by default.
+    pub fault: FaultInjector,
+}
 
-    struct RankResult {
-        pairs: Vec<ContactPair>,
-        halo_sent: Vec<u64>,      // per destination
-        shipments_sent: Vec<u64>, // per destination
-        halo_msgs: u64,
-        done_msgs: u64,
-        ghost_mismatches: usize,
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self { timeout: Duration::from_secs(5), retries: 3, fault: FaultInjector::none() }
+    }
+}
+
+/// Per-destination chaos bookkeeping on the send side.
+struct ChaosState {
+    /// Every first-transmitted payload, indexed `[dest][seq]` — the
+    /// resend service replays from here, bypassing injection.
+    history: Vec<Vec<Msg>>,
+    /// One-slot reorder buffer per destination.
+    held: Vec<Option<Msg>>,
+    /// Messages delayed past the `Done` marker, per destination.
+    delayed: Vec<Vec<Msg>>,
+}
+
+impl ChaosState {
+    fn new(k: usize) -> Self {
+        Self {
+            history: (0..k).map(|_| Vec::new()).collect(),
+            held: (0..k).map(|_| None).collect(),
+            delayed: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Applies the injected fate of one first transmission. The message is
+/// recorded in the history buffer first, whatever its fate, so a `Resend`
+/// can always repair it.
+fn chaos_send(
+    st: &mut ChaosState,
+    txs: &[Sender<Msg>],
+    fault: &FaultInjector,
+    rec: &Recorder,
+    me: u32,
+    dest: usize,
+    msg: Msg,
+) {
+    let seq = st.history[dest].len() as u64;
+    st.history[dest].push(msg.clone());
+    let fate = fault.fate(me, dest as u32, seq);
+    match fate {
+        Fate::Deliver => {
+            let _ = txs[dest].send(msg);
+        }
+        Fate::Drop => {
+            rec.add("fault.dropped", 1);
+        }
+        Fate::Duplicate => {
+            rec.add("fault.duplicated", 1);
+            let _ = txs[dest].send(msg.clone());
+            let _ = txs[dest].send(msg);
+        }
+        Fate::Delay => {
+            rec.add("fault.delayed", 1);
+            st.delayed[dest].push(msg);
+        }
+        Fate::Reorder => {
+            rec.add("fault.reordered", 1);
+            if st.held[dest].is_none() {
+                st.held[dest] = Some(msg);
+            } else {
+                let _ = txs[dest].send(msg);
+            }
+        }
+    }
+    // A non-reorder send releases the held predecessor *after* itself —
+    // the two messages swap places on the wire.
+    if fate != Fate::Reorder {
+        if let Some(h) = st.held[dest].take() {
+            let _ = txs[dest].send(h);
+        }
+    }
+}
+
+/// Grows-and-marks `seq` in a per-peer dedup bitmap; returns `false` if
+/// it was already seen (a duplicate or an already-repaired resend).
+fn mark_new(seen: &mut Vec<bool>, seq: u64) -> bool {
+    let i = seq as usize;
+    if seen.len() <= i {
+        seen.resize(i + 1, false);
+    }
+    if seen[i] {
+        false
+    } else {
+        seen[i] = true;
+        true
+    }
+}
+
+/// Sequence numbers in `0..sent` not yet marked in `seen`.
+fn missing_seqs(seen: &[bool], sent: u64) -> Vec<u64> {
+    (0..sent).filter(|&s| !seen.get(s as usize).copied().unwrap_or(false)).collect()
+}
+
+/// What one rank thread produced.
+struct RankResult {
+    pairs: Vec<ContactPair>,
+    halo_sent: Vec<u64>,      // per destination
+    shipments_sent: Vec<u64>, // per destination
+    halo_msgs: u64,
+    done_msgs: u64,
+    ghost_mismatches: usize,
+}
+
+/// How one rank thread ended.
+enum RankOutcome {
+    /// Full protocol run: all peers accounted for.
+    Completed(RankResult),
+    /// Killed by the fault plan mid-step; produced nothing.
+    Dead,
+    /// Timed out on `dead` peers after exhausting the repair budget;
+    /// `partial` covers what was sent and received before giving up.
+    Lost { partial: RankResult, dead: Vec<u32> },
+}
+
+/// One rank's full step: stream sends, drain with repair, local search.
+fn run_rank<F: GlobalFilter<3> + Sync>(
+    r: usize,
+    k: usize,
+    plan: &RankPlan,
+    input: &StepInput<'_, F>,
+    opts: &ExecOptions,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+) -> RankOutcome {
+    let me = r as u32;
+    let rec = &input.recorder;
+    rec.set_lane(me);
+    let fault = &opts.fault;
+    let mut st = if fault.is_active() { Some(ChaosState::new(k)) } else { None };
+    let mut halo_sent = vec![0u64; k];
+    let mut shipments_sent = vec![0u64; k];
+    let mut sent_to = vec![0u64; k];
+    let mut halo_msgs = 0u64;
+    let mut done_msgs = 0u64;
+    let mut payload_sends = 0u64;
+
+    // ---- Send halo values. --------------------------------------------
+    {
+        let _span = rec.span("exec.halo").attr("rank", me);
+        for (dest, nodes) in &plan.send_halo {
+            if fault.should_kill(me, payload_sends) {
+                rec.add("fault.killed_ranks", 1);
+                return RankOutcome::Dead;
+            }
+            let dest = *dest as usize;
+            let values: Vec<(u32, Point<3>)> =
+                nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
+            halo_sent[dest] += values.len() as u64;
+            halo_msgs += 1;
+            rec.record("exec.halo_msg_nodes", values.len() as u64);
+            let msg = Msg::Halo { from: me, seq: sent_to[dest], values };
+            sent_to[dest] += 1;
+            payload_sends += 1;
+            match st.as_mut() {
+                None => {
+                    let _ = txs[dest].send(msg);
+                }
+                Some(st) => chaos_send(st, &txs, fault, rec, me, dest, msg),
+            }
+        }
     }
 
-    let results: Vec<RankResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(k);
-        #[allow(clippy::needless_range_loop)] // r is the rank id
-        for r in 0..k {
-            let txs = txs.clone();
-            let rx = rxs[r].clone();
-            let plan = &input.decomposition.ranks[r];
-            let input = &*input;
-            handles.push(scope.spawn(move || {
-                let me = r as u32;
-                let rec = &input.recorder;
-                rec.set_lane(me);
-                let mut halo_sent = vec![0u64; k];
-                let mut shipments_sent = vec![0u64; k];
-                let mut halo_msgs = 0u64;
-                let mut done_msgs = 0u64;
-
-                // ---- Send halo values. --------------------------------
-                {
-                    let _span = rec.span("exec.halo").attr("rank", me);
-                    for (dest, nodes) in &plan.send_halo {
-                        let values: Vec<(u32, Point<3>)> =
-                            nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
-                        halo_sent[*dest as usize] += values.len() as u64;
-                        halo_msgs += 1;
-                        rec.record("exec.halo_msg_nodes", values.len() as u64);
-                        txs[*dest as usize]
-                            .send(Msg::Halo { from: me, values })
-                            .expect("rank channel closed");
-                    }
+    // ---- Ship owned surface elements per the filter. ------------------
+    {
+        let mut span =
+            rec.span("exec.ship").attr("rank", me).attr("owned", plan.owned_surface.len());
+        let mut candidates = Vec::new();
+        for &e in &plan.owned_surface {
+            let el = &input.elements[e as usize];
+            debug_assert_eq!(el.owner, me);
+            input.filter.candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
+            for &dest in candidates.iter() {
+                if dest == me {
+                    continue;
                 }
+                if fault.should_kill(me, payload_sends) {
+                    rec.add("fault.killed_ranks", 1);
+                    return RankOutcome::Dead;
+                }
+                let dest = dest as usize;
+                shipments_sent[dest] += 1;
+                let msg = Msg::Element {
+                    from: me,
+                    seq: sent_to[dest],
+                    id: e,
+                    bbox: el.bbox,
+                    body: input.bodies[e as usize],
+                };
+                sent_to[dest] += 1;
+                payload_sends += 1;
+                match st.as_mut() {
+                    None => {
+                        let _ = txs[dest].send(msg);
+                    }
+                    Some(st) => chaos_send(st, &txs, fault, rec, me, dest, msg),
+                }
+            }
+        }
+        // A kill scheduled past the rank's last payload fires here, so
+        // the `Done` markers go out all-or-nothing: survivors always see
+        // a dead rank as "no trailer", never a half-announced one.
+        if fault.should_kill(me, payload_sends) {
+            rec.add("fault.killed_ranks", 1);
+            return RankOutcome::Dead;
+        }
+        if let Some(st) = st.as_mut() {
+            for (dest, slot) in st.held.iter_mut().enumerate() {
+                if let Some(m) = slot.take() {
+                    let _ = txs[dest].send(m);
+                }
+            }
+        }
+        for (dest, tx) in txs.iter().enumerate() {
+            if dest != r {
+                let _ = tx.send(Msg::Done { from: me, sent: sent_to[dest] });
+                done_msgs += 1;
+            }
+        }
+        // Delayed messages go out *after* the trailers: the receiver sees
+        // the gap first, then the late arrival (or its requested resend,
+        // whichever lands first — the dedup bitmap absorbs the other).
+        if let Some(st) = st.as_mut() {
+            for (dest, q) in st.delayed.iter_mut().enumerate() {
+                for m in q.drain(..) {
+                    let _ = txs[dest].send(m);
+                }
+            }
+        }
+        span.set_attr("shipped", shipments_sent.iter().sum::<u64>());
+    }
 
-                // ---- Ship owned surface elements per the filter. ------
-                {
-                    let mut span = rec
-                        .span("exec.ship")
-                        .attr("rank", me)
-                        .attr("owned", plan.owned_surface.len());
-                    let mut candidates = Vec::new();
-                    for &e in &plan.owned_surface {
-                        let el = &input.elements[e as usize];
-                        debug_assert_eq!(el.owner, me);
-                        input
-                            .filter
-                            .candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
-                        for &dest in candidates.iter() {
-                            if dest == me {
-                                continue;
+    // ---- Drain the inbox until every peer is accounted for. -----------
+    let mut ghost_mismatches = 0usize;
+    let mut received: Vec<(u32, Aabb<3>, u16)> = Vec::new();
+    let mut lost: Option<Vec<u32>> = None;
+    {
+        let mut span = rec.span("exec.drain").attr("rank", me);
+        match st.as_mut() {
+            None => {
+                // Fast path: nothing is ever dropped, so payloads precede
+                // their sender's `Done` (per-sender FIFO) and a silent
+                // peer is a dead peer — no repair round can help.
+                let mut done_from = vec![false; k];
+                done_from[r] = true;
+                let mut done = 1usize;
+                while done < k {
+                    match rx.recv_timeout(opts.timeout) {
+                        Ok(Msg::Halo { from, values, .. }) => {
+                            debug_assert_ne!(from, me, "rank sent halo to itself");
+                            for (node, pos) in values {
+                                // The "physics oracle" is global in this
+                                // harness, so a correct halo exchange
+                                // delivers exactly the oracle value.
+                                if input.positions[node as usize] != pos {
+                                    ghost_mismatches += 1;
+                                }
                             }
-                            shipments_sent[dest as usize] += 1;
-                            txs[dest as usize]
-                                .send(Msg::Element {
-                                    from: me,
-                                    id: e,
-                                    bbox: el.bbox,
-                                    body: input.bodies[e as usize],
-                                })
-                                .expect("rank channel closed");
+                        }
+                        Ok(Msg::Element { from, id, bbox, body, .. }) => {
+                            debug_assert_ne!(from, me, "rank shipped an element to itself");
+                            received.push((id, bbox, body));
+                        }
+                        Ok(Msg::Done { from, .. }) => {
+                            debug_assert_ne!(from, me, "rank signalled itself done");
+                            let from = from as usize;
+                            if !done_from[from] {
+                                done_from[from] = true;
+                                done += 1;
+                            }
+                        }
+                        Ok(Msg::Resend { .. } | Msg::Complete { .. }) => {}
+                        Err(_) => {
+                            let dead: Vec<u32> =
+                                (0..k).filter(|&p| !done_from[p]).map(|p| p as u32).collect();
+                            lost = Some(dead);
+                            break;
                         }
                     }
-                    for (dest, tx) in txs.iter().enumerate() {
-                        if dest != r {
-                            tx.send(Msg::Done(me)).expect("rank channel closed");
-                            done_msgs += 1;
-                        }
-                    }
-                    span.set_attr("shipped", shipments_sent.iter().sum::<u64>());
                 }
-                drop(txs);
-
-                // ---- Drain the inbox until every peer is done. --------
-                let mut ghost_mismatches = 0usize;
-                let mut received: Vec<(u32, Aabb<3>, u16)> = Vec::new();
-                {
-                    let mut span = rec.span("exec.drain").attr("rank", me);
-                    let mut done = 0usize;
-                    while done + 1 < k {
-                        match rx.recv().expect("rank channel closed") {
-                            Msg::Halo { from, values } => {
-                                debug_assert_ne!(from, me, "rank sent halo to itself");
+            }
+            Some(st) => {
+                // Chaos path: count trailers + sequence gaps + resend
+                // repair, closed by a completion round so no rank leaves
+                // while a peer might still need its history.
+                let mut exp: Vec<Option<u64>> = vec![None; k];
+                let mut got = vec![0u64; k];
+                let mut seen: Vec<Vec<bool>> = vec![Vec::new(); k];
+                let mut completed = vec![false; k];
+                exp[r] = Some(0);
+                completed[r] = true;
+                let mut complete_sent = false;
+                let mut retries_left = opts.retries;
+                loop {
+                    let data_ok = (0..k).all(|p| matches!(exp[p], Some(e) if got[p] >= e));
+                    if data_ok && !complete_sent {
+                        for (dest, tx) in txs.iter().enumerate() {
+                            if dest != r {
+                                let _ = tx.send(Msg::Complete { from: me });
+                            }
+                        }
+                        complete_sent = true;
+                    }
+                    if complete_sent && completed.iter().all(|&c| c) {
+                        break;
+                    }
+                    match rx.recv_timeout(opts.timeout) {
+                        Ok(Msg::Halo { from, seq, values }) => {
+                            if mark_new(&mut seen[from as usize], seq) {
+                                got[from as usize] += 1;
                                 for (node, pos) in values {
-                                    // The "physics oracle" is global in this
-                                    // harness, so a correct halo exchange
-                                    // delivers exactly the oracle value.
                                     if input.positions[node as usize] != pos {
                                         ghost_mismatches += 1;
                                     }
                                 }
+                            } else {
+                                rec.add("recovery.dup_dropped", 1);
                             }
-                            Msg::Element { from, id, bbox, body } => {
-                                debug_assert_ne!(from, me, "rank shipped an element to itself");
+                        }
+                        Ok(Msg::Element { from, seq, id, bbox, body }) => {
+                            if mark_new(&mut seen[from as usize], seq) {
+                                got[from as usize] += 1;
                                 received.push((id, bbox, body));
+                            } else {
+                                rec.add("recovery.dup_dropped", 1);
                             }
-                            Msg::Done(from) => {
-                                debug_assert_ne!(from, me, "rank signalled itself done");
-                                done += 1;
+                        }
+                        Ok(Msg::Done { from, sent }) => {
+                            let f = from as usize;
+                            exp[f] = Some(sent);
+                            if got[f] < sent {
+                                rec.add("recovery.resend_requests", 1);
+                                let _ = txs[f].send(Msg::Resend {
+                                    from: me,
+                                    seqs: missing_seqs(&seen[f], sent),
+                                });
+                            }
+                        }
+                        Ok(Msg::Resend { from, seqs }) => {
+                            let f = from as usize;
+                            for s in seqs {
+                                if let Some(m) = st.history[f].get(s as usize) {
+                                    rec.add("recovery.resent", 1);
+                                    let _ = txs[f].send(m.clone());
+                                }
+                            }
+                        }
+                        Ok(Msg::Complete { from }) => {
+                            completed[from as usize] = true;
+                        }
+                        Err(_) => {
+                            if retries_left == 0 {
+                                let mut dead: Vec<u32> = (0..k)
+                                    .filter(|&p| !matches!(exp[p], Some(e) if got[p] >= e))
+                                    .map(|p| p as u32)
+                                    .collect();
+                                if dead.is_empty() {
+                                    // Data-satisfied but the completion
+                                    // round stalled: the uncompleted peers
+                                    // are the ones in trouble.
+                                    dead = (0..k)
+                                        .filter(|&p| !completed[p])
+                                        .map(|p| p as u32)
+                                        .collect();
+                                }
+                                lost = Some(dead);
+                                break;
+                            }
+                            retries_left -= 1;
+                            rec.add("recovery.retries", 1);
+                            for p in 0..k {
+                                if p == r {
+                                    continue;
+                                }
+                                if let Some(e) = exp[p] {
+                                    if got[p] < e {
+                                        rec.add("recovery.resend_requests", 1);
+                                        let _ = txs[p].send(Msg::Resend {
+                                            from: me,
+                                            seqs: missing_seqs(&seen[p], e),
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
-                    span.set_attr("received_elements", received.len());
-                    rec.record("exec.recv_elements", received.len() as u64);
                 }
-
-                // ---- Local contact search over owned + received. ------
-                let _span = rec
-                    .span("exec.search")
-                    .attr("rank", me)
-                    .attr("owned", plan.owned_surface.len())
-                    .attr("received", received.len());
-                let mut local_ids: Vec<u32> = plan.owned_surface.clone();
-                let mut boxes: Vec<Aabb<3>> =
-                    plan.owned_surface.iter().map(|&e| input.elements[e as usize].bbox).collect();
-                let mut bodies: Vec<u16> =
-                    plan.owned_surface.iter().map(|&e| input.bodies[e as usize]).collect();
-                for (id, bbox, body) in received {
-                    local_ids.push(id);
-                    boxes.push(bbox);
-                    bodies.push(body);
-                }
-                let mut pairs: Vec<ContactPair> =
-                    find_contact_pairs(&boxes, &bodies, input.tolerance)
-                        .into_iter()
-                        .map(|p| {
-                            let (a, b) = (local_ids[p.a as usize], local_ids[p.b as usize]);
-                            if a < b {
-                                ContactPair { a, b }
-                            } else {
-                                ContactPair { a: b, b: a }
-                            }
-                        })
-                        .collect();
-                pairs.sort_unstable();
-                pairs.dedup();
-                RankResult {
-                    pairs,
-                    halo_sent,
-                    shipments_sent,
-                    halo_msgs,
-                    done_msgs,
-                    ghost_mismatches,
-                }
-            }));
+            }
         }
-        drop(txs);
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
+        span.set_attr("received_elements", received.len());
+        rec.record("exec.recv_elements", received.len() as u64);
+    }
+    drop(txs);
 
-    // Aggregate.
+    // ---- Local contact search over owned + received. ------------------
+    let _span = rec
+        .span("exec.search")
+        .attr("rank", me)
+        .attr("owned", plan.owned_surface.len())
+        .attr("received", received.len());
+    let mut local_ids: Vec<u32> = plan.owned_surface.clone();
+    let mut boxes: Vec<Aabb<3>> =
+        plan.owned_surface.iter().map(|&e| input.elements[e as usize].bbox).collect();
+    let mut bodies: Vec<u16> =
+        plan.owned_surface.iter().map(|&e| input.bodies[e as usize]).collect();
+    for (id, bbox, body) in received {
+        local_ids.push(id);
+        boxes.push(bbox);
+        bodies.push(body);
+    }
+    let mut pairs: Vec<ContactPair> = find_contact_pairs(&boxes, &bodies, input.tolerance)
+        .into_iter()
+        .map(|p| {
+            let (a, b) = (local_ids[p.a as usize], local_ids[p.b as usize]);
+            if a < b {
+                ContactPair { a, b }
+            } else {
+                ContactPair { a: b, b: a }
+            }
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let res =
+        RankResult { pairs, halo_sent, shipments_sent, halo_msgs, done_msgs, ghost_mismatches };
+    match lost {
+        None => RankOutcome::Completed(res),
+        Some(dead) => RankOutcome::Lost { partial: res, dead },
+    }
+}
+
+/// Folds the per-rank results (dead ranks contribute nothing) into one
+/// [`StepOutput`].
+fn aggregate(k: usize, partials: Vec<Option<RankResult>>) -> StepOutput {
     let mut traffic = TrafficLog {
         k,
         halo: vec![0; k * k],
@@ -305,7 +639,8 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
     };
     let mut contact_pairs = Vec::new();
     let mut ghost_mismatches = 0;
-    for (r, res) in results.into_iter().enumerate() {
+    for (r, res) in partials.into_iter().enumerate() {
+        let Some(res) = res else { continue };
         for dest in 0..k {
             traffic.halo[r * k + dest] += res.halo_sent[dest];
             traffic.shipments[r * k + dest] += res.shipments_sent[dest];
@@ -319,16 +654,103 @@ pub fn execute_step<F: GlobalFilter<3> + Sync>(input: &StepInput<'_, F>) -> Step
     traffic.phases.ship_msgs = traffic.total_shipments();
     contact_pairs.sort_unstable();
     contact_pairs.dedup();
-    // Summary counters mirror the TrafficLog exactly (added once at
-    // aggregation so `summary.json` totals can never drift from the log).
-    input.recorder.add("traffic.halo_units", traffic.phases.halo_units);
-    input.recorder.add("traffic.shipment_units", traffic.phases.ship_msgs);
     StepOutput { contact_pairs, traffic, ghost_mismatches }
+}
+
+/// Executes one contact/impact step across `k` rank threads with default
+/// options (no fault injection, generous timeout).
+pub fn execute_step<F: GlobalFilter<3> + Sync>(
+    input: &StepInput<'_, F>,
+) -> Result<StepOutput, RuntimeError> {
+    execute_step_with(input, &ExecOptions::default())
+}
+
+/// Executes one contact/impact step across `k` rank threads under `opts`.
+///
+/// Errors:
+/// * [`RuntimeError::RankPanicked`] — a rank thread panicked (the lowest
+///   offending rank is named);
+/// * [`RuntimeError::RankLost`] — one or more ranks died mid-step; the
+///   boxed partial output covers the survivors, and the caller is
+///   expected to repartition over them and re-execute.
+pub fn execute_step_with<F: GlobalFilter<3> + Sync>(
+    input: &StepInput<'_, F>,
+    opts: &ExecOptions,
+) -> Result<StepOutput, RuntimeError> {
+    let k = input.decomposition.k;
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
+
+    let joined: Vec<std::thread::Result<RankOutcome>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        #[allow(clippy::needless_range_loop)] // r is the rank id
+        for r in 0..k {
+            let txs = txs.clone();
+            let rx = rxs[r].clone();
+            let plan = &input.decomposition.ranks[r];
+            let input = &*input;
+            handles.push(scope.spawn(move || run_rank(r, k, plan, input, opts, txs, rx)));
+        }
+        drop(txs);
+        // Join manually so a panicking rank is attributed, not re-thrown.
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut panicked: Option<u32> = None;
+    let mut killed: Vec<u32> = Vec::new();
+    let mut declared: Vec<u32> = Vec::new();
+    let mut partials: Vec<Option<RankResult>> = Vec::with_capacity(k);
+    for (r, outcome) in joined.into_iter().enumerate() {
+        match outcome {
+            Err(_) => {
+                if panicked.is_none() {
+                    panicked = Some(r as u32);
+                }
+                partials.push(None);
+            }
+            Ok(RankOutcome::Completed(res)) => partials.push(Some(res)),
+            Ok(RankOutcome::Dead) => {
+                killed.push(r as u32);
+                partials.push(None);
+            }
+            Ok(RankOutcome::Lost { partial, dead }) => {
+                declared.extend(dead);
+                partials.push(Some(partial));
+            }
+        }
+    }
+    if let Some(rank) = panicked {
+        return Err(RuntimeError::RankPanicked { rank });
+    }
+    // Ranks the plan actually killed are authoritative; survivors' timeout
+    // verdicts (which can falsely accuse a merely slow peer) only stand in
+    // when no rank observed its own death. Either way a step with any
+    // `Lost` rank must fail: that rank's drain was incomplete, so its
+    // partial result cannot be trusted as a full step.
+    let mut dead = killed;
+    if dead.is_empty() && !declared.is_empty() {
+        declared.sort_unstable();
+        declared.dedup();
+        dead = declared;
+    }
+    let output = aggregate(k, partials);
+    if dead.is_empty() {
+        // Summary counters mirror the TrafficLog exactly (added once at
+        // aggregation so `summary.json` totals can never drift from the
+        // log). Deliberately skipped on the partial path: the driver
+        // re-executes a lost step, and only the successful run counts.
+        input.recorder.add("traffic.halo_units", output.traffic.phases.halo_units);
+        input.recorder.add("traffic.shipment_units", output.traffic.phases.ship_msgs);
+        Ok(output)
+    } else {
+        input.recorder.add("recovery.rank_dead", dead.len() as u64);
+        Err(RuntimeError::RankLost { dead, partial: Box::new(output) })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, KillSpec};
     use crate::plan::build_decomposition;
     use cip_contact::BboxFilter;
     use cip_graph::GraphBuilder;
@@ -365,6 +787,10 @@ mod tests {
         (d, positions, elements, bodies)
     }
 
+    fn chaos_opts(fault: FaultInjector) -> ExecOptions {
+        ExecOptions { timeout: Duration::from_millis(200), retries: 2, fault }
+    }
+
     #[test]
     fn executed_step_matches_serial_search() {
         let (d, positions, elements, bodies) = two_rank_setup();
@@ -378,7 +804,8 @@ mod tests {
             filter: &filter,
             tolerance: 0.2,
             recorder: Recorder::disabled(),
-        });
+        })
+        .expect("step executes");
         assert_eq!(out.ghost_mismatches, 0);
         let serial = cip_contact::serial_contact_pairs(&elements, &bodies, 0.2);
         assert_eq!(out.contact_pairs, serial);
@@ -398,7 +825,8 @@ mod tests {
             filter: &filter,
             tolerance: 0.2,
             recorder: Recorder::disabled(),
-        });
+        })
+        .expect("step executes");
         assert_eq!(out.traffic.total_halo(), d.total_halo_volume());
         // The chain boundary: rank 0 sends node 3, rank 1 sends node 4.
         assert_eq!(out.traffic.halo[1], 1);
@@ -419,7 +847,8 @@ mod tests {
             filter: &filter,
             tolerance: 0.2,
             recorder: Recorder::disabled(),
-        });
+        })
+        .expect("step executes");
         let t = &out.traffic;
         // Per-phase units must agree with the pairwise matrices exactly.
         assert_eq!(t.phases.halo_units, t.total_halo());
@@ -449,7 +878,8 @@ mod tests {
             filter: &filter,
             tolerance: 0.2,
             recorder: rec.clone(),
-        });
+        })
+        .expect("step executes");
         assert_eq!(rec.counter_value("traffic.halo_units"), out.traffic.total_halo());
         assert_eq!(rec.counter_value("traffic.shipment_units"), out.traffic.total_shipments());
         // Every per-rank phase span landed in the trace.
@@ -487,11 +917,113 @@ mod tests {
             filter: &filter,
             tolerance: 0.2,
             recorder: Recorder::disabled(),
-        });
+        })
+        .expect("step executes");
         assert_eq!(out.traffic.total_halo(), 0);
         assert_eq!(out.traffic.total_shipments(), 0);
         assert_eq!(out.traffic.phases, PhaseTraffic::default());
         let serial = cip_contact::serial_contact_pairs(&elements1, &bodies, 0.2);
         assert_eq!(out.contact_pairs, serial);
+    }
+
+    #[test]
+    fn quiet_armed_plan_is_bit_identical_to_disabled() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let mk = |opts: &ExecOptions| {
+            execute_step_with(
+                &StepInput {
+                    decomposition: &d,
+                    positions: &positions,
+                    elements: &elements,
+                    bodies: &bodies,
+                    filter: &filter,
+                    tolerance: 0.2,
+                    recorder: Recorder::disabled(),
+                },
+                opts,
+            )
+            .expect("step executes")
+        };
+        let plain = mk(&ExecOptions::default());
+        let armed = mk(&chaos_opts(FaultInjector::with_plan(FaultPlan::quiet(42))));
+        assert_eq!(plain, armed, "arming a quiet plan must not change the output");
+    }
+
+    #[test]
+    fn message_faults_are_repaired_and_invariants_hold() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let serial = cip_contact::serial_contact_pairs(&elements, &bodies, 0.2);
+        for seed in 0..20u64 {
+            let plan = FaultPlan {
+                drop_permille: 250,
+                dup_permille: 120,
+                delay_permille: 120,
+                reorder_permille: 120,
+                ..FaultPlan::quiet(seed)
+            };
+            let out = execute_step_with(
+                &StepInput {
+                    decomposition: &d,
+                    positions: &positions,
+                    elements: &elements,
+                    bodies: &bodies,
+                    filter: &filter,
+                    tolerance: 0.2,
+                    recorder: Recorder::disabled(),
+                },
+                &chaos_opts(FaultInjector::with_plan(plan)),
+            )
+            .expect("message-level faults must be repaired");
+            assert_eq!(out.contact_pairs, serial, "seed {seed}");
+            assert_eq!(out.ghost_mismatches, 0, "seed {seed}");
+            assert_eq!(out.traffic.total_halo(), d.total_halo_volume(), "seed {seed}");
+            assert_eq!(out.traffic.phases.done_msgs, 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn killed_rank_reports_rank_lost_with_partial_output() {
+        let (d, positions, elements, bodies) = two_rank_setup();
+        let boxes: Vec<(u32, Aabb<3>)> = elements.iter().map(|e| (e.owner, e.bbox)).collect();
+        let filter = BboxFilter::from_boxes(&boxes, 2);
+        let rec = Recorder::enabled();
+        let plan =
+            FaultPlan { kill: Some(KillSpec { rank: 1, after_sends: 0 }), ..FaultPlan::quiet(5) };
+        let err = execute_step_with(
+            &StepInput {
+                decomposition: &d,
+                positions: &positions,
+                elements: &elements,
+                bodies: &bodies,
+                filter: &filter,
+                tolerance: 0.2,
+                recorder: rec.clone(),
+            },
+            &ExecOptions {
+                timeout: Duration::from_millis(100),
+                retries: 1,
+                fault: FaultInjector::with_plan(plan),
+            },
+        )
+        .expect_err("a killed rank must surface as an error");
+        match err {
+            RuntimeError::RankLost { dead, partial } => {
+                assert_eq!(dead, vec![1]);
+                // The survivor's row of the traffic matrix is intact; the
+                // dead rank's row is empty.
+                assert!(partial.traffic.sent_by(0).0 > 0, "survivor halo row missing");
+                assert_eq!(partial.traffic.sent_by(1), (0, 0), "dead rank must contribute nothing");
+            }
+            other => panic!("expected RankLost, got {other}"),
+        }
+        assert_eq!(rec.counter_value("fault.killed_ranks"), 1);
+        assert_eq!(rec.counter_value("recovery.rank_dead"), 1);
+        // The failed step must not pollute the traffic counters the
+        // driver reconciles against successful steps.
+        assert_eq!(rec.counter_value("traffic.halo_units"), 0);
     }
 }

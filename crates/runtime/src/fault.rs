@@ -1,0 +1,252 @@
+//! Deterministic fault injection for the step executor.
+//!
+//! A [`FaultPlan`] decides, purely from its seed and a message's identity
+//! `(from, to, seq)`, whether that message is delivered, dropped,
+//! duplicated, delayed past the sender's `Done` marker, or reordered with
+//! the next message to the same destination — and whether a rank is
+//! killed mid-step. The plan is carried into [`crate::exec::execute_step_with`]
+//! behind a [`FaultInjector`] handle that follows the same
+//! `Option<Arc<_>>` pattern as [`cip_telemetry::Recorder`]: the default
+//! [`FaultInjector::none`] costs one `None` branch per send and allocates
+//! nothing, so production builds pay nothing for the chaos machinery.
+//!
+//! Two rules keep chaos runs provably convergent:
+//!
+//! * fates apply to **first transmissions only** — the executor's
+//!   retry/resend path replays messages verbatim from its history buffer,
+//!   bypassing injection, so one retry round always repairs pure
+//!   message-level faults;
+//! * only payload messages (`Halo`, `Element`) are injectable — `Done`
+//!   trailers and the recovery-control messages model a reliable control
+//!   plane, so the only way a `Done` goes missing is a killed rank, which
+//!   the timeout path detects.
+
+use std::sync::Arc;
+
+/// SplitMix64 step — the same deterministic mixer the partitioner uses
+/// for child seeds (`cip_partition::config::child_seed`), duplicated here
+/// so the runtime crate stays free of a partitioner dependency.
+#[inline]
+fn splitmix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The fate of one first-transmission payload message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Send normally.
+    Deliver,
+    /// Never send (the receiver must detect the gap and ask again).
+    Drop,
+    /// Send twice (the receiver must deduplicate by sequence number).
+    Duplicate,
+    /// Hold until after the sender's `Done` marker (arrives "late").
+    Delay,
+    /// Swap with the next message to the same destination.
+    Reorder,
+}
+
+/// Kills one rank mid-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The rank to kill.
+    pub rank: u32,
+    /// The rank dies just before its `after_sends + 1`-th payload send
+    /// (0 = before any send; a value past the rank's send count kills it
+    /// right before its `Done` markers).
+    pub after_sends: u64,
+}
+
+/// A deterministic, seeded chaos schedule for one executed step.
+///
+/// Rates are in permille (0..=1000) and are evaluated in the order
+/// drop → duplicate → delay → reorder on a single per-message hash, so
+/// the fates of distinct messages are independent and the whole plan is
+/// a pure function of `(seed, from, to, seq)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the per-message fate hash.
+    pub seed: u64,
+    /// Permille of payload messages dropped.
+    pub drop_permille: u16,
+    /// Permille of payload messages duplicated.
+    pub dup_permille: u16,
+    /// Permille of payload messages delayed past `Done`.
+    pub delay_permille: u16,
+    /// Permille of payload messages swapped with their successor.
+    pub reorder_permille: u16,
+    /// Optional mid-step rank kill.
+    pub kill: Option<KillSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline: arming the
+    /// executor's chaos path without any fault must not change output).
+    pub fn quiet(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// A modest default chaos mix: 2% drops, 1% duplicates, 1% delays,
+    /// 1% reorders, no kill.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_permille: 20,
+            dup_permille: 10,
+            delay_permille: 10,
+            reorder_permille: 10,
+            kill: None,
+        }
+    }
+
+    /// Derives the per-step plan of a multi-step run: an independent fate
+    /// stream per step, same rates, same kill spec.
+    pub fn for_step(&self, step: u64) -> Self {
+        Self { seed: splitmix(self.seed, 0xFA_0175 ^ step), ..self.clone() }
+    }
+
+    /// The fate of first transmission `(from, to, seq)`.
+    pub fn fate(&self, from: u32, to: u32, seq: u64) -> Fate {
+        let total =
+            self.drop_permille + self.dup_permille + self.delay_permille + self.reorder_permille;
+        if total == 0 {
+            return Fate::Deliver;
+        }
+        let ident = (u64::from(from) << 40) ^ (u64::from(to) << 20) ^ seq;
+        let x = (splitmix(self.seed, ident) % 1000) as u16;
+        if x < self.drop_permille {
+            Fate::Drop
+        } else if x < self.drop_permille + self.dup_permille {
+            Fate::Duplicate
+        } else if x < self.drop_permille + self.dup_permille + self.delay_permille {
+            Fate::Delay
+        } else if x < total {
+            Fate::Reorder
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+/// The zero-cost-when-disabled handle the executor carries.
+///
+/// `FaultInjector::none()` holds no allocation; every hook reduces to an
+/// `Option` discriminant test, mirroring the disabled
+/// [`cip_telemetry::Recorder`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector(Option<Arc<FaultPlan>>);
+
+impl FaultInjector {
+    /// The disabled injector (the executor's default).
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// An injector executing `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        Self(Some(Arc::new(plan)))
+    }
+
+    /// Whether any plan is armed. Arming a [`FaultPlan::quiet`] plan
+    /// still routes the executor through the chaos drain protocol
+    /// (count trailers, completion round) without changing its output.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The armed plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.0.as_deref()
+    }
+
+    /// The fate of first transmission `(from, to, seq)`; always
+    /// [`Fate::Deliver`] when disabled.
+    #[inline]
+    pub fn fate(&self, from: u32, to: u32, seq: u64) -> Fate {
+        match &self.0 {
+            None => Fate::Deliver,
+            Some(p) => p.fate(from, to, seq),
+        }
+    }
+
+    /// Whether `rank` dies once it has made `sends_so_far` payload sends.
+    #[inline]
+    pub fn should_kill(&self, rank: u32, sends_so_far: u64) -> bool {
+        match &self.0 {
+            None => false,
+            Some(p) => p.kill.is_some_and(|k| k.rank == rank && sends_so_far >= k.after_sends),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_delivers_everything() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_active());
+        for seq in 0..100 {
+            assert_eq!(inj.fate(0, 1, seq), Fate::Deliver);
+        }
+        assert!(!inj.should_kill(0, 0));
+    }
+
+    #[test]
+    fn quiet_plan_is_armed_but_injects_nothing() {
+        let inj = FaultInjector::with_plan(FaultPlan::quiet(99));
+        assert!(inj.is_active());
+        for from in 0..4 {
+            for to in 0..4 {
+                for seq in 0..50 {
+                    assert_eq!(inj.fate(from, to, seq), Fate::Deliver);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::chaos(7);
+        let b = FaultPlan::chaos(7);
+        let c = FaultPlan::chaos(8);
+        let fates_a: Vec<Fate> = (0..500).map(|s| a.fate(1, 2, s)).collect();
+        let fates_b: Vec<Fate> = (0..500).map(|s| b.fate(1, 2, s)).collect();
+        let fates_c: Vec<Fate> = (0..500).map(|s| c.fate(1, 2, s)).collect();
+        assert_eq!(fates_a, fates_b, "same seed, same fates");
+        assert_ne!(fates_a, fates_c, "different seed, different stream");
+        // The rates are low, so most messages must be delivered.
+        let delivered = fates_a.iter().filter(|&&f| f == Fate::Deliver).count();
+        assert!(delivered > 400, "delivered {delivered}/500");
+        // But with 500 draws at 5% total rate, *some* fault must fire.
+        assert!(delivered < 500, "chaos plan never injected anything");
+    }
+
+    #[test]
+    fn per_step_plans_have_independent_streams() {
+        let base = FaultPlan::chaos(3);
+        let s0 = base.for_step(0);
+        let s1 = base.for_step(1);
+        assert_ne!(s0.seed, s1.seed);
+        assert_eq!(s0.drop_permille, base.drop_permille);
+        assert_eq!(s0.for_step(0).seed, base.for_step(0).for_step(0).seed, "derivation is pure");
+    }
+
+    #[test]
+    fn kill_threshold_semantics() {
+        let inj = FaultInjector::with_plan(FaultPlan {
+            kill: Some(KillSpec { rank: 2, after_sends: 3 }),
+            ..FaultPlan::quiet(1)
+        });
+        assert!(!inj.should_kill(2, 0));
+        assert!(!inj.should_kill(2, 2));
+        assert!(inj.should_kill(2, 3));
+        assert!(inj.should_kill(2, 10));
+        assert!(!inj.should_kill(1, 10), "only the named rank dies");
+    }
+}

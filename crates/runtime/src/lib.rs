@@ -9,7 +9,7 @@
 //!
 //! * ghost node positions are bit-identical to their owners' after the
 //!   halo exchange,
-//! * the measured halo traffic equals [`cip_core::halo_traffic`]'s
+//! * the measured halo traffic equals `cip_core::halo_traffic`'s
 //!   prediction (the FEComm metric), message for message,
 //! * the measured element shipments equal the NRemote prediction,
 //! * the distributed contact detection finds exactly the serial pairs.
@@ -22,13 +22,91 @@
 //!   ghosts, halo send lists, element & surface ownership) from a node
 //!   partition,
 //! * [`exec`] — the threaded step executor and its traffic log,
+//! * [`fault`] — deterministic, seeded fault injection (message drop /
+//!   duplication / delay / reorder, mid-step rank kills) behind a
+//!   zero-cost-when-disabled hook,
 //! * [`migrate`] — migration plans between successive decompositions
 //!   (the executable counterpart of the UpdComm metric).
+//!
+//! Failures surface as typed [`RuntimeError`]s instead of panics, so a
+//! driver can recover — repartition over the surviving ranks, migrate,
+//! and re-execute (see `cip::trace::run_traced` and DESIGN.md §6c).
+
+use std::fmt;
 
 pub mod exec;
+pub mod fault;
 pub mod migrate;
 pub mod plan;
 
-pub use exec::{execute_step, PhaseTraffic, StepInput, StepOutput, TrafficLog};
+pub use exec::{
+    execute_step, execute_step_with, ExecOptions, PhaseTraffic, StepInput, StepOutput, TrafficLog,
+};
+pub use fault::{Fate, FaultInjector, FaultPlan, KillSpec};
 pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
 pub use plan::{build_decomposition, Decomposition, RankPlan};
+
+/// A failed step execution — every former panic site on the executor hot
+/// path, made recoverable.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A rank thread panicked (`rank` is the lowest-numbered offender).
+    RankPanicked {
+        /// The panicking rank.
+        rank: u32,
+    },
+    /// One or more ranks died mid-step. The survivors drained what they
+    /// could; `partial` holds their aggregated output so the driver can
+    /// inspect it before repartitioning over the `k - dead.len()`
+    /// survivors and re-executing the step.
+    RankLost {
+        /// The dead ranks, ascending.
+        dead: Vec<u32>,
+        /// Aggregated output of the surviving ranks.
+        partial: Box<StepOutput>,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RankPanicked { rank } => write!(f, "rank {rank} panicked during the step"),
+            Self::RankLost { dead, partial } => write!(
+                f,
+                "{} rank(s) lost mid-step ({:?}); {} survivor pairs salvaged",
+                dead.len(),
+                dead,
+                partial.contact_pairs.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_error_display_names_the_culprits() {
+        let e = RuntimeError::RankPanicked { rank: 3 };
+        assert!(e.to_string().contains("rank 3"));
+        let e = RuntimeError::RankLost {
+            dead: vec![1, 2],
+            partial: Box::new(StepOutput {
+                contact_pairs: Vec::new(),
+                traffic: TrafficLog {
+                    k: 4,
+                    halo: vec![0; 16],
+                    shipments: vec![0; 16],
+                    phases: PhaseTraffic::default(),
+                },
+                ghost_mismatches: 0,
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("[1, 2]"), "{s}");
+        let _dyn: &dyn std::error::Error = &e;
+    }
+}

@@ -4,7 +4,7 @@
 //! RCB update), every node whose owner changed must ship its state to the
 //! new owner. This module builds that migration plan and its traffic
 //! matrix; the tests validate it against
-//! [`cip_partition::repart::migration_count`].
+//! `cip_partition::repart::migration_count`.
 
 use cip_telemetry::Recorder;
 
@@ -82,6 +82,12 @@ pub fn build_migration_recorded(
         if o == u32::MAX || w == u32::MAX || o == w {
             continue;
         }
+        // After a rank loss the live rank count shrinks; a stale label
+        // must fail loudly here, not as an opaque slice-index panic.
+        assert!(
+            (o as usize) < k && (w as usize) < k,
+            "node {n}: migration {o} -> {w} is outside the {k} live ranks"
+        );
         moves[o as usize * k + w as usize].push(n as u32);
     }
     let plan = MigrationPlan { k, moves };

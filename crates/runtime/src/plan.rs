@@ -69,9 +69,11 @@ pub fn build_decomposition(
     assert_eq!(node_of_vertex.len(), graph.nv());
     let mut ranks: Vec<RankPlan> = vec![RankPlan::default(); k];
 
-    // Owned nodes.
+    // Owned nodes. After a rank loss the live rank count shrinks; a stale
+    // label must fail loudly here, not as an opaque slice-index panic.
     for v in 0..graph.nv() {
         let r = assignment[v] as usize;
+        assert!(r < k, "vertex {v} assigned to rank {r}, but only {k} ranks are live");
         ranks[r].owned_nodes.push(node_of_vertex[v]);
     }
 
@@ -109,6 +111,7 @@ pub fn build_decomposition(
 
     // Surface ownership.
     for (e, &owner) in surface_owner.iter().enumerate() {
+        assert!((owner as usize) < k, "surface element {e} owned by dead rank {owner}");
         ranks[owner as usize].owned_surface.push(e as u32);
     }
 

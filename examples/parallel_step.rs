@@ -58,7 +58,8 @@ fn main() {
             filter: &filter,
             tolerance: 0.4,
             recorder: cip::telemetry::Recorder::disabled(),
-        });
+        })
+        .expect("step executes without injected faults");
         let predicted = halo_traffic(&view.graph2.graph, &asg_now, k);
         println!(
             "{:>5} {:>9} {:>11} {:>11} {:>9} {:>7}",

@@ -19,4 +19,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> no panics on the runtime step hot path"
+# The executor must fail with typed RuntimeError values, never panic:
+# scan the non-test portion (everything before #[cfg(test)]) of exec.rs.
+hot_path="crates/runtime/src/exec.rs"
+if sed '/#\[cfg(test)\]/q' "$hot_path" \
+    | grep -nE '\.unwrap\(\)|\.expect\(|panic!'; then
+  echo "verify: FAIL — unwrap/expect/panic on the runtime step hot path"
+  exit 1
+fi
+
 echo "verify: OK"

@@ -14,12 +14,18 @@
 //! counters equal the executed `TrafficLog` totals exactly before writing
 //! anything.
 //!
+//! Chaos mode (`--chaos SEED`) injects deterministic message faults into
+//! the executor; `--kill STEP:RANK` kills a rank mid-run, and the driver
+//! recovers by diffusion-repartitioning over the survivors (DESIGN.md
+//! §6c). The `fault.*` / `recovery.*` counters land in `summary.json`.
+//!
 //! ```text
 //! cip-trace --scenario head_on --k 8 --snapshots 20 --out results
 //! cip-trace --scenario thick_plates --k 4 --no-repart
+//! cip-trace --scenario tiny --k 4 --chaos 7 --kill 3:2
 //! ```
 
-use cip::trace::{run_traced, scenario_config, TraceOptions};
+use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions};
 
 struct Args {
     opts: TraceOptions,
@@ -62,11 +68,26 @@ fn parse_args() -> Args {
                 args.out_dir = argv[i + 1].clone();
                 i += 2;
             }
+            "--chaos" if i + 1 < argv.len() => {
+                let seed = argv[i + 1].parse().expect("--chaos takes an integer seed");
+                args.opts.chaos.get_or_insert_with(ChaosOptions::default).seed = seed;
+                i += 2;
+            }
+            "--kill" if i + 1 < argv.len() => {
+                let spec = &argv[i + 1];
+                let (step, rank) = spec
+                    .split_once(':')
+                    .and_then(|(s, r)| Some((s.parse().ok()?, r.parse().ok()?)))
+                    .expect("--kill takes STEP:RANK");
+                args.opts.chaos.get_or_insert_with(ChaosOptions::default).kill = Some((step, rank));
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
                      blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
-                     [--period N | --no-repart] [--out DIR]"
+                     [--period N | --no-repart] [--chaos SEED] [--kill STEP:RANK] \
+                     [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -90,13 +111,15 @@ fn main() {
     report.verify_totals().expect("telemetry counters must equal the executed TrafficLog totals");
 
     eprintln!(
-        "\nexecuted {} steps: halo {}, shipments {}, migrated {}, pairs {} ({} repartitions)",
+        "\nexecuted {} steps: halo {}, shipments {}, migrated {}, pairs {} \
+         ({} repartitions, {} rank losses)",
         report.steps,
         report.halo,
         report.shipments,
         report.migrated,
         report.contact_pairs,
-        report.repartitions
+        report.repartitions,
+        report.rank_losses
     );
     print!("{}", report.summary().render());
 

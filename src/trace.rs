@@ -13,10 +13,55 @@
 use cip_contact::DtreeFilter;
 use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
 use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
-use cip_partition::{diffusion_repartition, partition_kway, PartitionerConfig};
-use cip_runtime::{build_decomposition, build_migration_recorded, execute_step, StepInput};
+use cip_partition::{
+    compact_parts_after_loss, diffusion_repartition, partition_kway, PartitionerConfig,
+};
+use cip_runtime::{
+    build_decomposition, build_migration_recorded, execute_step_with, ExecOptions, FaultInjector,
+    FaultPlan, KillSpec, RuntimeError, StepInput,
+};
 use cip_sim::{scenarios, SimConfig};
 use cip_telemetry::{export::Summary, Recorder};
+use std::time::Duration;
+
+/// Chaos-mode settings for a traced run: deterministic message faults,
+/// an optional scripted rank kill, and the executor's loss-detection
+/// budget.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Base seed; each step derives an independent fate stream.
+    pub seed: u64,
+    /// Permille of payload messages dropped.
+    pub drop_permille: u16,
+    /// Permille of payload messages duplicated.
+    pub dup_permille: u16,
+    /// Permille of payload messages delayed past `Done`.
+    pub delay_permille: u16,
+    /// Permille of payload messages reordered.
+    pub reorder_permille: u16,
+    /// Kill `(step, rank)`: that rank dies before its first send of that
+    /// step, and the driver recovers over the survivors.
+    pub kill: Option<(usize, u32)>,
+    /// Executor drain timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Executor repair rounds before declaring a peer dead.
+    pub retries: u32,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            drop_permille: 20,
+            dup_permille: 10,
+            delay_permille: 10,
+            reorder_permille: 10,
+            kill: None,
+            timeout_ms: 2000,
+            retries: 3,
+        }
+    }
+}
 
 /// What to run and how.
 #[derive(Debug, Clone)]
@@ -31,6 +76,8 @@ pub struct TraceOptions {
     pub seed: u64,
     /// Diffusion-repartition period (`None` = fixed decomposition).
     pub repartition_period: Option<usize>,
+    /// Fault injection (`None` = clean run).
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl Default for TraceOptions {
@@ -41,6 +88,7 @@ impl Default for TraceOptions {
             snapshots: None,
             seed: 1,
             repartition_period: Some(10),
+            chaos: None,
         }
     }
 }
@@ -80,6 +128,9 @@ pub struct TraceReport {
     pub contact_pairs: u64,
     /// Repartitions performed.
     pub repartitions: usize,
+    /// Ranks lost to faults over the run (each one recovered by
+    /// repartitioning over the survivors).
+    pub rank_losses: usize,
 }
 
 impl TraceReport {
@@ -99,7 +150,8 @@ impl TraceReport {
         format!(
             concat!(
                 "{{\"k\":{},\"steps\":{},\"halo\":{},\"shipments\":{},",
-                "\"migrated\":{},\"contact_pairs\":{},\"repartitions\":{}}}"
+                "\"migrated\":{},\"contact_pairs\":{},\"repartitions\":{},",
+                "\"rank_losses\":{}}}"
             ),
             self.k,
             self.steps,
@@ -108,6 +160,7 @@ impl TraceReport {
             self.migrated,
             self.contact_pairs,
             self.repartitions,
+            self.rank_losses,
         )
     }
 
@@ -172,6 +225,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
 
     let dcfg = DtreeConfig::search_tree();
     let mut tree: Option<DecisionTree<3>> = None;
+    let mut live_k = k;
     let mut report = TraceReport {
         recorder: rec.clone(),
         k,
@@ -181,6 +235,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
         migrated: 0,
         contact_pairs: 0,
         repartitions: 0,
+        rank_losses: 0,
     };
 
     for i in 0..sim.len() {
@@ -190,12 +245,12 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
         // §4.3 hybrid policy: periodic diffusion repartition + executed
         // migration.
         if let Some(period) = opts.repartition_period {
-            if i > 0 && i % period == 0 {
+            if i > 0 && i % period == 0 && live_k >= 2 {
                 let old: Vec<u32> =
                     view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
-                let fresh = diffusion_repartition(&view.graph2.graph, k, &old, &pcfg);
+                let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
                 let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
-                let plan = build_migration_recorded(&node_parts, &new_node_parts, k, &rec);
+                let plan = build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
                 report.migrated += plan.total_moved();
                 report.repartitions += 1;
                 for (n, &p) in new_node_parts.iter().enumerate() {
@@ -209,47 +264,142 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
             }
         }
 
-        let asg_now: Vec<u32> =
-            view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
-        let elements = view.surface_elements(&node_parts);
-        let bodies = view.face_bodies();
-        let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
-        let decomposition = build_decomposition(
-            &view.graph2.graph,
-            &view.graph2.node_of_vertex,
-            &asg_now,
-            &owners,
-            k,
-        );
+        // Faults apply to the first attempt of a step only — the recovery
+        // re-execution runs clean (the injected fate stream of a step is
+        // considered "spent" once its failure has been handled).
+        let mut fault = step_fault(&opts.chaos, i, live_k);
+        loop {
+            let asg_now: Vec<u32> =
+                view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+            let elements = view.surface_elements(&node_parts);
+            let bodies = view.face_bodies();
+            let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+            let decomposition = build_decomposition(
+                &view.graph2.graph,
+                &view.graph2.node_of_vertex,
+                &asg_now,
+                &owners,
+                live_k,
+            );
 
-        // Search tree: fresh induction on the first step (and after
-        // repartitions), incremental refresh otherwise.
-        let labels = view.contact.labels_from_node_parts(&node_parts);
-        let new_tree = match &tree {
-            None => induce_recorded(&view.contact.positions, &labels, k, &dcfg, &rec),
-            Some(t) => refresh_recorded(t, &view.contact.positions, &labels, k, &dcfg, &rec).0,
-        };
-        let filter = DtreeFilter::new(&new_tree, k);
+            // Search tree: fresh induction on the first step (and after
+            // repartitions and rank losses), incremental refresh otherwise.
+            let labels = view.contact.labels_from_node_parts(&node_parts);
+            let new_tree = match &tree {
+                None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
+                Some(t) => {
+                    refresh_recorded(t, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
+                }
+            };
+            let filter = DtreeFilter::new(&new_tree, live_k);
 
-        let out = execute_step(&StepInput {
-            decomposition: &decomposition,
-            positions: &view.mesh.points,
-            elements: &elements,
-            bodies: &bodies,
-            filter: &filter,
-            tolerance: 0.4,
-            recorder: rec.clone(),
-        });
-        assert_eq!(out.ghost_mismatches, 0, "step {i}: halo exchange delivered stale ghosts");
-        report.halo += out.traffic.total_halo();
-        report.shipments += out.traffic.total_shipments();
-        report.contact_pairs += out.contact_pairs.len() as u64;
-        step_span.set_attr("halo", out.traffic.total_halo());
-        step_span.set_attr("shipments", out.traffic.total_shipments());
-        step_span.set_attr("pairs", out.contact_pairs.len());
-        tree = Some(new_tree);
+            let exec_opts = exec_options(&opts.chaos, fault.clone());
+            match execute_step_with(
+                &StepInput {
+                    decomposition: &decomposition,
+                    positions: &view.mesh.points,
+                    elements: &elements,
+                    bodies: &bodies,
+                    filter: &filter,
+                    tolerance: 0.4,
+                    recorder: rec.clone(),
+                },
+                &exec_opts,
+            ) {
+                Ok(out) => {
+                    assert_eq!(
+                        out.ghost_mismatches, 0,
+                        "step {i}: halo exchange delivered stale ghosts"
+                    );
+                    report.halo += out.traffic.total_halo();
+                    report.shipments += out.traffic.total_shipments();
+                    report.contact_pairs += out.contact_pairs.len() as u64;
+                    step_span.set_attr("halo", out.traffic.total_halo());
+                    step_span.set_attr("shipments", out.traffic.total_shipments());
+                    step_span.set_attr("pairs", out.contact_pairs.len());
+                    tree = Some(new_tree);
+                    break;
+                }
+                Err(err) => {
+                    let dead = match err {
+                        RuntimeError::RankLost { dead, .. } => dead,
+                        RuntimeError::RankPanicked { rank } => vec![rank],
+                    };
+                    let mut span = rec.span("recovery.repartition").attr("step", i);
+                    span.set_attr("dead", dead.len());
+                    report.rank_losses += dead.len();
+                    live_k = compact_parts_after_loss(&mut node_parts, live_k, &dead);
+                    if live_k >= 2 {
+                        let old: Vec<u32> = view
+                            .graph2
+                            .node_of_vertex
+                            .iter()
+                            .map(|&n| node_parts[n as usize])
+                            .collect();
+                        let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
+                        let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
+                        let plan =
+                            build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
+                        report.migrated += plan.total_moved();
+                        report.repartitions += 1;
+                        for (n, &p) in new_node_parts.iter().enumerate() {
+                            if p != u32::MAX {
+                                node_parts[n] = p;
+                            }
+                        }
+                    } else {
+                        // Fewer than two survivors: collapse to a single
+                        // rank — the executor degenerates to the serial
+                        // contact search with no messages.
+                        live_k = 1;
+                        for p in node_parts.iter_mut() {
+                            if *p != u32::MAX {
+                                *p = 0;
+                            }
+                        }
+                        rec.add("recovery.serial_fallback", 1);
+                    }
+                    tree = None;
+                    fault = FaultInjector::none();
+                }
+            }
+        }
     }
     Ok(report)
+}
+
+/// The per-step fault injector of a chaos run (disabled outside chaos
+/// mode, and for ranks that no longer exist).
+fn step_fault(chaos: &Option<ChaosOptions>, step: usize, live_k: usize) -> FaultInjector {
+    let Some(c) = chaos else {
+        return FaultInjector::none();
+    };
+    let base = FaultPlan {
+        seed: c.seed,
+        drop_permille: c.drop_permille,
+        dup_permille: c.dup_permille,
+        delay_permille: c.delay_permille,
+        reorder_permille: c.reorder_permille,
+        kill: None,
+    };
+    let mut plan = base.for_step(step as u64);
+    if let Some((kill_step, rank)) = c.kill {
+        if kill_step == step && (rank as usize) < live_k {
+            plan.kill = Some(KillSpec { rank, after_sends: 0 });
+        }
+    }
+    FaultInjector::with_plan(plan)
+}
+
+/// Executor options for one step attempt: chaos runs get the configured
+/// loss-detection budget, clean runs the defaults.
+fn exec_options(chaos: &Option<ChaosOptions>, fault: FaultInjector) -> ExecOptions {
+    match chaos {
+        None => ExecOptions { fault, ..ExecOptions::default() },
+        Some(c) => {
+            ExecOptions { timeout: Duration::from_millis(c.timeout_ms), retries: c.retries, fault }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +414,7 @@ mod tests {
             snapshots: Some(4),
             seed: 7,
             repartition_period: Some(2),
+            chaos: None,
         })
         .expect("tiny scenario runs")
     }
@@ -319,6 +470,7 @@ mod tests {
             snapshots: Some(3),
             seed: 1,
             repartition_period: None,
+            chaos: None,
         })
         .expect("tiny scenario runs");
         let summary = report.summary();
@@ -327,5 +479,81 @@ mod tests {
         // induce counts holds).
         assert_eq!(summary.span("dtree.refresh").map(|s| s.count), Some(2));
         assert!(summary.span("dtree.induce").map(|s| s.count).unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn killed_rank_is_recovered_and_pairs_match_the_clean_run() {
+        let clean = run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 3,
+            snapshots: Some(4),
+            seed: 7,
+            repartition_period: None,
+            chaos: None,
+        })
+        .expect("tiny scenario runs");
+        let chaotic = run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 3,
+            snapshots: Some(4),
+            seed: 7,
+            repartition_period: None,
+            chaos: Some(ChaosOptions {
+                seed: 21,
+                kill: Some((1, 1)),
+                timeout_ms: 300,
+                retries: 2,
+                ..ChaosOptions::default()
+            }),
+        })
+        .expect("chaos run recovers");
+        // The distributed search equals the serial oracle at any k, so the
+        // recovered run finds exactly the clean run's pairs.
+        assert_eq!(chaotic.contact_pairs, clean.contact_pairs);
+        assert_eq!(chaotic.rank_losses, 1);
+        assert!(chaotic.repartitions >= 1, "recovery must repartition the survivors");
+        chaotic.verify_totals().expect("counters stay exact across a recovery");
+        // The fault and recovery are observable in the summary.
+        let rec = &chaotic.recorder;
+        assert_eq!(rec.counter_value("fault.killed_ranks"), 1);
+        assert_eq!(rec.counter_value("recovery.rank_dead"), 1);
+        let summary = chaotic.summary();
+        assert!(summary.span("recovery.repartition").map(|s| s.count).unwrap_or(0) >= 1);
+        assert!(chaotic.summary_json().contains("fault.killed_ranks"));
+    }
+
+    #[test]
+    fn message_chaos_run_matches_the_clean_run() {
+        let clean = run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 2,
+            snapshots: Some(3),
+            seed: 3,
+            repartition_period: None,
+            chaos: None,
+        })
+        .expect("tiny scenario runs");
+        let chaotic = run_traced(&TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 2,
+            snapshots: Some(3),
+            seed: 3,
+            repartition_period: None,
+            chaos: Some(ChaosOptions {
+                seed: 1337,
+                drop_permille: 150,
+                dup_permille: 80,
+                delay_permille: 80,
+                reorder_permille: 80,
+                timeout_ms: 300,
+                retries: 2,
+                ..ChaosOptions::default()
+            }),
+        })
+        .expect("message faults are repaired in place");
+        assert_eq!(chaotic.contact_pairs, clean.contact_pairs);
+        assert_eq!(chaotic.halo, clean.halo, "first-transmission traffic is fault-invariant");
+        assert_eq!(chaotic.rank_losses, 0);
+        chaotic.verify_totals().expect("counters stay exact under message chaos");
     }
 }

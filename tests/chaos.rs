@@ -1,0 +1,247 @@
+//! Chaos suite (DESIGN.md §6c): deterministic fault injection against the
+//! step executor and the traced driver.
+//!
+//! Three families of guarantees:
+//!
+//! * **zero-cost arming** — an armed all-zero-rate plan produces output
+//!   bit-identical to the disabled injector;
+//! * **rank loss** — killing any rank makes the step fail with a typed
+//!   [`RuntimeError::RankLost`] carrying the survivors' partial output,
+//!   and the traced driver recovers by repartitioning over the survivors
+//!   while still detecting exactly the clean run's contact pairs;
+//! * **message faults** (proptest) — under random drop/duplicate/delay/
+//!   reorder rates the repair protocol converges: the step succeeds, the
+//!   detected pairs equal the serial oracle, and the traffic invariants
+//!   (first-transmission halo volume, `Done` count) hold exactly.
+//!
+//! CI sweeps seeds without recompiling via the `CHAOS_SEED` env var: it
+//! xor-perturbs every plan seed used here.
+
+use cip::contact::{serial_contact_pairs, DtreeFilter};
+use cip::core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
+use cip::dtree::{induce, DtreeConfig};
+use cip::partition::{partition_kway, PartitionerConfig};
+use cip::runtime::{
+    build_decomposition, execute_step_with, ExecOptions, FaultInjector, FaultPlan, KillSpec,
+    RuntimeError, StepInput, StepOutput,
+};
+use cip::sim::SimConfig;
+use cip::trace::{run_traced, ChaosOptions, TraceOptions};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// CI seed sweep: `CHAOS_SEED` perturbs every plan seed in this file.
+fn env_seed() -> u64 {
+    std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+struct Fixture {
+    view: SnapshotView,
+    node_parts: Vec<u32>,
+    asg: Vec<u32>,
+    k: usize,
+}
+
+fn fixture(k: usize, snapshot: usize) -> Fixture {
+    let sim = cip::sim::run(&SimConfig::tiny());
+    let view0 = SnapshotView::build(&sim, 0, 5);
+    let mut asg = partition_kway(&view0.graph2.graph, k, &PartitionerConfig::default());
+    let positions: Vec<_> =
+        view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
+    dt_friendly_correct(&view0.graph2.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
+    let node_parts = view0.graph2.assignment_on_nodes(&asg);
+    let view = SnapshotView::build(&sim, snapshot, 5);
+    let asg_now: Vec<u32> =
+        view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+    Fixture { view, node_parts, asg: asg_now, k }
+}
+
+/// Executes one step under `opts`, also returning the serial oracle's
+/// pairs and the decomposition's halo volume for invariant checks.
+fn run_step(f: &Fixture, opts: &ExecOptions) -> (Result<StepOutput, RuntimeError>, StepOutput2) {
+    let elements = f.view.surface_elements(&f.node_parts);
+    let bodies = f.view.face_bodies();
+    let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+    let decomposition = build_decomposition(
+        &f.view.graph2.graph,
+        &f.view.graph2.node_of_vertex,
+        &f.asg,
+        &owners,
+        f.k,
+    );
+    let labels = f.view.contact.labels_from_node_parts(&f.node_parts);
+    let tree = induce(&f.view.contact.positions, &labels, f.k, &DtreeConfig::search_tree());
+    let filter = DtreeFilter::new(&tree, f.k);
+    let out = execute_step_with(
+        &StepInput {
+            decomposition: &decomposition,
+            positions: &f.view.mesh.points,
+            elements: &elements,
+            bodies: &bodies,
+            filter: &filter,
+            tolerance: 0.4,
+            recorder: cip::telemetry::Recorder::disabled(),
+        },
+        opts,
+    );
+    let oracle = StepOutput2 {
+        serial: serial_contact_pairs(&elements, &bodies, 0.4),
+        halo: decomposition.total_halo_volume(),
+    };
+    (out, oracle)
+}
+
+/// The side-band facts a chaos assertion needs.
+struct StepOutput2 {
+    serial: Vec<cip::contact::ContactPair>,
+    halo: u64,
+}
+
+fn chaos_exec_options(fault: FaultInjector) -> ExecOptions {
+    ExecOptions { timeout: Duration::from_millis(300), retries: 2, fault }
+}
+
+#[test]
+fn armed_quiet_plan_is_bit_identical_to_disabled() {
+    let f = fixture(3, 5);
+    let (clean, _) = run_step(&f, &ExecOptions::default());
+    let quiet = chaos_exec_options(FaultInjector::with_plan(FaultPlan::quiet(11 ^ env_seed())));
+    let (armed, _) = run_step(&f, &quiet);
+    assert_eq!(
+        clean.expect("clean step executes"),
+        armed.expect("quiet-armed step executes"),
+        "arming the injector with zero rates must not change anything"
+    );
+}
+
+#[test]
+fn killing_each_rank_is_detected_and_survivors_report_partials() {
+    for k in [2usize, 3, 4] {
+        for victim in 0..k as u32 {
+            let f = fixture(k, 5);
+            let plan = FaultPlan {
+                kill: Some(KillSpec { rank: victim, after_sends: 0 }),
+                ..FaultPlan::quiet(5 ^ env_seed())
+            };
+            let opts = ExecOptions {
+                timeout: Duration::from_millis(150),
+                retries: 1,
+                fault: FaultInjector::with_plan(plan),
+            };
+            let (out, _) = run_step(&f, &opts);
+            match out {
+                Err(RuntimeError::RankLost { dead, partial }) => {
+                    assert_eq!(dead, vec![victim], "k={k}");
+                    // The dead rank sent nothing; survivors' rows exist.
+                    let (h, s) = partial.traffic.sent_by(victim as usize);
+                    assert_eq!((h, s), (0, 0), "k={k} victim={victim}");
+                }
+                other => panic!("k={k} victim={victim}: expected RankLost, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn driver_recovers_from_any_single_rank_kill() {
+    let clean = run_traced(&TraceOptions {
+        scenario: "tiny".into(),
+        k: 3,
+        snapshots: Some(4),
+        chaos: None,
+        ..TraceOptions::default()
+    })
+    .expect("clean run");
+    for victim in 0..3u32 {
+        let opts = TraceOptions {
+            scenario: "tiny".into(),
+            k: 3,
+            snapshots: Some(4),
+            chaos: Some(ChaosOptions {
+                seed: 13 ^ env_seed(),
+                drop_permille: 0,
+                dup_permille: 0,
+                delay_permille: 0,
+                reorder_permille: 0,
+                kill: Some((1, victim)),
+                timeout_ms: 300,
+                retries: 2,
+            }),
+            ..TraceOptions::default()
+        };
+        let report = run_traced(&opts).expect("chaos run");
+        assert_eq!(report.rank_losses, 1, "victim {victim}");
+        assert!(report.repartitions >= 1, "victim {victim}");
+        assert_eq!(
+            report.contact_pairs, clean.contact_pairs,
+            "victim {victim}: recovery must still detect every pair"
+        );
+        report.verify_totals().expect("counters equal executed traffic");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dropped, duplicated, delayed and reordered messages are detected
+    /// and repaired: the step succeeds, detection equals the serial
+    /// oracle, and first-transmission traffic invariants hold exactly.
+    #[test]
+    fn message_faults_converge_to_the_fault_free_answer(
+        seed in 0u64..1_000_000,
+        drop in 0u16..=250,
+        dup in 0u16..=150,
+        delay in 0u16..=150,
+        reorder in 0u16..=150,
+    ) {
+        let k = 3;
+        let f = fixture(k, 5);
+        let plan = FaultPlan {
+            drop_permille: drop,
+            dup_permille: dup,
+            delay_permille: delay,
+            reorder_permille: reorder,
+            ..FaultPlan::quiet(seed ^ env_seed())
+        };
+        let opts = chaos_exec_options(FaultInjector::with_plan(plan));
+        let (out, oracle) = run_step(&f, &opts);
+        let out = out.expect("message faults alone must never fail the step");
+        prop_assert_eq!(&out.contact_pairs, &oracle.serial);
+        prop_assert_eq!(out.ghost_mismatches, 0);
+        prop_assert_eq!(out.traffic.total_halo(), oracle.halo);
+        prop_assert_eq!(out.traffic.phases.halo_units, oracle.halo);
+        prop_assert_eq!(out.traffic.phases.done_msgs, (k * (k - 1)) as u64);
+    }
+
+    /// The traced driver under message chaos matches its clean twin on
+    /// every executed total.
+    #[test]
+    fn traced_message_chaos_matches_clean_run(seed in 0u64..1_000_000) {
+        let base = TraceOptions {
+            scenario: "tiny".into(),
+            k: 2,
+            snapshots: Some(3),
+            chaos: None,
+            ..TraceOptions::default()
+        };
+        let clean = run_traced(&base).expect("clean run");
+        let chaotic = run_traced(&TraceOptions {
+            chaos: Some(ChaosOptions {
+                seed: seed ^ env_seed(),
+                drop_permille: 150,
+                dup_permille: 80,
+                delay_permille: 80,
+                reorder_permille: 80,
+                kill: None,
+                timeout_ms: 300,
+                retries: 2,
+            }),
+            ..base
+        })
+        .expect("chaos run");
+        prop_assert_eq!(chaotic.rank_losses, 0);
+        prop_assert_eq!(chaotic.contact_pairs, clean.contact_pairs);
+        prop_assert_eq!(chaotic.halo, clean.halo);
+        chaotic.verify_totals().expect("counters equal executed traffic");
+    }
+}

@@ -60,7 +60,8 @@ fn run_step(
         filter: &filter,
         tolerance,
         recorder: cip::telemetry::Recorder::disabled(),
-    });
+    })
+    .expect("step executes without injected faults");
     (out, elements, bodies)
 }
 
