@@ -110,6 +110,42 @@ fn assert_zero_alloc_steady_state() {
     black_box(asg.len() + bis.len());
 }
 
+/// Parallel-schedule steady state: the propose/resolve tables and win
+/// flags live in the workspace, so a warmed parallel round's only
+/// allocations come from the rayon runtime itself — job boxes, the
+/// per-worker `for_each_init` connectivity scratch, and join latches.
+/// Those scale with the thread count and splits, not the graph, so the
+/// budget is a small per-thread constant; the old
+/// `par_iter().filter().collect()` resolve alone blew through it with
+/// O(boundary) winner buffers every round.
+fn assert_bounded_alloc_parallel_steady_state() {
+    let side = 128;
+    let k = 8;
+    let g = grid(side, side);
+    let start = diagonal_start(side, k);
+    let cfg = PartitionerConfig { parallel_threshold: 0, ..PartitionerConfig::with_seed(3) };
+
+    let mut ws = RefineWorkspace::new();
+    let mut asg = start.clone();
+    refine_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+
+    asg.copy_from_slice(&start);
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    refine_kway_with(&g, k, &mut asg, &cfg, &mut ws);
+    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+    let budget = 64 * rayon::current_num_threads() as u64 + 256;
+    assert!(
+        allocs <= budget,
+        "warmed parallel refine_kway_with allocated {allocs} times \
+         (budget {budget}); the resolve path is leaking per-round buffers"
+    );
+    eprintln!(
+        "alloc check: {allocs} heap allocations in warmed parallel refine round \
+         (budget {budget}, rayon overhead only)"
+    );
+    black_box(asg.len());
+}
+
 fn bench_refine_kway(c: &mut Criterion) {
     let mut group = c.benchmark_group("refine");
     group.sample_size(10);
@@ -185,5 +221,6 @@ criterion_group!(benches, bench_refine_kway, bench_kway_ml, bench_fm);
 
 fn main() {
     assert_zero_alloc_steady_state();
+    assert_bounded_alloc_parallel_steady_state();
     benches();
 }

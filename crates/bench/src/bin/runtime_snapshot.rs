@@ -1,0 +1,135 @@
+//! Runtime-executor snapshot for CI: times an 8-step batch under the
+//! barrier and pipelined schedules on a skewed per-rank load, measures
+//! the total `exec.idle` time and the `exec.overlap.steps_in_flight`
+//! high-water mark of each, and writes `results/BENCH_runtime.json` in
+//! the shared `cip-results-v1` envelope. CI uploads the file as an
+//! artifact; the acceptance signal is pipelined idle < barrier idle on
+//! multi-core runners (wall-clock on a 1-CPU container is noise).
+//!
+//! Usage: `cargo run --release -p cip-bench --bin runtime_snapshot
+//! [--nodes N] [--steps S] [--reps R]` (defaults: 512, 8, 5).
+
+use cip_bench::pipeline_load::{batch_inputs, skewed_chain};
+use cip_bench::write_json;
+use cip_runtime::{execute_steps_with, ExecOptions, Schedule};
+use cip_telemetry::Recorder;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct RuntimeRow {
+    /// Benchmark id, e.g. `exec_batch/pipelined`.
+    name: String,
+    /// Rank count.
+    k: usize,
+    /// Steps per batch.
+    n_steps: usize,
+    /// Timed repetitions (after one untimed warm-up).
+    reps: usize,
+    /// Fastest repetition, milliseconds.
+    min_ms: f64,
+    /// Median repetition, milliseconds.
+    median_ms: f64,
+    /// Total `exec.idle` time of one instrumented run, milliseconds.
+    idle_ms: f64,
+    /// High-water `exec.overlap.steps_in_flight` gauge (1 for barrier).
+    max_steps_in_flight: u64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    /// Rayon worker count (the rank threads are separate, but this is
+    /// the honest machine descriptor shared with BENCH_partition).
+    threads: usize,
+    /// Chain length of the skewed scenario.
+    nodes: usize,
+    rows: Vec<RuntimeRow>,
+}
+
+fn main() {
+    let mut nodes = 512usize;
+    let mut n_steps = 8usize;
+    let mut reps = 5usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" if i + 1 < args.len() => {
+                nodes = args[i + 1].parse().unwrap_or(nodes).max(16);
+                i += 2;
+            }
+            "--steps" if i + 1 < args.len() => {
+                n_steps = args[i + 1].parse().unwrap_or(n_steps).max(2);
+                i += 2;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or(reps).max(1);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "runtime snapshot: {nodes}-node chain, {n_steps}-step batches, reps={reps}, \
+         {threads} rayon threads"
+    );
+
+    let mut rows = Vec::new();
+    for &k in &[2usize, 4, 8] {
+        let sc = skewed_chain(nodes, k, n_steps, 0.5);
+        for (label, schedule) in
+            [("barrier", Schedule::Barrier), ("pipelined", Schedule::pipelined())]
+        {
+            let opts = ExecOptions { schedule, ..ExecOptions::default() };
+
+            // Timed reps against a disabled recorder (no telemetry cost).
+            let quiet = Recorder::disabled();
+            let steps = batch_inputs(&sc, &quiet);
+            let run = || {
+                execute_steps_with(&steps, &[], &opts).expect("batch executes");
+            };
+            run();
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    run();
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let (min_ms, median_ms) = (samples[0], samples[reps / 2]);
+
+            // One instrumented run for the idle/overlap numbers.
+            let rec = Recorder::enabled();
+            let steps = batch_inputs(&sc, &rec);
+            execute_steps_with(&steps, &[], &opts).expect("instrumented batch executes");
+            let summary = rec.summary().expect("recorder is enabled");
+            let idle_ms = summary.span("exec.idle").map_or(0.0, |s| s.total_ns as f64 / 1e6);
+            let max_steps_in_flight =
+                summary.histogram("exec.overlap.steps_in_flight").map_or(1, |h| h.max);
+
+            eprintln!(
+                "  k={k} {label:<9} min {min_ms:8.2} ms  median {median_ms:8.2} ms  \
+                 idle {idle_ms:8.2} ms  in-flight {max_steps_in_flight}"
+            );
+            rows.push(RuntimeRow {
+                name: format!("exec_batch/{label}"),
+                k,
+                n_steps,
+                reps,
+                min_ms,
+                median_ms,
+                idle_ms,
+                max_steps_in_flight,
+            });
+        }
+    }
+
+    let snapshot = Snapshot { threads, nodes, rows };
+    write_json("BENCH_runtime", &snapshot);
+}

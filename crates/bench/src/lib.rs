@@ -12,6 +12,8 @@ use cip_sim::{SimConfig, SimResult};
 use serde::Serialize;
 use std::time::Instant;
 
+pub mod pipeline_load;
+
 /// Workload scale selector (command-line `--scale`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -7,7 +7,7 @@
 //! inflated boxes intersect. A uniform-grid broad phase keeps it near
 //! linear in the element count.
 
-use crate::grid::UniformGrid;
+use crate::grid::{GridUpdate, UniformGrid};
 use cip_geom::Aabb;
 use rayon::prelude::*;
 
@@ -34,6 +34,64 @@ pub fn find_contact_pairs<const D: usize>(
 ) -> Vec<ContactPair> {
     assert_eq!(boxes.len(), body.len(), "one body id per element");
     let grid = UniformGrid::build_auto(boxes);
+    query_pairs(&grid, boxes, body, tolerance)
+}
+
+/// Broad-phase state carried across time steps: the previous step's
+/// [`UniformGrid`], updated in place by [`find_contact_pairs_cached`]
+/// instead of rebuilt. One per searching rank; the pipelined executor
+/// holds one per rank thread across a batch.
+#[derive(Debug, Default)]
+pub struct SearchCache<const D: usize> {
+    grid: Option<UniformGrid<D>>,
+    last: Option<GridUpdate>,
+}
+
+impl<const D: usize> SearchCache<D> {
+    /// An empty cache (the first search builds the grid from scratch).
+    pub fn new() -> Self {
+        Self { grid: None, last: None }
+    }
+
+    /// How the last search refreshed the grid (`None` before the first
+    /// search; the first search itself reports a full rebuild).
+    pub fn last_update(&self) -> Option<GridUpdate> {
+        self.last
+    }
+}
+
+/// [`find_contact_pairs`] with a cross-step grid cache: the broad phase
+/// updates the previous step's grid incrementally when the boxes moved
+/// less than a cell (falling back to a full rebuild otherwise — see
+/// [`UniformGrid::update`]). Grid queries are exact for any cell layout,
+/// so the returned pairs are identical to the uncached function's.
+pub fn find_contact_pairs_cached<const D: usize>(
+    cache: &mut SearchCache<D>,
+    boxes: &[Aabb<D>],
+    body: &[u16],
+    tolerance: f64,
+) -> Vec<ContactPair> {
+    assert_eq!(boxes.len(), body.len(), "one body id per element");
+    match &mut cache.grid {
+        Some(grid) => cache.last = Some(grid.update(boxes)),
+        slot @ None => {
+            *slot = Some(UniformGrid::build_auto(boxes));
+            cache.last = Some(GridUpdate::FullRebuild);
+        }
+    }
+    match &cache.grid {
+        Some(grid) => query_pairs(grid, boxes, body, tolerance),
+        None => Vec::new(), // unreachable: the slot was just filled
+    }
+}
+
+/// The narrow phase shared by the cached and uncached front ends.
+fn query_pairs<const D: usize>(
+    grid: &UniformGrid<D>,
+    boxes: &[Aabb<D>],
+    body: &[u16],
+    tolerance: f64,
+) -> Vec<ContactPair> {
     // One (stamp scratch, candidate buffer) per worker via map_init, so
     // the hot query loop does not allocate per element.
     let mut pairs: Vec<ContactPair> = (0..boxes.len() as u32)
@@ -88,6 +146,35 @@ mod tests {
         let body = vec![0, 1];
         assert!(find_contact_pairs(&boxes, &body, 0.1).is_empty());
         assert_eq!(find_contact_pairs(&boxes, &body, 0.6).len(), 1);
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_across_moving_steps() {
+        let mut cache = SearchCache::new();
+        assert!(cache.last_update().is_none());
+        let body: Vec<u16> = (0..10).map(|i| (i % 2) as u16).collect();
+        for step in 0..6 {
+            let drift = step as f64 * 0.35;
+            let boxes: Vec<Aabb<2>> = (0..10)
+                .map(|i| unit_box(i as f64 * 1.4 + drift, (i % 3) as f64 * 0.8 - drift))
+                .collect();
+            let fresh = find_contact_pairs(&boxes, &body, 0.25);
+            let cached = find_contact_pairs_cached(&mut cache, &boxes, &body, 0.25);
+            assert_eq!(cached, fresh, "step {step}");
+            assert!(cache.last_update().is_some());
+        }
+    }
+
+    #[test]
+    fn cached_search_survives_element_count_changes() {
+        let mut cache = SearchCache::new();
+        for n in [4usize, 9, 2, 0, 7] {
+            let boxes: Vec<Aabb<2>> = (0..n).map(|i| unit_box(i as f64 * 0.9, 0.0)).collect();
+            let body: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+            let fresh = find_contact_pairs(&boxes, &body, 0.2);
+            let cached = find_contact_pairs_cached(&mut cache, &boxes, &body, 0.2);
+            assert_eq!(cached, fresh, "n = {n}");
+        }
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub struct RefineWorkspace {
     rank: Vec<u32>,
     /// Parallel sweep: this round's winners.
     winners: Vec<u32>,
+    /// Parallel sweep: per-boundary-position win flags (resolve scratch).
+    win_flags: Vec<bool>,
     /// Greedy-growing frontier heap for `bisect::grow_once` restarts.
     pub(crate) grow_heap: BinaryHeap<(i64, Reverse<u32>)>,
     /// Greedy-growing per-vertex frontier gains.
@@ -112,6 +114,7 @@ impl RefineWorkspace {
         self.prop_to.reserve(nv);
         self.rank.reserve(nv);
         self.winners.reserve(nv);
+        self.win_flags.reserve(nv);
         self.grow_heap.reserve(nv);
         self.grow_gains.reserve(nv);
         self.grow_in0.reserve(nv);
@@ -393,72 +396,85 @@ fn refine_parallel(g: &Graph, asg: &mut [u32], cfg: &PartitionerConfig, ws: &mut
             let (prop_gain, prop_to) = (&mut ws.prop_gain, &mut ws.prop_to);
             let (id, tdeg, pwgts, caps) = (&ws.id, &ws.tdeg, &ws.pwgts, &ws.caps);
             let asg_ro: &[u32] = asg;
-            prop_gain.par_iter_mut().zip(prop_to.par_iter_mut()).enumerate().for_each_init(
-                || Vec::with_capacity(16),
-                |conn, (vi, (pg, pt))| {
-                    let v = vi as u32;
-                    *pg = i64::MIN;
-                    *pt = u32::MAX;
-                    if tdeg[vi] <= id[vi] {
-                        return; // interior
-                    }
-                    connectivity(g, asg_ro, v, conn);
-                    let from = asg_ro[vi];
-                    let id_w = id[vi];
-                    // Highest gain wins; gain ties keep the first part
-                    // in adjacency order — a deterministic,
-                    // snapshot-only choice.
-                    let mut best: Option<(i64, u32)> = None;
-                    for &(p, w) in conn.iter() {
-                        if p == from {
-                            continue;
+            prop_gain
+                .par_iter_mut()
+                .zip(prop_to.par_iter_mut())
+                .enumerate()
+                .with_min_len(2048)
+                .for_each_init(
+                    || Vec::with_capacity(16),
+                    |conn, (vi, (pg, pt))| {
+                        let v = vi as u32;
+                        *pg = i64::MIN;
+                        *pt = u32::MAX;
+                        if tdeg[vi] <= id[vi] {
+                            return; // interior
                         }
-                        let gain = w - id_w;
-                        if gain <= 0 {
-                            continue;
+                        connectivity(g, asg_ro, v, conn);
+                        let from = asg_ro[vi];
+                        let id_w = id[vi];
+                        // Highest gain wins; gain ties keep the first part
+                        // in adjacency order — a deterministic,
+                        // snapshot-only choice.
+                        let mut best: Option<(i64, u32)> = None;
+                        for &(p, w) in conn.iter() {
+                            if p == from {
+                                continue;
+                            }
+                            let gain = w - id_w;
+                            if gain <= 0 {
+                                continue;
+                            }
+                            let base = p as usize * ncon;
+                            let fits = g
+                                .vwgt(v)
+                                .iter()
+                                .enumerate()
+                                .all(|(j, &vw)| pwgts[base + j] + vw <= caps[base + j]);
+                            if fits && best.is_none_or(|(bg, _)| gain > bg) {
+                                best = Some((gain, p));
+                            }
                         }
-                        let base = p as usize * ncon;
-                        let fits = g
-                            .vwgt(v)
-                            .iter()
-                            .enumerate()
-                            .all(|(j, &vw)| pwgts[base + j] + vw <= caps[base + j]);
-                        if fits && best.is_none_or(|(bg, _)| gain > bg) {
-                            best = Some((gain, p));
+                        if let Some((gain, p)) = best {
+                            *pg = gain;
+                            *pt = p;
                         }
-                    }
-                    if let Some((gain, p)) = best {
-                        *pg = gain;
-                        *pt = p;
-                    }
-                },
-            );
+                    },
+                );
         }
 
         // Resolve: a vertex wins iff its (gain, rank) priority beats every
         // proposing neighbor — winners form an independent set, so the cut
         // drops by exactly the sum of their gains. Pure function of the
         // proposal table.
+        // Two passes over the boundary, both workspace-resident: a
+        // parallel flag pass (each task writes only its own boundary
+        // slot) and a sequential scan that gathers flagged vertices in
+        // boundary order. Replaces a `par_iter().filter().collect()`
+        // that allocated a fresh Vec per round per rayon job.
         {
             let (prop_gain, rank) = (&ws.prop_gain, &ws.rank);
-            let winners: Vec<u32> = ws
-                .bnd
-                .par_iter()
-                .filter(|&&v| {
-                    let vi = v as usize;
-                    if prop_gain[vi] == i64::MIN {
-                        return false;
-                    }
-                    let my = (prop_gain[vi], u32::MAX - rank[vi]);
-                    g.neighbors(v).all(|(u, _)| {
-                        let ui = u as usize;
-                        prop_gain[ui] == i64::MIN || my > (prop_gain[ui], u32::MAX - rank[ui])
-                    })
-                })
-                .copied()
-                .collect();
+            ws.win_flags.clear();
+            ws.win_flags.resize(ws.bnd.len(), false);
+            let bnd: &[u32] = &ws.bnd;
+            ws.win_flags.par_iter_mut().enumerate().with_min_len(2048).for_each(|(bi, flag)| {
+                let v = bnd[bi];
+                let vi = v as usize;
+                if prop_gain[vi] == i64::MIN {
+                    return;
+                }
+                let my = (prop_gain[vi], u32::MAX - rank[vi]);
+                *flag = g.neighbors(v).all(|(u, _)| {
+                    let ui = u as usize;
+                    prop_gain[ui] == i64::MIN || my > (prop_gain[ui], u32::MAX - rank[ui])
+                });
+            });
             ws.winners.clear();
-            ws.winners.extend_from_slice(&winners);
+            for (bi, &won) in ws.win_flags.iter().enumerate() {
+                if won {
+                    ws.winners.push(ws.bnd[bi]);
+                }
+            }
         }
         // Commit in descending priority so the best moves get the cap
         // headroom first; caps are re-checked against live part weights

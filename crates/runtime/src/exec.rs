@@ -26,19 +26,29 @@
 use crate::fault::{Fate, FaultInjector};
 use crate::plan::{Decomposition, RankPlan};
 use crate::RuntimeError;
-use cip_contact::{find_contact_pairs, ContactPair, GlobalFilter, SurfaceElementInfo};
+use cip_contact::{
+    find_contact_pairs, find_contact_pairs_cached, ContactPair, GlobalFilter, SearchCache,
+    SurfaceElementInfo,
+};
 use cip_geom::{Aabb, Point};
 use cip_telemetry::Recorder;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::Duration;
 
 /// Inter-rank message.
+///
+/// Every variant carries the batch-local `step` it belongs to, so a
+/// pipelined receiver can partition one inbox by step (the barrier
+/// executor runs one step at a time and always tags 0). Sequence numbers
+/// are per `(from, to, step)`.
 #[derive(Clone)]
-enum Msg {
+pub(crate) enum Msg {
     /// Halo exchange: updated positions of nodes the receiver ghosts.
     Halo {
         /// Sending rank.
         from: u32,
+        /// Batch-local step the payload belongs to.
+        step: u32,
         /// Position in the sender's payload stream to this receiver.
         seq: u64,
         /// `(global node id, position)` pairs.
@@ -48,6 +58,8 @@ enum Msg {
     Element {
         /// Sending rank (the element's owner).
         from: u32,
+        /// Batch-local step the payload belongs to.
+        step: u32,
         /// Position in the sender's payload stream to this receiver.
         seq: u64,
         /// Global element index.
@@ -63,6 +75,8 @@ enum Msg {
     Done {
         /// Sending rank.
         from: u32,
+        /// Batch-local step the trailer closes.
+        step: u32,
         /// First-transmission payload count for this `(from, to)` pair.
         sent: u64,
     },
@@ -70,12 +84,15 @@ enum Msg {
     Resend {
         /// Requesting rank (the destination of the resends).
         from: u32,
+        /// Batch-local step whose history to replay from.
+        step: u32,
         /// Missing sequence numbers.
         seqs: Vec<u64>,
     },
     /// Chaos-mode barrier: the sender has received everything it expects
     /// and will need no further resends (only used with an armed
-    /// [`FaultInjector`]).
+    /// [`FaultInjector`]). The barrier executor runs one round per step;
+    /// the pipelined executor runs one per batch.
     Complete {
         /// Sending rank.
         from: u32,
@@ -182,7 +199,34 @@ pub struct StepOutput {
     pub ghost_mismatches: usize,
 }
 
-/// Execution policy: drain timeout, repair budget, fault injection.
+/// How a batch of steps is scheduled across the rank threads (see
+/// [`crate::execute_steps_with`] and DESIGN.md §6d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One thread spawn + join per step: every rank waits for every other
+    /// rank at every step boundary. The oracle the pipelined schedule is
+    /// proven bit-identical against.
+    Barrier,
+    /// Dependency-driven: rank threads persist across the batch, a rank
+    /// starts its step-`s` contact search as soon as *its* inbound halos
+    /// and shipments for `s` have drained, and its step `s + lookahead`
+    /// sends may begin while stragglers are still finishing step `s`.
+    Pipelined {
+        /// How many steps a rank's sends may run ahead of its completed
+        /// drains (clamped to at least 1; 1–2 is the useful range).
+        lookahead: usize,
+    },
+}
+
+impl Schedule {
+    /// The default pipelined schedule (lookahead 2).
+    pub fn pipelined() -> Self {
+        Self::Pipelined { lookahead: 2 }
+    }
+}
+
+/// Execution policy: drain timeout, repair budget, fault injection,
+/// batch schedule.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// How long a draining rank waits for any message before starting a
@@ -193,27 +237,39 @@ pub struct ExecOptions {
     pub retries: u32,
     /// Fault injection plan; [`FaultInjector::none`] by default.
     pub fault: FaultInjector,
+    /// How [`crate::execute_steps_with`] schedules a batch of steps
+    /// (single-step [`execute_step_with`] is always a barrier). Defaults
+    /// to [`Schedule::pipelined`].
+    pub schedule: Schedule,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        Self { timeout: Duration::from_secs(5), retries: 3, fault: FaultInjector::none() }
+        Self {
+            timeout: Duration::from_secs(5),
+            retries: 3,
+            fault: FaultInjector::none(),
+            schedule: Schedule::pipelined(),
+        }
     }
 }
 
-/// Per-destination chaos bookkeeping on the send side.
-struct ChaosState {
+/// Per-destination chaos bookkeeping on the send side. The barrier
+/// executor holds one per step; the pipelined executor one per batch
+/// step (histories are retained until the batch's completion round, so
+/// any step can still be repaired).
+pub(crate) struct ChaosState {
     /// Every first-transmitted payload, indexed `[dest][seq]` — the
     /// resend service replays from here, bypassing injection.
-    history: Vec<Vec<Msg>>,
+    pub(crate) history: Vec<Vec<Msg>>,
     /// One-slot reorder buffer per destination.
-    held: Vec<Option<Msg>>,
+    pub(crate) held: Vec<Option<Msg>>,
     /// Messages delayed past the `Done` marker, per destination.
-    delayed: Vec<Vec<Msg>>,
+    pub(crate) delayed: Vec<Vec<Msg>>,
 }
 
 impl ChaosState {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         Self {
             history: (0..k).map(|_| Vec::new()).collect(),
             held: (0..k).map(|_| None).collect(),
@@ -225,7 +281,7 @@ impl ChaosState {
 /// Applies the injected fate of one first transmission. The message is
 /// recorded in the history buffer first, whatever its fate, so a `Resend`
 /// can always repair it.
-fn chaos_send(
+pub(crate) fn chaos_send(
     st: &mut ChaosState,
     txs: &[Sender<Msg>],
     fault: &FaultInjector,
@@ -273,7 +329,7 @@ fn chaos_send(
 
 /// Grows-and-marks `seq` in a per-peer dedup bitmap; returns `false` if
 /// it was already seen (a duplicate or an already-repaired resend).
-fn mark_new(seen: &mut Vec<bool>, seq: u64) -> bool {
+pub(crate) fn mark_new(seen: &mut Vec<bool>, seq: u64) -> bool {
     let i = seq as usize;
     if seen.len() <= i {
         seen.resize(i + 1, false);
@@ -287,18 +343,37 @@ fn mark_new(seen: &mut Vec<bool>, seq: u64) -> bool {
 }
 
 /// Sequence numbers in `0..sent` not yet marked in `seen`.
-fn missing_seqs(seen: &[bool], sent: u64) -> Vec<u64> {
+pub(crate) fn missing_seqs(seen: &[bool], sent: u64) -> Vec<u64> {
     (0..sent).filter(|&s| !seen.get(s as usize).copied().unwrap_or(false)).collect()
 }
 
-/// What one rank thread produced.
-struct RankResult {
-    pairs: Vec<ContactPair>,
-    halo_sent: Vec<u64>,      // per destination
-    shipments_sent: Vec<u64>, // per destination
-    halo_msgs: u64,
-    done_msgs: u64,
-    ghost_mismatches: usize,
+/// Receives one message, charging any actual blocking wait to an
+/// `exec.idle` span. A non-empty inbox costs one `try_recv` and no span,
+/// so the gauge measures true straggler-induced idleness, not polling.
+pub(crate) fn recv_or_idle(
+    rec: &Recorder,
+    rx: &Receiver<Msg>,
+    timeout: Duration,
+) -> Result<Msg, crossbeam::channel::RecvTimeoutError> {
+    use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+    match rx.try_recv() {
+        Ok(m) => Ok(m),
+        Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        Err(TryRecvError::Empty) => {
+            let _idle = rec.span("exec.idle");
+            rx.recv_timeout(timeout)
+        }
+    }
+}
+
+/// What one rank thread produced (for one step).
+pub(crate) struct RankResult {
+    pub(crate) pairs: Vec<ContactPair>,
+    pub(crate) halo_sent: Vec<u64>,      // per destination
+    pub(crate) shipments_sent: Vec<u64>, // per destination
+    pub(crate) halo_msgs: u64,
+    pub(crate) done_msgs: u64,
+    pub(crate) ghost_mismatches: usize,
 }
 
 /// How one rank thread ended.
@@ -348,7 +423,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
             halo_sent[dest] += values.len() as u64;
             halo_msgs += 1;
             rec.record("exec.halo_msg_nodes", values.len() as u64);
-            let msg = Msg::Halo { from: me, seq: sent_to[dest], values };
+            let msg = Msg::Halo { from: me, step: 0, seq: sent_to[dest], values };
             sent_to[dest] += 1;
             payload_sends += 1;
             match st.as_mut() {
@@ -381,6 +456,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                 shipments_sent[dest] += 1;
                 let msg = Msg::Element {
                     from: me,
+                    step: 0,
                     seq: sent_to[dest],
                     id: e,
                     bbox: el.bbox,
@@ -412,7 +488,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
         }
         for (dest, tx) in txs.iter().enumerate() {
             if dest != r {
-                let _ = tx.send(Msg::Done { from: me, sent: sent_to[dest] });
+                let _ = tx.send(Msg::Done { from: me, step: 0, sent: sent_to[dest] });
                 done_msgs += 1;
             }
         }
@@ -444,7 +520,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                 done_from[r] = true;
                 let mut done = 1usize;
                 while done < k {
-                    match rx.recv_timeout(opts.timeout) {
+                    match recv_or_idle(rec, &rx, opts.timeout) {
                         Ok(Msg::Halo { from, values, .. }) => {
                             debug_assert_ne!(from, me, "rank sent halo to itself");
                             for (node, pos) in values {
@@ -503,8 +579,8 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                     if complete_sent && completed.iter().all(|&c| c) {
                         break;
                     }
-                    match rx.recv_timeout(opts.timeout) {
-                        Ok(Msg::Halo { from, seq, values }) => {
+                    match recv_or_idle(rec, &rx, opts.timeout) {
+                        Ok(Msg::Halo { from, seq, values, .. }) => {
                             if mark_new(&mut seen[from as usize], seq) {
                                 got[from as usize] += 1;
                                 for (node, pos) in values {
@@ -516,7 +592,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                                 rec.add("recovery.dup_dropped", 1);
                             }
                         }
-                        Ok(Msg::Element { from, seq, id, bbox, body }) => {
+                        Ok(Msg::Element { from, seq, id, bbox, body, .. }) => {
                             if mark_new(&mut seen[from as usize], seq) {
                                 got[from as usize] += 1;
                                 received.push((id, bbox, body));
@@ -524,18 +600,19 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                                 rec.add("recovery.dup_dropped", 1);
                             }
                         }
-                        Ok(Msg::Done { from, sent }) => {
+                        Ok(Msg::Done { from, sent, .. }) => {
                             let f = from as usize;
                             exp[f] = Some(sent);
                             if got[f] < sent {
                                 rec.add("recovery.resend_requests", 1);
                                 let _ = txs[f].send(Msg::Resend {
                                     from: me,
+                                    step: 0,
                                     seqs: missing_seqs(&seen[f], sent),
                                 });
                             }
                         }
-                        Ok(Msg::Resend { from, seqs }) => {
+                        Ok(Msg::Resend { from, seqs, .. }) => {
                             let f = from as usize;
                             for s in seqs {
                                 if let Some(m) = st.history[f].get(s as usize) {
@@ -576,6 +653,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                                         rec.add("recovery.resend_requests", 1);
                                         let _ = txs[p].send(Msg::Resend {
                                             from: me,
+                                            step: 0,
                                             seqs: missing_seqs(&seen[p], e),
                                         });
                                     }
@@ -597,17 +675,43 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
         .attr("rank", me)
         .attr("owned", plan.owned_surface.len())
         .attr("received", received.len());
+    let pairs = search_rank(plan, input, &received, None);
+    let res =
+        RankResult { pairs, halo_sent, shipments_sent, halo_msgs, done_msgs, ghost_mismatches };
+    match lost {
+        None => RankOutcome::Completed(res),
+        Some(dead) => RankOutcome::Lost { partial: res, dead },
+    }
+}
+
+/// One rank's local contact search over its owned surface plus the
+/// elements shipped to it, mapped back to sorted, deduped global ids.
+///
+/// With a [`SearchCache`] the broad-phase grid from the previous step is
+/// updated in place instead of rebuilt (the pipelined executor holds one
+/// per rank across a batch); the pair set is identical either way because
+/// grid queries are exact for any cell layout.
+pub(crate) fn search_rank<F: GlobalFilter<3> + Sync>(
+    plan: &RankPlan,
+    input: &StepInput<'_, F>,
+    received: &[(u32, Aabb<3>, u16)],
+    cache: Option<&mut SearchCache<3>>,
+) -> Vec<ContactPair> {
     let mut local_ids: Vec<u32> = plan.owned_surface.clone();
     let mut boxes: Vec<Aabb<3>> =
         plan.owned_surface.iter().map(|&e| input.elements[e as usize].bbox).collect();
     let mut bodies: Vec<u16> =
         plan.owned_surface.iter().map(|&e| input.bodies[e as usize]).collect();
-    for (id, bbox, body) in received {
+    for &(id, bbox, body) in received {
         local_ids.push(id);
         boxes.push(bbox);
         bodies.push(body);
     }
-    let mut pairs: Vec<ContactPair> = find_contact_pairs(&boxes, &bodies, input.tolerance)
+    let raw = match cache {
+        None => find_contact_pairs(&boxes, &bodies, input.tolerance),
+        Some(cache) => find_contact_pairs_cached(cache, &boxes, &bodies, input.tolerance),
+    };
+    let mut pairs: Vec<ContactPair> = raw
         .into_iter()
         .map(|p| {
             let (a, b) = (local_ids[p.a as usize], local_ids[p.b as usize]);
@@ -620,17 +724,12 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
         .collect();
     pairs.sort_unstable();
     pairs.dedup();
-    let res =
-        RankResult { pairs, halo_sent, shipments_sent, halo_msgs, done_msgs, ghost_mismatches };
-    match lost {
-        None => RankOutcome::Completed(res),
-        Some(dead) => RankOutcome::Lost { partial: res, dead },
-    }
+    pairs
 }
 
 /// Folds the per-rank results (dead ranks contribute nothing) into one
 /// [`StepOutput`].
-fn aggregate(k: usize, partials: Vec<Option<RankResult>>) -> StepOutput {
+pub(crate) fn aggregate(k: usize, partials: Vec<Option<RankResult>>) -> StepOutput {
     let mut traffic = TrafficLog {
         k,
         halo: vec![0; k * k],
@@ -788,7 +887,12 @@ mod tests {
     }
 
     fn chaos_opts(fault: FaultInjector) -> ExecOptions {
-        ExecOptions { timeout: Duration::from_millis(200), retries: 2, fault }
+        ExecOptions {
+            timeout: Duration::from_millis(200),
+            retries: 2,
+            fault,
+            ..ExecOptions::default()
+        }
     }
 
     #[test]
@@ -1007,6 +1111,7 @@ mod tests {
                 timeout: Duration::from_millis(100),
                 retries: 1,
                 fault: FaultInjector::with_plan(plan),
+                ..ExecOptions::default()
             },
         )
         .expect_err("a killed rank must surface as an error");

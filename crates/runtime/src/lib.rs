@@ -22,6 +22,11 @@
 //!   ghosts, halo send lists, element & surface ownership) from a node
 //!   partition,
 //! * [`exec`] — the threaded step executor and its traffic log,
+//! * [`pipeline`] — the dependency-driven pipelined batch executor:
+//!   persistent rank threads overlap halo sends, shipments, and contact
+//!   searches across ranks *and* adjacent steps (bounded lookahead),
+//!   bit-identical to the barrier schedule it keeps as its oracle behind
+//!   [`exec::Schedule`],
 //! * [`fault`] — deterministic, seeded fault injection (message drop /
 //!   duplication / delay / reorder, mid-step rank kills) behind a
 //!   zero-cost-when-disabled hook,
@@ -37,13 +42,16 @@ use std::fmt;
 pub mod exec;
 pub mod fault;
 pub mod migrate;
+pub mod pipeline;
 pub mod plan;
 
 pub use exec::{
-    execute_step, execute_step_with, ExecOptions, PhaseTraffic, StepInput, StepOutput, TrafficLog,
+    execute_step, execute_step_with, ExecOptions, PhaseTraffic, Schedule, StepInput, StepOutput,
+    TrafficLog,
 };
 pub use fault::{Fate, FaultInjector, FaultPlan, KillSpec};
 pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
+pub use pipeline::{execute_steps, execute_steps_with, BatchError};
 pub use plan::{build_decomposition, Decomposition, RankPlan};
 
 /// A failed step execution — every former panic site on the executor hot

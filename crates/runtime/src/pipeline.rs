@@ -1,0 +1,1060 @@
+//! The dependency-driven pipelined batch executor (DESIGN.md §6d).
+//!
+//! [`execute_steps_with`] runs a whole batch of steps (one migration-free
+//! stretch of a trace) across `k` persistent rank threads. Where the
+//! barrier executor spawns and joins threads once per step — so every
+//! rank idles on the slowest straggler at every phase boundary — the
+//! pipelined schedule keys each per-rank phase by `(step, rank, phase)`
+//! and lets data dependencies, not barriers, order the work:
+//!
+//! * a rank starts its step-`s` contact search as soon as *its own*
+//!   inbound halos and shipments for `s` have drained (locally decidable
+//!   from the per-peer `Done{from, step, sent}` trailers — no new wire
+//!   messages over the fault-tolerant protocol of DESIGN.md §6c);
+//! * a rank's step `s + 1` halo/shipment sends may begin while stragglers
+//!   are still finishing step `s`, bounded by
+//!   [`Schedule::Pipelined`]'s `lookahead`;
+//! * migration and repartition boundaries remain full barriers — the
+//!   driver simply ends the batch there.
+//!
+//! The scheduler is a pair of cursors (`next_send`, `completed`) over
+//! per-step state tables allocated once at batch start: the ready set is
+//! implicit ("send while inside the lookahead window; search while the
+//! lowest incomplete step is drained"), so the steady-state loop
+//! allocates nothing beyond the message payloads themselves. One inbox
+//! per rank is partitioned by the `step` tag every message carries.
+//!
+//! Fault injection and recovery work unchanged: fates are evaluated per
+//! `(from, to, step, seq)` exactly as the barrier executor evaluates its
+//! per-step streams, kills turn the rank into a *zombie* that still
+//! drains and searches the steps before its death (so every step the
+//! batch commits aggregates all `k` ranks, bit-identical to the barrier
+//! schedule) and serves resend requests for those steps, and the chaos
+//! completion round runs once per batch instead of once per step.
+//! Idle time — a rank actually blocking on an empty inbox — is charged
+//! to `exec.idle` spans, and `exec.overlap.steps_in_flight` records the
+//! send/completion cursor spread after every step sent.
+
+use crate::exec::{
+    aggregate, chaos_send, execute_step_with, mark_new, missing_seqs, recv_or_idle, search_rank,
+    ChaosState, ExecOptions, Msg, RankResult, Schedule, StepInput, StepOutput,
+};
+use crate::fault::FaultInjector;
+use crate::RuntimeError;
+use cip_contact::{GlobalFilter, SearchCache};
+use cip_geom::Aabb;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+
+/// A failed batch execution: the steps committed before the failure, the
+/// index of the step that failed, and the per-step error (the same typed
+/// [`RuntimeError`] the single-step executor reports, so driver recovery
+/// code handles both identically).
+#[derive(Debug)]
+pub struct BatchError {
+    /// Outputs of the steps that fully committed before the failure
+    /// (every rank drained and searched them).
+    pub completed: Vec<StepOutput>,
+    /// Batch-local index of the step that failed
+    /// (`== completed.len()`).
+    pub failed_step: usize,
+    /// Why that step failed.
+    pub error: RuntimeError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch failed at step {} after {} committed step(s): {}",
+            self.failed_step,
+            self.completed.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Per-step receive-side state of one rank (all peers).
+struct StepRecv {
+    /// Chaos path: announced first-transmission count per peer.
+    exp: Vec<Option<u64>>,
+    /// Chaos path: distinct payloads received per peer.
+    got: Vec<u64>,
+    /// Chaos path: per-peer dedup bitmap.
+    seen: Vec<Vec<bool>>,
+    /// Fast path: which peers' `Done` trailers arrived.
+    done_from: Vec<bool>,
+    /// Fast path: number of `true`s in `done_from` (self included).
+    done_count: usize,
+    /// Elements shipped to this rank for this step.
+    received: Vec<(u32, Aabb<3>, u16)>,
+    /// Halo values that disagreed with the oracle position.
+    ghost_mismatches: usize,
+}
+
+impl StepRecv {
+    fn new(k: usize, r: usize) -> Self {
+        let mut exp = vec![None; k];
+        let mut done_from = vec![false; k];
+        exp[r] = Some(0);
+        done_from[r] = true;
+        Self {
+            exp,
+            got: vec![0; k],
+            seen: vec![Vec::new(); k],
+            done_from,
+            done_count: 1,
+            received: Vec::new(),
+            ghost_mismatches: 0,
+        }
+    }
+
+    /// Whether every peer's data for this step has fully arrived.
+    fn data_complete(&self, chaos_armed: bool, k: usize) -> bool {
+        if chaos_armed {
+            (0..k).all(|p| matches!(self.exp[p], Some(e) if self.got[p] >= e))
+        } else {
+            self.done_count == k
+        }
+    }
+
+    /// Peers whose data for this step is still unaccounted for.
+    fn unaccounted(&self, chaos_armed: bool, k: usize) -> Vec<u32> {
+        (0..k)
+            .filter(|&p| {
+                if chaos_armed {
+                    !matches!(self.exp[p], Some(e) if self.got[p] >= e)
+                } else {
+                    !self.done_from[p]
+                }
+            })
+            .map(|p| p as u32)
+            .collect()
+    }
+}
+
+/// Per-step send-side bookkeeping of one rank.
+struct StepSend {
+    sent_to: Vec<u64>,
+    halo_sent: Vec<u64>,
+    shipments_sent: Vec<u64>,
+    halo_msgs: u64,
+    done_msgs: u64,
+}
+
+impl StepSend {
+    fn new(k: usize) -> Self {
+        Self {
+            sent_to: vec![0; k],
+            halo_sent: vec![0; k],
+            shipments_sent: vec![0; k],
+            halo_msgs: 0,
+            done_msgs: 0,
+        }
+    }
+}
+
+/// How one rank thread ended a batch.
+enum BatchOutcome {
+    /// Every step drained, searched, and (if any step was chaos-armed)
+    /// the batch completion round closed.
+    Completed(Vec<RankResult>),
+    /// Killed by the fault plan while sending step `done.len()`; the
+    /// zombie still finished the steps before its death.
+    Dead {
+        /// Full results for the steps completed before the kill.
+        done: Vec<RankResult>,
+    },
+    /// Gave up on `dead` peers after exhausting the repair budget at
+    /// step `done.len()`; `partial` holds what that step received.
+    Lost {
+        /// Full results for the steps completed before the stall.
+        done: Vec<RankResult>,
+        /// Best-effort result for the failed step.
+        partial: Option<RankResult>,
+        /// The peers declared dead.
+        dead: Vec<u32>,
+    },
+}
+
+/// Streams one step's halo values, element shipments, and `Done`
+/// trailers — the exact send sequence of the barrier executor's
+/// `run_rank`, with every message tagged `step: s` and sequence numbers
+/// restarting per step so injected fates match the barrier schedule
+/// message for message. Returns `false` if the fault plan killed the
+/// rank mid-step (trailers are all-or-nothing: a dead rank announces
+/// nothing).
+#[allow(clippy::too_many_arguments)]
+fn send_step<F: GlobalFilter<3> + Sync>(
+    me: u32,
+    r: usize,
+    s: usize,
+    input: &StepInput<'_, F>,
+    fault: &FaultInjector,
+    mut st: Option<&mut ChaosState>,
+    txs: &[Sender<Msg>],
+    stats: &mut StepSend,
+) -> bool {
+    let rec = &input.recorder;
+    let plan = &input.decomposition.ranks[r];
+    let mut payload_sends = 0u64;
+
+    {
+        let _span = rec.span("exec.halo").attr("rank", me).attr("step", s);
+        for (dest, nodes) in &plan.send_halo {
+            if fault.should_kill(me, payload_sends) {
+                rec.add("fault.killed_ranks", 1);
+                return false;
+            }
+            let dest = *dest as usize;
+            let values: Vec<_> = nodes.iter().map(|&n| (n, input.positions[n as usize])).collect();
+            stats.halo_sent[dest] += values.len() as u64;
+            stats.halo_msgs += 1;
+            rec.record("exec.halo_msg_nodes", values.len() as u64);
+            let msg = Msg::Halo { from: me, step: s as u32, seq: stats.sent_to[dest], values };
+            stats.sent_to[dest] += 1;
+            payload_sends += 1;
+            match st.as_deref_mut() {
+                None => {
+                    let _ = txs[dest].send(msg);
+                }
+                Some(cs) => chaos_send(cs, txs, fault, rec, me, dest, msg),
+            }
+        }
+    }
+
+    {
+        let mut span = rec
+            .span("exec.ship")
+            .attr("rank", me)
+            .attr("step", s)
+            .attr("owned", plan.owned_surface.len());
+        let mut candidates = Vec::new();
+        for &e in &plan.owned_surface {
+            let el = &input.elements[e as usize];
+            debug_assert_eq!(el.owner, me);
+            input.filter.candidate_parts(&el.bbox.inflate(input.tolerance), &mut candidates);
+            for &dest in candidates.iter() {
+                if dest == me {
+                    continue;
+                }
+                if fault.should_kill(me, payload_sends) {
+                    rec.add("fault.killed_ranks", 1);
+                    return false;
+                }
+                let dest = dest as usize;
+                stats.shipments_sent[dest] += 1;
+                let msg = Msg::Element {
+                    from: me,
+                    step: s as u32,
+                    seq: stats.sent_to[dest],
+                    id: e,
+                    bbox: el.bbox,
+                    body: input.bodies[e as usize],
+                };
+                stats.sent_to[dest] += 1;
+                payload_sends += 1;
+                match st.as_deref_mut() {
+                    None => {
+                        let _ = txs[dest].send(msg);
+                    }
+                    Some(cs) => chaos_send(cs, txs, fault, rec, me, dest, msg),
+                }
+            }
+        }
+        if fault.should_kill(me, payload_sends) {
+            rec.add("fault.killed_ranks", 1);
+            return false;
+        }
+        if let Some(cs) = st.as_deref_mut() {
+            for (dest, slot) in cs.held.iter_mut().enumerate() {
+                if let Some(m) = slot.take() {
+                    let _ = txs[dest].send(m);
+                }
+            }
+        }
+        for (dest, tx) in txs.iter().enumerate() {
+            if dest != r {
+                let _ = tx.send(Msg::Done { from: me, step: s as u32, sent: stats.sent_to[dest] });
+                stats.done_msgs += 1;
+            }
+        }
+        if let Some(cs) = st {
+            for (dest, q) in cs.delayed.iter_mut().enumerate() {
+                for m in q.drain(..) {
+                    let _ = txs[dest].send(m);
+                }
+            }
+        }
+        span.set_attr("shipped", stats.shipments_sent.iter().sum::<u64>());
+    }
+    true
+}
+
+/// Routes one inbound message into the per-step state tables. Resend
+/// requests are only served for steps below `serve_below` (a zombie must
+/// not replay the step it died in — the barrier oracle's dead ranks send
+/// nothing either).
+#[allow(clippy::too_many_arguments)]
+fn dispatch<F: GlobalFilter<3> + Sync>(
+    msg: Msg,
+    me: u32,
+    steps: &[StepInput<'_, F>],
+    chaos: &mut [Option<ChaosState>],
+    recv: &mut [StepRecv],
+    completed_peers: &mut [bool],
+    txs: &[Sender<Msg>],
+    serve_below: usize,
+) {
+    let n = steps.len();
+    match msg {
+        Msg::Halo { from, step, seq, values } => {
+            let s = step as usize;
+            if s >= n {
+                return;
+            }
+            let rec = &steps[s].recorder;
+            let rs = &mut recv[s];
+            let fresh = match chaos[s] {
+                Some(_) => {
+                    if mark_new(&mut rs.seen[from as usize], seq) {
+                        rs.got[from as usize] += 1;
+                        true
+                    } else {
+                        rec.add("recovery.dup_dropped", 1);
+                        false
+                    }
+                }
+                None => true,
+            };
+            if fresh {
+                for (node, pos) in values {
+                    if steps[s].positions[node as usize] != pos {
+                        rs.ghost_mismatches += 1;
+                    }
+                }
+            }
+        }
+        Msg::Element { from, step, seq, id, bbox, body } => {
+            let s = step as usize;
+            if s >= n {
+                return;
+            }
+            let rec = &steps[s].recorder;
+            let rs = &mut recv[s];
+            let fresh = match chaos[s] {
+                Some(_) => {
+                    if mark_new(&mut rs.seen[from as usize], seq) {
+                        rs.got[from as usize] += 1;
+                        true
+                    } else {
+                        rec.add("recovery.dup_dropped", 1);
+                        false
+                    }
+                }
+                None => true,
+            };
+            if fresh {
+                rs.received.push((id, bbox, body));
+            }
+        }
+        Msg::Done { from, step, sent } => {
+            let s = step as usize;
+            if s >= n {
+                return;
+            }
+            let f = from as usize;
+            let rs = &mut recv[s];
+            if chaos[s].is_some() {
+                rs.exp[f] = Some(sent);
+                if rs.got[f] < sent {
+                    steps[s].recorder.add("recovery.resend_requests", 1);
+                    let _ = txs[f].send(Msg::Resend {
+                        from: me,
+                        step,
+                        seqs: missing_seqs(&rs.seen[f], sent),
+                    });
+                }
+            } else if !rs.done_from[f] {
+                rs.done_from[f] = true;
+                rs.done_count += 1;
+            }
+        }
+        Msg::Resend { from, step, seqs } => {
+            let s = step as usize;
+            if s >= serve_below {
+                return;
+            }
+            if let Some(cs) = chaos.get(s).and_then(|c| c.as_ref()) {
+                let f = from as usize;
+                for q in seqs {
+                    if let Some(m) = cs.history[f].get(q as usize) {
+                        steps[s].recorder.add("recovery.resent", 1);
+                        let _ = txs[f].send(m.clone());
+                    }
+                }
+            }
+        }
+        Msg::Complete { from } => {
+            completed_peers[from as usize] = true;
+        }
+    }
+}
+
+/// One rank's whole batch: the event loop over the two cursors.
+#[allow(clippy::too_many_arguments)]
+fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
+    r: usize,
+    k: usize,
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+    lookahead: usize,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+) -> BatchOutcome {
+    let me = r as u32;
+    let n = steps.len();
+    let rec0 = steps[0].recorder.clone();
+    rec0.set_lane(me);
+    let mut chaos: Vec<Option<ChaosState>> = faults
+        .iter()
+        .map(|f| if f.is_active() { Some(ChaosState::new(k)) } else { None })
+        .collect();
+    let mut recv: Vec<StepRecv> = (0..n).map(|_| StepRecv::new(k, r)).collect();
+    let mut send: Vec<StepSend> = (0..n).map(|_| StepSend::new(k)).collect();
+    let mut results: Vec<RankResult> = Vec::with_capacity(n);
+    let mut cache = SearchCache::new();
+    let mut completed_peers = vec![false; k];
+    completed_peers[r] = true;
+    let mut completed = 0usize;
+    let mut next_send = 0usize;
+    let mut killed: Option<usize> = None;
+    let mut retries_left = opts.retries;
+
+    loop {
+        // ---- Send while inside the lookahead window. ------------------
+        while killed.is_none() && next_send < n && next_send < completed + lookahead {
+            let s = next_send;
+            let ok =
+                send_step(me, r, s, &steps[s], &faults[s], chaos[s].as_mut(), &txs, &mut send[s]);
+            if !ok {
+                killed = Some(s);
+                break;
+            }
+            next_send += 1;
+            steps[s]
+                .recorder
+                .record("exec.overlap.steps_in_flight", (next_send - completed) as u64);
+        }
+
+        // ---- Search every step whose inputs have fully arrived. -------
+        // A step also needs this rank's *own* sends out before it can
+        // complete (`completed < next_send`): peers running ahead — or
+        // k = 1, where no inbound is ever pending — must not let the
+        // completion cursor overtake the send cursor, or the step would
+        // be recorded with its outbound traffic still unsent.
+        let cap = killed.unwrap_or(n);
+        let mut progressed = false;
+        while completed < cap
+            && completed < next_send
+            && recv[completed].data_complete(chaos[completed].is_some(), k)
+        {
+            let s = completed;
+            let input = &steps[s];
+            let rs = &recv[s];
+            input.recorder.record("exec.recv_elements", rs.received.len() as u64);
+            let plan = &input.decomposition.ranks[r];
+            let pairs = {
+                let _span = input
+                    .recorder
+                    .span("exec.search")
+                    .attr("rank", me)
+                    .attr("step", s)
+                    .attr("owned", plan.owned_surface.len())
+                    .attr("received", rs.received.len());
+                search_rank(plan, input, &rs.received, Some(&mut cache))
+            };
+            let sd = &send[s];
+            results.push(RankResult {
+                pairs,
+                halo_sent: sd.halo_sent.clone(),
+                shipments_sent: sd.shipments_sent.clone(),
+                halo_msgs: sd.halo_msgs,
+                done_msgs: sd.done_msgs,
+                ghost_mismatches: rs.ghost_mismatches,
+            });
+            completed += 1;
+            progressed = true;
+            retries_left = opts.retries;
+            input.recorder.record("exec.overlap.steps_in_flight", (next_send - completed) as u64);
+        }
+        if progressed {
+            // Completing a step widens the send window; re-check it
+            // before blocking on the inbox.
+            continue;
+        }
+
+        // ---- Batch finished: run the chaos completion round. ----------
+        if killed.is_none() && completed == n {
+            if chaos.iter().any(|c| c.is_some()) {
+                for (dest, tx) in txs.iter().enumerate() {
+                    if dest != r {
+                        let _ = tx.send(Msg::Complete { from: me });
+                    }
+                }
+                while !completed_peers.iter().all(|&c| c) {
+                    match recv_or_idle(&rec0, &rx, opts.timeout) {
+                        Ok(msg) => dispatch(
+                            msg,
+                            me,
+                            steps,
+                            &mut chaos,
+                            &mut recv,
+                            &mut completed_peers,
+                            &txs,
+                            n,
+                        ),
+                        Err(RecvTimeoutError::Timeout) if retries_left > 0 => {
+                            retries_left -= 1;
+                            rec0.add("recovery.retries", 1);
+                        }
+                        Err(_) => {
+                            // Data-satisfied but the completion round
+                            // stalled: the uncompleted peers are the ones
+                            // in trouble, and the last step cannot commit.
+                            let dead: Vec<u32> =
+                                (0..k).filter(|&p| !completed_peers[p]).map(|p| p as u32).collect();
+                            let partial = results.pop();
+                            return BatchOutcome::Lost { done: results, partial, dead };
+                        }
+                    }
+                }
+            }
+            return BatchOutcome::Completed(results);
+        }
+
+        // ---- Zombie: killed and every earlier step is finished. -------
+        if killed == Some(completed) {
+            // Survivors may still need this rank's history to repair the
+            // steps that will commit; serve them until they finish (or
+            // declare us dead and hang up).
+            let mut patience = opts.retries + 1;
+            loop {
+                match recv_or_idle(&rec0, &rx, opts.timeout) {
+                    Ok(msg) => dispatch(
+                        msg,
+                        me,
+                        steps,
+                        &mut chaos,
+                        &mut recv,
+                        &mut completed_peers,
+                        &txs,
+                        completed,
+                    ),
+                    Err(RecvTimeoutError::Timeout) if patience > 0 => patience -= 1,
+                    Err(_) => return BatchOutcome::Dead { done: results },
+                }
+            }
+        }
+
+        // ---- Block on the inbox. --------------------------------------
+        let serve_below = killed.unwrap_or(n);
+        match recv_or_idle(&rec0, &rx, opts.timeout) {
+            Ok(msg) => dispatch(
+                msg,
+                me,
+                steps,
+                &mut chaos,
+                &mut recv,
+                &mut completed_peers,
+                &txs,
+                serve_below,
+            ),
+            Err(RecvTimeoutError::Disconnected) => {
+                if killed.is_some() {
+                    return BatchOutcome::Dead { done: results };
+                }
+                return lose_step(
+                    r,
+                    k,
+                    steps,
+                    &chaos,
+                    &recv,
+                    &send,
+                    &completed_peers,
+                    completed,
+                    results,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if retries_left == 0 {
+                    if killed.is_some() {
+                        return BatchOutcome::Dead { done: results };
+                    }
+                    return lose_step(
+                        r,
+                        k,
+                        steps,
+                        &chaos,
+                        &recv,
+                        &send,
+                        &completed_peers,
+                        completed,
+                        results,
+                    );
+                }
+                retries_left -= 1;
+                rec0.add("recovery.retries", 1);
+                // Repair round: re-request every known gap of every step
+                // still in flight.
+                for s in completed..next_send {
+                    if chaos[s].is_none() {
+                        continue;
+                    }
+                    let rs = &recv[s];
+                    for (p, tx) in txs.iter().enumerate() {
+                        if p == r {
+                            continue;
+                        }
+                        if let Some(e) = rs.exp[p] {
+                            if rs.got[p] < e {
+                                steps[s].recorder.add("recovery.resend_requests", 1);
+                                let _ = tx.send(Msg::Resend {
+                                    from: me,
+                                    step: s as u32,
+                                    seqs: missing_seqs(&rs.seen[p], e),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the `Lost` outcome for a rank stalled at `completed`: names
+/// the unaccounted peers and salvages a best-effort result for the
+/// failed step from whatever did arrive (the barrier executor's `Lost`
+/// partial, per step).
+#[allow(clippy::too_many_arguments)]
+fn lose_step<F: GlobalFilter<3> + Sync>(
+    r: usize,
+    k: usize,
+    steps: &[StepInput<'_, F>],
+    chaos: &[Option<ChaosState>],
+    recv: &[StepRecv],
+    send: &[StepSend],
+    completed_peers: &[bool],
+    completed: usize,
+    results: Vec<RankResult>,
+) -> BatchOutcome {
+    let s = completed;
+    if s >= steps.len() {
+        // Cannot happen (the completion round handles `completed == n`),
+        // but stay total: blame the peers that never completed.
+        let dead = (0..k).filter(|&p| !completed_peers[p]).map(|p| p as u32).collect();
+        return BatchOutcome::Lost { done: results, partial: None, dead };
+    }
+    let mut dead = recv[s].unaccounted(chaos[s].is_some(), k);
+    if dead.is_empty() {
+        dead = (0..k).filter(|&p| !completed_peers[p]).map(|p| p as u32).collect();
+    }
+    let input = &steps[s];
+    let pairs = search_rank(&input.decomposition.ranks[r], input, &recv[s].received, None);
+    let sd = &send[s];
+    let partial = RankResult {
+        pairs,
+        halo_sent: sd.halo_sent.clone(),
+        shipments_sent: sd.shipments_sent.clone(),
+        halo_msgs: sd.halo_msgs,
+        done_msgs: sd.done_msgs,
+        ghost_mismatches: recv[s].ghost_mismatches,
+    };
+    BatchOutcome::Lost { done: results, partial: Some(partial), dead }
+}
+
+/// Executes a batch of steps with default options (pipelined schedule,
+/// no fault injection).
+pub fn execute_steps<F: GlobalFilter<3> + Sync>(
+    steps: &[StepInput<'_, F>],
+) -> Result<Vec<StepOutput>, BatchError> {
+    execute_steps_with(steps, &[], &ExecOptions::default())
+}
+
+/// Executes a batch of steps under `opts`, with an optional per-step
+/// fault injector (`faults` must be empty — no injection — or one
+/// injector per step).
+///
+/// With [`Schedule::Pipelined`] the whole batch runs on `k` persistent
+/// rank threads with bounded-lookahead overlap (see the module docs);
+/// with [`Schedule::Barrier`] — or when the steps disagree on `k`, which
+/// a driver batch never does — it degrades to a sequential
+/// [`execute_step_with`] loop, the oracle the pipelined schedule is
+/// tested bit-identical against.
+///
+/// Errors carry the committed prefix: [`BatchError::completed`] holds
+/// the outputs of every step all ranks finished before the failure, and
+/// [`BatchError::error`] is the same [`RuntimeError`] the single-step
+/// executor reports for the failed step, so recovery (repartition over
+/// survivors, re-execute) is unchanged.
+pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+) -> Result<Vec<StepOutput>, BatchError> {
+    let n = steps.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    debug_assert!(
+        faults.is_empty() || faults.len() == n,
+        "faults must be empty or one injector per step"
+    );
+    let filler: Vec<FaultInjector>;
+    let faults: &[FaultInjector] = if faults.len() == n {
+        faults
+    } else {
+        filler = vec![FaultInjector::none(); n];
+        &filler
+    };
+
+    let k = steps[0].decomposition.k;
+    let uniform = steps.iter().all(|s| s.decomposition.k == k);
+    let lookahead = match opts.schedule {
+        Schedule::Pipelined { lookahead } if uniform => lookahead.max(1),
+        _ => 0,
+    };
+    if lookahead == 0 {
+        return barrier_batch(steps, faults, opts);
+    }
+
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
+    let joined: Vec<std::thread::Result<BatchOutcome>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
+            #[allow(clippy::needless_range_loop)] // r is the rank id
+            for r in 0..k {
+                let txs = txs.clone();
+                let rx = rxs[r].clone();
+                handles.push(scope.spawn(move || {
+                    run_rank_pipelined(r, k, steps, faults, opts, lookahead, txs, rx)
+                }));
+            }
+            drop(txs);
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+    let mut killed: Vec<u32> = Vec::new();
+    let mut declared: Vec<u32> = Vec::new();
+    let mut done: Vec<std::vec::IntoIter<RankResult>> = Vec::with_capacity(k);
+    let mut partials: Vec<Option<RankResult>> = Vec::with_capacity(k);
+    let mut commit = n;
+    for (r, outcome) in joined.into_iter().enumerate() {
+        match outcome {
+            Err(_) => {
+                // A panicked rank's results are unrecoverable, so nothing
+                // in the batch can be trusted to have all k contributions.
+                return Err(BatchError {
+                    completed: Vec::new(),
+                    failed_step: 0,
+                    error: RuntimeError::RankPanicked { rank: r as u32 },
+                });
+            }
+            Ok(BatchOutcome::Completed(res)) => {
+                commit = commit.min(res.len());
+                done.push(res.into_iter());
+                partials.push(None);
+            }
+            Ok(BatchOutcome::Dead { done: res }) => {
+                killed.push(r as u32);
+                commit = commit.min(res.len());
+                done.push(res.into_iter());
+                partials.push(None);
+            }
+            Ok(BatchOutcome::Lost { done: res, partial, dead }) => {
+                declared.extend(dead);
+                commit = commit.min(res.len());
+                done.push(res.into_iter());
+                partials.push(partial);
+            }
+        }
+    }
+
+    // Commit the prefix every rank finished: these steps aggregate all k
+    // ranks, so their outputs are bit-identical to the barrier schedule.
+    let mut outputs = Vec::with_capacity(commit);
+    for step in steps.iter().take(commit) {
+        let step_results: Vec<Option<RankResult>> = done.iter_mut().map(|it| it.next()).collect();
+        let out = aggregate(k, step_results);
+        step.recorder.add("traffic.halo_units", out.traffic.phases.halo_units);
+        step.recorder.add("traffic.shipment_units", out.traffic.phases.ship_msgs);
+        outputs.push(out);
+    }
+    if killed.is_empty() && declared.is_empty() {
+        return Ok(outputs);
+    }
+
+    // Ranks the plan actually killed are authoritative; survivors' timeout
+    // verdicts only stand in when no rank observed its own death (same
+    // precedence as the barrier executor).
+    let mut dead = killed;
+    if dead.is_empty() {
+        declared.sort_unstable();
+        declared.dedup();
+        dead = declared;
+    }
+    dead.sort_unstable();
+    dead.dedup();
+    // Salvage a partial output for the failed step from whatever each
+    // rank has: a rank that progressed past `commit` contributes its full
+    // result, a stalled rank its partial, a dead rank nothing.
+    let salvage: Vec<Option<RankResult>> = done
+        .iter_mut()
+        .zip(partials.iter_mut())
+        .map(|(it, p)| it.next().or_else(|| p.take()))
+        .collect();
+    let partial = aggregate(k, salvage);
+    steps[commit].recorder.add("recovery.rank_dead", dead.len() as u64);
+    Err(BatchError {
+        completed: outputs,
+        failed_step: commit,
+        error: RuntimeError::RankLost { dead, partial: Box::new(partial) },
+    })
+}
+
+/// The barrier oracle: one [`execute_step_with`] per step, substituting
+/// the per-step injector.
+fn barrier_batch<F: GlobalFilter<3> + Sync>(
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+) -> Result<Vec<StepOutput>, BatchError> {
+    let mut outputs = Vec::with_capacity(steps.len());
+    for (s, input) in steps.iter().enumerate() {
+        let step_opts = ExecOptions { fault: faults[s].clone(), ..opts.clone() };
+        match execute_step_with(input, &step_opts) {
+            Ok(out) => outputs.push(out),
+            Err(error) => {
+                return Err(BatchError { completed: outputs, failed_step: s, error });
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, KillSpec};
+    use crate::plan::{build_decomposition, Decomposition};
+    use cip_contact::{BboxFilter, SurfaceElementInfo};
+    use cip_geom::{Aabb, Point};
+    use cip_graph::GraphBuilder;
+    use cip_telemetry::Recorder;
+    use std::time::Duration;
+
+    /// Owned data for an `n_steps`-step batch over a 1D chain of nodes
+    /// split across `k` ranks, with the surface boxes drifting a little
+    /// each step so every step's traffic differs.
+    struct Scenario {
+        decomposition: Decomposition,
+        positions: Vec<Vec<Point<3>>>,
+        elements: Vec<Vec<SurfaceElementInfo<3>>>,
+        bodies: Vec<u16>,
+        filters: Vec<BboxFilter<3>>,
+    }
+
+    fn chain_scenario(k: usize, n_steps: usize) -> Scenario {
+        let n = 16usize;
+        let mut b = GraphBuilder::new(n, 1);
+        for v in 0..n as u32 {
+            b.set_vwgt(v, &[1]);
+        }
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        let asg: Vec<u32> = (0..n).map(|v| (v * k / n) as u32).collect();
+        let owners = asg.clone();
+        let nov: Vec<u32> = (0..n as u32).collect();
+        let d = build_decomposition(&g, &nov, &asg, &owners, k);
+
+        let bodies: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let mut positions = Vec::new();
+        let mut elements = Vec::new();
+        let mut filters = Vec::new();
+        for s in 0..n_steps {
+            let drift = s as f64 * 0.07;
+            let pos: Vec<Point<3>> =
+                (0..n).map(|i| Point::new([i as f64 + drift, 0.0, 0.0])).collect();
+            let els: Vec<SurfaceElementInfo<3>> = (0..n)
+                .map(|i| SurfaceElementInfo {
+                    bbox: Aabb::new(
+                        Point::new([i as f64 + drift, 0.0, 0.0]),
+                        Point::new([i as f64 + drift + 1.0, 1.0, 1.0]),
+                    ),
+                    owner: asg[i],
+                })
+                .collect();
+            let boxes: Vec<(u32, Aabb<3>)> = els.iter().map(|e| (e.owner, e.bbox)).collect();
+            filters.push(BboxFilter::from_boxes(&boxes, k));
+            positions.push(pos);
+            elements.push(els);
+        }
+        Scenario { decomposition: d, positions, elements, bodies, filters }
+    }
+
+    fn inputs<'a>(sc: &'a Scenario, rec: &Recorder) -> Vec<StepInput<'a, BboxFilter<3>>> {
+        (0..sc.positions.len())
+            .map(|s| StepInput {
+                decomposition: &sc.decomposition,
+                positions: &sc.positions[s],
+                elements: &sc.elements[s],
+                bodies: &sc.bodies,
+                filter: &sc.filters[s],
+                tolerance: 0.2,
+                recorder: rec.clone(),
+            })
+            .collect()
+    }
+
+    fn opts_with(schedule: Schedule) -> ExecOptions {
+        ExecOptions {
+            timeout: Duration::from_millis(500),
+            retries: 2,
+            schedule,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_batch_is_bit_identical_to_barrier() {
+        for k in [1usize, 2, 4] {
+            let sc = chain_scenario(k, 5);
+            let rec = Recorder::disabled();
+            let steps = inputs(&sc, &rec);
+            let barrier = execute_steps_with(&steps, &[], &opts_with(Schedule::Barrier))
+                .expect("barrier batch executes");
+            for lookahead in [1usize, 2, 3] {
+                let piped =
+                    execute_steps_with(&steps, &[], &opts_with(Schedule::Pipelined { lookahead }))
+                        .expect("pipelined batch executes");
+                assert_eq!(piped, barrier, "k={k} lookahead={lookahead}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let steps: Vec<StepInput<'_, BboxFilter<3>>> = Vec::new();
+        assert!(execute_steps(&steps).expect("empty batch").is_empty());
+    }
+
+    #[test]
+    fn chaos_batch_matches_barrier_and_repairs_faults() {
+        let sc = chain_scenario(2, 4);
+        let rec = Recorder::disabled();
+        let steps = inputs(&sc, &rec);
+        for seed in [7u64, 21, 1337] {
+            let base = FaultPlan {
+                drop_permille: 200,
+                dup_permille: 100,
+                delay_permille: 100,
+                reorder_permille: 100,
+                ..FaultPlan::quiet(seed)
+            };
+            let faults: Vec<FaultInjector> =
+                (0..4).map(|s| FaultInjector::with_plan(base.for_step(s))).collect();
+            let barrier = execute_steps_with(&steps, &faults, &opts_with(Schedule::Barrier))
+                .expect("barrier chaos batch repairs");
+            let piped = execute_steps_with(&steps, &faults, &opts_with(Schedule::pipelined()))
+                .expect("pipelined chaos batch repairs");
+            assert_eq!(piped, barrier, "seed {seed}");
+            for out in &piped {
+                assert_eq!(out.ghost_mismatches, 0, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn kill_mid_batch_commits_the_prefix_and_reports_rank_lost() {
+        let sc = chain_scenario(2, 4);
+        let rec = Recorder::enabled();
+        let steps = inputs(&sc, &rec);
+        // Rank 1 dies during step 2's sends; steps 0 and 1 must commit.
+        let faults: Vec<FaultInjector> = (0..4)
+            .map(|s| {
+                if s == 2 {
+                    FaultInjector::with_plan(FaultPlan {
+                        kill: Some(KillSpec { rank: 1, after_sends: 0 }),
+                        ..FaultPlan::quiet(5)
+                    })
+                } else {
+                    FaultInjector::none()
+                }
+            })
+            .collect();
+        let opts = ExecOptions {
+            timeout: Duration::from_millis(100),
+            retries: 1,
+            schedule: Schedule::pipelined(),
+            ..ExecOptions::default()
+        };
+        let err = execute_steps_with(&steps, &faults, &opts)
+            .expect_err("a killed rank must fail the batch");
+        assert_eq!(err.failed_step, 2);
+        assert_eq!(err.completed.len(), 2);
+        match &err.error {
+            RuntimeError::RankLost { dead, partial } => {
+                assert_eq!(dead, &vec![1]);
+                assert_eq!(partial.traffic.sent_by(1), (0, 0), "dead rank contributes nothing");
+            }
+            other => panic!("expected RankLost, got {other}"),
+        }
+        // The committed steps match a clean barrier run of the same prefix.
+        let clean = execute_steps_with(&steps[..2], &[], &opts_with(Schedule::Barrier))
+            .expect("clean prefix executes");
+        assert_eq!(err.completed, clean);
+        assert_eq!(rec.counter_value("fault.killed_ranks"), 1);
+        assert_eq!(rec.counter_value("recovery.rank_dead"), 1);
+    }
+
+    #[test]
+    fn overlap_gauge_and_idle_spans_are_recorded() {
+        let sc = chain_scenario(2, 4);
+        let rec = Recorder::enabled();
+        let steps = inputs(&sc, &rec);
+        let out = execute_steps_with(&steps, &[], &opts_with(Schedule::pipelined()))
+            .expect("pipelined batch executes");
+        assert_eq!(out.len(), 4);
+        let summary = rec.summary().expect("recorder is enabled");
+        let gauge =
+            summary.histogram("exec.overlap.steps_in_flight").expect("overlap gauge recorded");
+        assert!(gauge.count >= 8, "one sample per send and per completion");
+        // Counters mirror the per-step traffic logs.
+        let halo: u64 = out.iter().map(|o| o.traffic.total_halo()).sum();
+        assert_eq!(rec.counter_value("traffic.halo_units"), halo);
+    }
+
+    #[test]
+    fn mismatched_rank_counts_fall_back_to_the_barrier_loop() {
+        let a = chain_scenario(2, 1);
+        let b = chain_scenario(4, 1);
+        let rec = Recorder::disabled();
+        let mut steps = inputs(&a, &rec);
+        steps.extend(inputs(&b, &rec));
+        let out = execute_steps_with(&steps, &[], &opts_with(Schedule::pipelined()))
+            .expect("mixed-k batch executes via the barrier fallback");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].traffic.k, 2);
+        assert_eq!(out[1].traffic.k, 4);
+    }
+}

@@ -20,13 +20,15 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> no panics on the runtime step hot path"
-# The executor must fail with typed RuntimeError values, never panic:
-# scan the non-test portion (everything before #[cfg(test)]) of exec.rs.
-hot_path="crates/runtime/src/exec.rs"
-if sed '/#\[cfg(test)\]/q' "$hot_path" \
-    | grep -nE '\.unwrap\(\)|\.expect\(|panic!'; then
-  echo "verify: FAIL — unwrap/expect/panic on the runtime step hot path"
-  exit 1
-fi
+# The executors must fail with typed RuntimeError values, never panic:
+# scan the non-test portion (everything before #[cfg(test)]) of the
+# barrier executor and the pipelined batch executor.
+for hot_path in crates/runtime/src/exec.rs crates/runtime/src/pipeline.rs; do
+  if sed '/#\[cfg(test)\]/q' "$hot_path" \
+      | grep -nE '\.unwrap\(\)|\.expect\(|panic!'; then
+    echo "verify: FAIL — unwrap/expect/panic on the runtime step hot path ($hot_path)"
+    exit 1
+  fi
+done
 
 echo "verify: OK"

@@ -26,6 +26,7 @@
 //! ```
 
 use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions};
+use cip_runtime::Schedule;
 
 struct Args {
     opts: TraceOptions,
@@ -82,12 +83,16 @@ fn parse_args() -> Args {
                 args.opts.chaos.get_or_insert_with(ChaosOptions::default).kill = Some((step, rank));
                 i += 2;
             }
+            "--schedule" if i + 1 < argv.len() => {
+                args.opts.schedule = parse_schedule(&argv[i + 1]);
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
                      blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
                      [--period N | --no-repart] [--chaos SEED] [--kill STEP:RANK] \
-                     [--out DIR]"
+                     [--schedule barrier|pipelined[:LOOKAHEAD]] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -98,6 +103,21 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Parses `barrier`, `pipelined`, or `pipelined:N` (N = lookahead).
+fn parse_schedule(spec: &str) -> Schedule {
+    match spec {
+        "barrier" => Schedule::Barrier,
+        "pipelined" => Schedule::pipelined(),
+        other => match other.strip_prefix("pipelined:").and_then(|n| n.parse().ok()) {
+            Some(lookahead) => Schedule::Pipelined { lookahead },
+            None => {
+                eprintln!("--schedule takes barrier or pipelined[:LOOKAHEAD], got '{spec}'");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn main() {

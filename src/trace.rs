@@ -17,8 +17,8 @@ use cip_partition::{
     compact_parts_after_loss, diffusion_repartition, partition_kway, PartitionerConfig,
 };
 use cip_runtime::{
-    build_decomposition, build_migration_recorded, execute_step_with, ExecOptions, FaultInjector,
-    FaultPlan, KillSpec, RuntimeError, StepInput,
+    build_decomposition, build_migration_recorded, execute_steps_with, BatchError, Decomposition,
+    ExecOptions, FaultInjector, FaultPlan, KillSpec, RuntimeError, Schedule, StepInput,
 };
 use cip_sim::{scenarios, SimConfig};
 use cip_telemetry::{export::Summary, Recorder};
@@ -78,6 +78,11 @@ pub struct TraceOptions {
     pub repartition_period: Option<usize>,
     /// Fault injection (`None` = clean run).
     pub chaos: Option<ChaosOptions>,
+    /// Step schedule: [`Schedule::pipelined`] (the default) batches the
+    /// steps between repartition barriers onto persistent rank threads
+    /// with cross-step overlap; [`Schedule::Barrier`] is the one-step-
+    /// at-a-time oracle.
+    pub schedule: Schedule,
 }
 
 impl Default for TraceOptions {
@@ -89,6 +94,7 @@ impl Default for TraceOptions {
             seed: 1,
             repartition_period: Some(10),
             chaos: None,
+            schedule: Schedule::pipelined(),
         }
     }
 }
@@ -238,14 +244,22 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
         rank_losses: 0,
     };
 
-    for i in 0..sim.len() {
-        let mut step_span = rec.span("trace.step").attr("step", i);
-        let view = SnapshotView::build(&sim, i, 5);
-
+    // Faults apply to the first attempt of a step only — the recovery
+    // re-execution runs clean (the injected fate stream of a step is
+    // considered "spent" once its failure has been handled).
+    let mut spent = vec![false; sim.len()];
+    // Guard so a repartition boundary fires once per step index even when
+    // a failed batch resumes exactly at that boundary.
+    let mut last_periodic = usize::MAX;
+    let mut i = 0usize;
+    while i < sim.len() {
         // §4.3 hybrid policy: periodic diffusion repartition + executed
-        // migration.
+        // migration. Repartition boundaries are full barriers — batches
+        // never span one.
         if let Some(period) = opts.repartition_period {
-            if i > 0 && i % period == 0 && live_k >= 2 {
+            if i > 0 && i.is_multiple_of(period) && live_k >= 2 && last_periodic != i {
+                last_periodic = i;
+                let view = SnapshotView::build(&sim, i, 5);
                 let old: Vec<u32> =
                     view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
                 let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
@@ -264,11 +278,25 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
             }
         }
 
-        // Faults apply to the first attempt of a step only — the recovery
-        // re-execution runs clean (the injected fate stream of a step is
-        // considered "spent" once its failure has been handled).
-        let mut fault = step_fault(&opts.chaos, i, live_k);
-        loop {
+        // Batch every step up to the next repartition boundary (capped at
+        // MAX_BATCH so the per-batch state stays small), prepare their
+        // inputs, and hand the whole stretch to the batch executor.
+        let mut end = (i + MAX_BATCH).min(sim.len());
+        if let Some(period) = opts.repartition_period {
+            if let Some(cur) = i.checked_div(period) {
+                end = end.min((cur + 1) * period);
+            }
+        }
+
+        // Per-step prep: decomposition views and the search-tree chain
+        // (fresh induction when no tree carries over, incremental refresh
+        // otherwise). All of this is executor-independent, so it can be
+        // staged for the whole batch before any rank thread starts.
+        let mut prepped: Vec<PreparedStep> = Vec::with_capacity(end - i);
+        let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - i);
+        for j in i..end {
+            let _step_span = rec.span("trace.step").attr("step", j);
+            let view = SnapshotView::build(&sim, j, 5);
             let asg_now: Vec<u32> =
                 view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
             let elements = view.surface_elements(&node_parts);
@@ -281,91 +309,122 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 &owners,
                 live_k,
             );
-
-            // Search tree: fresh induction on the first step (and after
-            // repartitions and rank losses), incremental refresh otherwise.
             let labels = view.contact.labels_from_node_parts(&node_parts);
-            let new_tree = match &tree {
+            let new_tree = match trees.last().or(tree.as_ref()) {
                 None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
                 Some(t) => {
                     refresh_recorded(t, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
                 }
             };
-            let filter = DtreeFilter::new(&new_tree, live_k);
+            trees.push(new_tree);
+            prepped.push(PreparedStep { view, elements, bodies, decomposition });
+        }
 
-            let exec_opts = exec_options(&opts.chaos, fault.clone());
-            match execute_step_with(
-                &StepInput {
-                    decomposition: &decomposition,
-                    positions: &view.mesh.points,
-                    elements: &elements,
-                    bodies: &bodies,
-                    filter: &filter,
-                    tolerance: 0.4,
-                    recorder: rec.clone(),
-                },
-                &exec_opts,
-            ) {
-                Ok(out) => {
-                    assert_eq!(
-                        out.ghost_mismatches, 0,
-                        "step {i}: halo exchange delivered stale ghosts"
-                    );
-                    report.halo += out.traffic.total_halo();
-                    report.shipments += out.traffic.total_shipments();
-                    report.contact_pairs += out.contact_pairs.len() as u64;
-                    step_span.set_attr("halo", out.traffic.total_halo());
-                    step_span.set_attr("shipments", out.traffic.total_shipments());
-                    step_span.set_attr("pairs", out.contact_pairs.len());
-                    tree = Some(new_tree);
-                    break;
-                }
-                Err(err) => {
-                    let dead = match err {
-                        RuntimeError::RankLost { dead, .. } => dead,
-                        RuntimeError::RankPanicked { rank } => vec![rank],
-                    };
-                    let mut span = rec.span("recovery.repartition").attr("step", i);
-                    span.set_attr("dead", dead.len());
-                    report.rank_losses += dead.len();
-                    live_k = compact_parts_after_loss(&mut node_parts, live_k, &dead);
-                    if live_k >= 2 {
-                        let old: Vec<u32> = view
-                            .graph2
-                            .node_of_vertex
-                            .iter()
-                            .map(|&n| node_parts[n as usize])
-                            .collect();
-                        let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
-                        let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
-                        let plan =
-                            build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
-                        report.migrated += plan.total_moved();
-                        report.repartitions += 1;
-                        for (n, &p) in new_node_parts.iter().enumerate() {
-                            if p != u32::MAX {
-                                node_parts[n] = p;
-                            }
-                        }
+        let filters: Vec<DtreeFilter<'_, 3>> =
+            trees.iter().map(|t| DtreeFilter::new(t, live_k)).collect();
+        let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
+            .iter()
+            .zip(filters.iter())
+            .map(|(p, filter)| StepInput {
+                decomposition: &p.decomposition,
+                positions: &p.view.mesh.points,
+                elements: &p.elements,
+                bodies: &p.bodies,
+                filter,
+                tolerance: 0.4,
+                recorder: rec.clone(),
+            })
+            .collect();
+        let faults: Vec<FaultInjector> =
+            (i..end)
+                .map(|j| {
+                    if spent[j] {
+                        FaultInjector::none()
                     } else {
-                        // Fewer than two survivors: collapse to a single
-                        // rank — the executor degenerates to the serial
-                        // contact search with no messages.
-                        live_k = 1;
-                        for p in node_parts.iter_mut() {
-                            if *p != u32::MAX {
-                                *p = 0;
-                            }
-                        }
-                        rec.add("recovery.serial_fallback", 1);
+                        step_fault(&opts.chaos, j, live_k)
                     }
-                    tree = None;
-                    fault = FaultInjector::none();
+                })
+                .collect();
+        let exec_opts = exec_options(&opts.chaos, opts.schedule);
+
+        match execute_steps_with(&inputs, &faults, &exec_opts) {
+            Ok(outs) => {
+                for (off, out) in outs.iter().enumerate() {
+                    commit_step(&mut report, i + off, out);
                 }
+                tree = trees.pop();
+                i = end;
+            }
+            Err(BatchError { completed, failed_step, error }) => {
+                for (off, out) in completed.iter().enumerate() {
+                    commit_step(&mut report, i + off, out);
+                }
+                let failed = i + failed_step;
+                let dead = match error {
+                    RuntimeError::RankLost { dead, .. } => dead,
+                    RuntimeError::RankPanicked { rank } => vec![rank],
+                };
+                let mut span = rec.span("recovery.repartition").attr("step", failed);
+                span.set_attr("dead", dead.len());
+                report.rank_losses += dead.len();
+                live_k = compact_parts_after_loss(&mut node_parts, live_k, &dead);
+                let view = &prepped[failed_step].view;
+                if live_k >= 2 {
+                    let old: Vec<u32> = view
+                        .graph2
+                        .node_of_vertex
+                        .iter()
+                        .map(|&n| node_parts[n as usize])
+                        .collect();
+                    let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
+                    let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
+                    let plan = build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
+                    report.migrated += plan.total_moved();
+                    report.repartitions += 1;
+                    for (n, &p) in new_node_parts.iter().enumerate() {
+                        if p != u32::MAX {
+                            node_parts[n] = p;
+                        }
+                    }
+                } else {
+                    // Fewer than two survivors: collapse to a single
+                    // rank — the executor degenerates to the serial
+                    // contact search with no messages.
+                    live_k = 1;
+                    for p in node_parts.iter_mut() {
+                        if *p != u32::MAX {
+                            *p = 0;
+                        }
+                    }
+                    rec.add("recovery.serial_fallback", 1);
+                }
+                tree = None;
+                spent[failed] = true;
+                i = failed;
             }
         }
     }
     Ok(report)
+}
+
+/// The longest stretch of steps one batch may cover (repartition
+/// boundaries cut batches shorter).
+const MAX_BATCH: usize = 8;
+
+/// Owned per-step inputs staged for one batch.
+struct PreparedStep {
+    view: SnapshotView,
+    elements: Vec<cip_contact::SurfaceElementInfo<3>>,
+    bodies: Vec<u16>,
+    decomposition: Decomposition,
+}
+
+/// Folds one committed step's output into the report.
+fn commit_step(report: &mut TraceReport, step: usize, out: &cip_runtime::StepOutput) {
+    assert_eq!(out.ghost_mismatches, 0, "step {step}: halo exchange delivered stale ghosts");
+    report.halo += out.traffic.total_halo();
+    report.shipments += out.traffic.total_shipments();
+    report.contact_pairs += out.contact_pairs.len() as u64;
 }
 
 /// The per-step fault injector of a chaos run (disabled outside chaos
@@ -391,14 +450,18 @@ fn step_fault(chaos: &Option<ChaosOptions>, step: usize, live_k: usize) -> Fault
     FaultInjector::with_plan(plan)
 }
 
-/// Executor options for one step attempt: chaos runs get the configured
-/// loss-detection budget, clean runs the defaults.
-fn exec_options(chaos: &Option<ChaosOptions>, fault: FaultInjector) -> ExecOptions {
+/// Executor options for one batch: chaos runs get the configured
+/// loss-detection budget, clean runs the defaults. Per-step injectors
+/// travel separately through [`execute_steps_with`]'s `faults` slice.
+fn exec_options(chaos: &Option<ChaosOptions>, schedule: Schedule) -> ExecOptions {
     match chaos {
-        None => ExecOptions { fault, ..ExecOptions::default() },
-        Some(c) => {
-            ExecOptions { timeout: Duration::from_millis(c.timeout_ms), retries: c.retries, fault }
-        }
+        None => ExecOptions { schedule, ..ExecOptions::default() },
+        Some(c) => ExecOptions {
+            timeout: Duration::from_millis(c.timeout_ms),
+            retries: c.retries,
+            schedule,
+            ..ExecOptions::default()
+        },
     }
 }
 
@@ -415,6 +478,7 @@ mod tests {
             seed: 7,
             repartition_period: Some(2),
             chaos: None,
+            ..TraceOptions::default()
         })
         .expect("tiny scenario runs")
     }
@@ -445,11 +509,34 @@ mod tests {
             assert!(trace.contains(&format!("\"rank {rank}\"")), "missing lane for rank {rank}");
         }
         assert!(trace.contains("\"driver\""), "missing the driver lane label");
-        for name in
-            ["exec.halo", "exec.ship", "exec.drain", "exec.search", "dtree.induce", "trace.step"]
-        {
+        // No `exec.drain`: the pipelined default has no drain phase — a
+        // rank searches as soon as its own inputs arrive.
+        for name in ["exec.halo", "exec.ship", "exec.search", "dtree.induce", "trace.step"] {
             assert!(trace.contains(&format!("\"name\":\"{name}\"")), "missing span {name}");
         }
+    }
+
+    #[test]
+    fn barrier_and_pipelined_schedules_agree_end_to_end() {
+        let base = TraceOptions {
+            scenario: "tiny".to_string(),
+            k: 3,
+            snapshots: Some(5),
+            seed: 7,
+            repartition_period: Some(2),
+            chaos: None,
+            ..TraceOptions::default()
+        };
+        let barrier = run_traced(&TraceOptions { schedule: Schedule::Barrier, ..base.clone() })
+            .expect("barrier run executes");
+        let piped = run_traced(&base).expect("pipelined run executes");
+        assert_eq!(piped.halo, barrier.halo);
+        assert_eq!(piped.shipments, barrier.shipments);
+        assert_eq!(piped.contact_pairs, barrier.contact_pairs);
+        assert_eq!(piped.migrated, barrier.migrated);
+        assert_eq!(piped.repartitions, barrier.repartitions);
+        piped.verify_totals().expect("pipelined counters stay exact");
+        barrier.verify_totals().expect("barrier counters stay exact");
     }
 
     #[test]
@@ -471,6 +558,7 @@ mod tests {
             seed: 1,
             repartition_period: None,
             chaos: None,
+            ..TraceOptions::default()
         })
         .expect("tiny scenario runs");
         let summary = report.summary();
@@ -490,6 +578,7 @@ mod tests {
             seed: 7,
             repartition_period: None,
             chaos: None,
+            ..TraceOptions::default()
         })
         .expect("tiny scenario runs");
         let chaotic = run_traced(&TraceOptions {
@@ -505,6 +594,7 @@ mod tests {
                 retries: 2,
                 ..ChaosOptions::default()
             }),
+            ..TraceOptions::default()
         })
         .expect("chaos run recovers");
         // The distributed search equals the serial oracle at any k, so the
@@ -531,6 +621,7 @@ mod tests {
             seed: 3,
             repartition_period: None,
             chaos: None,
+            ..TraceOptions::default()
         })
         .expect("tiny scenario runs");
         let chaotic = run_traced(&TraceOptions {
@@ -549,6 +640,7 @@ mod tests {
                 retries: 2,
                 ..ChaosOptions::default()
             }),
+            ..TraceOptions::default()
         })
         .expect("message faults are repaired in place");
         assert_eq!(chaotic.contact_pairs, clean.contact_pairs);

@@ -98,7 +98,7 @@ struct StepOutput2 {
 }
 
 fn chaos_exec_options(fault: FaultInjector) -> ExecOptions {
-    ExecOptions { timeout: Duration::from_millis(300), retries: 2, fault }
+    ExecOptions { timeout: Duration::from_millis(300), retries: 2, fault, ..ExecOptions::default() }
 }
 
 #[test]
@@ -127,6 +127,7 @@ fn killing_each_rank_is_detected_and_survivors_report_partials() {
                 timeout: Duration::from_millis(150),
                 retries: 1,
                 fault: FaultInjector::with_plan(plan),
+                ..ExecOptions::default()
             };
             let (out, _) = run_step(&f, &opts);
             match out {
