@@ -6,13 +6,19 @@
 //! artifact; the acceptance signal is pipelined idle < barrier idle on
 //! multi-core runners (wall-clock on a 1-CPU container is noise).
 //!
+//! The `exec_batch/pipelined-tcp` rows run the identical pipelined
+//! batch over the loopback-TCP transport (DESIGN.md §6e) instead of
+//! in-process channels — the delta against `exec_batch/pipelined` is
+//! the framing + socket cost of the wire.
+//!
 //! Usage: `cargo run --release -p cip-bench --bin runtime_snapshot
 //! [--nodes N] [--steps S] [--reps R]` (defaults: 512, 8, 5).
 
 use cip_bench::pipeline_load::{batch_inputs, skewed_chain};
 use cip_bench::write_json;
-use cip_runtime::{execute_steps_with, ExecOptions, Schedule};
+use cip_runtime::{execute_steps_transport, execute_steps_with, ExecOptions, Schedule};
 use cip_telemetry::Recorder;
+use cip_transport::tcp::Tcp;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -82,16 +88,23 @@ fn main() {
     let mut rows = Vec::new();
     for &k in &[2usize, 4, 8] {
         let sc = skewed_chain(nodes, k, n_steps, 0.5);
-        for (label, schedule) in
-            [("barrier", Schedule::Barrier), ("pipelined", Schedule::pipelined())]
-        {
+        for (label, schedule, tcp) in [
+            ("barrier", Schedule::Barrier, false),
+            ("pipelined", Schedule::pipelined(), false),
+            ("pipelined-tcp", Schedule::pipelined(), true),
+        ] {
             let opts = ExecOptions { schedule, ..ExecOptions::default() };
 
             // Timed reps against a disabled recorder (no telemetry cost).
             let quiet = Recorder::disabled();
             let steps = batch_inputs(&sc, &quiet);
             let run = || {
-                execute_steps_with(&steps, &[], &opts).expect("batch executes");
+                if tcp {
+                    execute_steps_transport(&steps, &[], &opts, &Tcp::loopback())
+                        .expect("tcp batch executes");
+                } else {
+                    execute_steps_with(&steps, &[], &opts).expect("batch executes");
+                }
             };
             run();
             let mut samples: Vec<f64> = (0..reps)
@@ -107,7 +120,12 @@ fn main() {
             // One instrumented run for the idle/overlap numbers.
             let rec = Recorder::enabled();
             let steps = batch_inputs(&sc, &rec);
-            execute_steps_with(&steps, &[], &opts).expect("instrumented batch executes");
+            if tcp {
+                execute_steps_transport(&steps, &[], &opts, &Tcp::loopback())
+                    .expect("instrumented tcp batch executes");
+            } else {
+                execute_steps_with(&steps, &[], &opts).expect("instrumented batch executes");
+            }
             let summary = rec.summary().expect("recorder is enabled");
             let idle_ms = summary.span("exec.idle").map_or(0.0, |s| s.total_ns as f64 / 1e6);
             let max_steps_in_flight =

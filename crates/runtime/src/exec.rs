@@ -32,7 +32,7 @@ use cip_contact::{
 };
 use cip_geom::{Aabb, Point};
 use cip_telemetry::Recorder;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use cip_transport::{InProcess, Mailbox, MailboxConfig, RecvTimeoutError, Transport};
 use std::time::Duration;
 
 /// Inter-rank message.
@@ -40,9 +40,11 @@ use std::time::Duration;
 /// Every variant carries the batch-local `step` it belongs to, so a
 /// pipelined receiver can partition one inbox by step (the barrier
 /// executor runs one step at a time and always tags 0). Sequence numbers
-/// are per `(from, to, step)`.
-#[derive(Clone)]
-pub(crate) enum Msg {
+/// are per `(from, to, step)`. The type is public because it crosses
+/// process boundaries: `cip_transport::Wire` is implemented for it in
+/// [`crate::wire`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
     /// Halo exchange: updated positions of nodes the receiver ghosts.
     Halo {
         /// Sending rank.
@@ -241,6 +243,11 @@ pub struct ExecOptions {
     /// (single-step [`execute_step_with`] is always a barrier). Defaults
     /// to [`Schedule::pipelined`].
     pub schedule: Schedule,
+    /// Bounded capacity of every transport lane (clamped to ≥ 1). The
+    /// mailbox send path stays deadlock-free at any capacity — see
+    /// `cip_transport::mailbox` — so this is purely a memory/backpressure
+    /// knob.
+    pub mailbox_capacity: usize,
 }
 
 impl Default for ExecOptions {
@@ -250,7 +257,15 @@ impl Default for ExecOptions {
             retries: 3,
             fault: FaultInjector::none(),
             schedule: Schedule::pipelined(),
+            mailbox_capacity: 256,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The transport mailbox configuration these options imply.
+    pub(crate) fn mailbox_config(&self, rec: &Recorder) -> MailboxConfig {
+        MailboxConfig { capacity: self.mailbox_capacity.max(1), recorder: rec.clone() }
     }
 }
 
@@ -281,9 +296,9 @@ impl ChaosState {
 /// Applies the injected fate of one first transmission. The message is
 /// recorded in the history buffer first, whatever its fate, so a `Resend`
 /// can always repair it.
-pub(crate) fn chaos_send(
+pub(crate) fn chaos_send<MB: Mailbox<Msg>>(
     st: &mut ChaosState,
-    txs: &[Sender<Msg>],
+    mb: &mut MB,
     fault: &FaultInjector,
     rec: &Recorder,
     me: u32,
@@ -295,15 +310,15 @@ pub(crate) fn chaos_send(
     let fate = fault.fate(me, dest as u32, seq);
     match fate {
         Fate::Deliver => {
-            let _ = txs[dest].send(msg);
+            mb.send(dest, msg);
         }
         Fate::Drop => {
             rec.add("fault.dropped", 1);
         }
         Fate::Duplicate => {
             rec.add("fault.duplicated", 1);
-            let _ = txs[dest].send(msg.clone());
-            let _ = txs[dest].send(msg);
+            mb.send(dest, msg.clone());
+            mb.send(dest, msg);
         }
         Fate::Delay => {
             rec.add("fault.delayed", 1);
@@ -314,7 +329,7 @@ pub(crate) fn chaos_send(
             if st.held[dest].is_none() {
                 st.held[dest] = Some(msg);
             } else {
-                let _ = txs[dest].send(msg);
+                mb.send(dest, msg);
             }
         }
     }
@@ -322,7 +337,7 @@ pub(crate) fn chaos_send(
     // the two messages swap places on the wire.
     if fate != Fate::Reorder {
         if let Some(h) = st.held[dest].take() {
-            let _ = txs[dest].send(h);
+            mb.send(dest, h);
         }
     }
 }
@@ -350,30 +365,38 @@ pub(crate) fn missing_seqs(seen: &[bool], sent: u64) -> Vec<u64> {
 /// Receives one message, charging any actual blocking wait to an
 /// `exec.idle` span. A non-empty inbox costs one `try_recv` and no span,
 /// so the gauge measures true straggler-induced idleness, not polling.
-pub(crate) fn recv_or_idle(
+pub(crate) fn recv_or_idle<MB: Mailbox<Msg>>(
     rec: &Recorder,
-    rx: &Receiver<Msg>,
+    mb: &mut MB,
     timeout: Duration,
-) -> Result<Msg, crossbeam::channel::RecvTimeoutError> {
-    use crossbeam::channel::{RecvTimeoutError, TryRecvError};
-    match rx.try_recv() {
+) -> Result<Msg, RecvTimeoutError> {
+    use cip_transport::TryRecvError;
+    match mb.try_recv() {
         Ok(m) => Ok(m),
-        Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        Err(TryRecvError::Closed) => Err(RecvTimeoutError::Closed),
         Err(TryRecvError::Empty) => {
             let _idle = rec.span("exec.idle");
-            rx.recv_timeout(timeout)
+            mb.recv_timeout(timeout)
         }
     }
 }
 
-/// What one rank thread produced (for one step).
-pub(crate) struct RankResult {
-    pub(crate) pairs: Vec<ContactPair>,
-    pub(crate) halo_sent: Vec<u64>,      // per destination
-    pub(crate) shipments_sent: Vec<u64>, // per destination
-    pub(crate) halo_msgs: u64,
-    pub(crate) done_msgs: u64,
-    pub(crate) ghost_mismatches: usize,
+/// What one rank thread produced (for one step). Public so a remote
+/// worker process can ship it back to the driver for aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankResult {
+    /// Locally found contact pairs (global ids, sorted, deduped).
+    pub pairs: Vec<ContactPair>,
+    /// Halo node values sent, per destination.
+    pub halo_sent: Vec<u64>,
+    /// Elements shipped, per destination.
+    pub shipments_sent: Vec<u64>,
+    /// Halo messages sent.
+    pub halo_msgs: u64,
+    /// `Done` trailers sent.
+    pub done_msgs: u64,
+    /// Received ghost values that disagreed with the oracle (must be 0).
+    pub ghost_mismatches: usize,
 }
 
 /// How one rank thread ended.
@@ -388,14 +411,13 @@ enum RankOutcome {
 }
 
 /// One rank's full step: stream sends, drain with repair, local search.
-fn run_rank<F: GlobalFilter<3> + Sync>(
+fn run_rank<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     r: usize,
     k: usize,
     plan: &RankPlan,
     input: &StepInput<'_, F>,
     opts: &ExecOptions,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
+    mb: &mut MB,
 ) -> RankOutcome {
     let me = r as u32;
     let rec = &input.recorder;
@@ -427,10 +449,8 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
             sent_to[dest] += 1;
             payload_sends += 1;
             match st.as_mut() {
-                None => {
-                    let _ = txs[dest].send(msg);
-                }
-                Some(st) => chaos_send(st, &txs, fault, rec, me, dest, msg),
+                None => mb.send(dest, msg),
+                Some(st) => chaos_send(st, mb, fault, rec, me, dest, msg),
             }
         }
     }
@@ -465,10 +485,8 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                 sent_to[dest] += 1;
                 payload_sends += 1;
                 match st.as_mut() {
-                    None => {
-                        let _ = txs[dest].send(msg);
-                    }
-                    Some(st) => chaos_send(st, &txs, fault, rec, me, dest, msg),
+                    None => mb.send(dest, msg),
+                    Some(st) => chaos_send(st, mb, fault, rec, me, dest, msg),
                 }
             }
         }
@@ -480,15 +498,15 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
             return RankOutcome::Dead;
         }
         if let Some(st) = st.as_mut() {
-            for (dest, slot) in st.held.iter_mut().enumerate() {
-                if let Some(m) = slot.take() {
-                    let _ = txs[dest].send(m);
+            for dest in 0..k {
+                if let Some(m) = st.held[dest].take() {
+                    mb.send(dest, m);
                 }
             }
         }
-        for (dest, tx) in txs.iter().enumerate() {
+        for (dest, &sent) in sent_to.iter().enumerate() {
             if dest != r {
-                let _ = tx.send(Msg::Done { from: me, step: 0, sent: sent_to[dest] });
+                mb.send(dest, Msg::Done { from: me, step: 0, sent });
                 done_msgs += 1;
             }
         }
@@ -496,9 +514,9 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
         // the gap first, then the late arrival (or its requested resend,
         // whichever lands first — the dedup bitmap absorbs the other).
         if let Some(st) = st.as_mut() {
-            for (dest, q) in st.delayed.iter_mut().enumerate() {
-                for m in q.drain(..) {
-                    let _ = txs[dest].send(m);
+            for dest in 0..k {
+                for m in st.delayed[dest].drain(..) {
+                    mb.send(dest, m);
                 }
             }
         }
@@ -520,7 +538,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                 done_from[r] = true;
                 let mut done = 1usize;
                 while done < k {
-                    match recv_or_idle(rec, &rx, opts.timeout) {
+                    match recv_or_idle(rec, mb, opts.timeout) {
                         Ok(Msg::Halo { from, values, .. }) => {
                             debug_assert_ne!(from, me, "rank sent halo to itself");
                             for (node, pos) in values {
@@ -569,9 +587,9 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                 loop {
                     let data_ok = (0..k).all(|p| matches!(exp[p], Some(e) if got[p] >= e));
                     if data_ok && !complete_sent {
-                        for (dest, tx) in txs.iter().enumerate() {
+                        for dest in 0..k {
                             if dest != r {
-                                let _ = tx.send(Msg::Complete { from: me });
+                                mb.send(dest, Msg::Complete { from: me });
                             }
                         }
                         complete_sent = true;
@@ -579,7 +597,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                     if complete_sent && completed.iter().all(|&c| c) {
                         break;
                     }
-                    match recv_or_idle(rec, &rx, opts.timeout) {
+                    match recv_or_idle(rec, mb, opts.timeout) {
                         Ok(Msg::Halo { from, seq, values, .. }) => {
                             if mark_new(&mut seen[from as usize], seq) {
                                 got[from as usize] += 1;
@@ -605,19 +623,16 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                             exp[f] = Some(sent);
                             if got[f] < sent {
                                 rec.add("recovery.resend_requests", 1);
-                                let _ = txs[f].send(Msg::Resend {
-                                    from: me,
-                                    step: 0,
-                                    seqs: missing_seqs(&seen[f], sent),
-                                });
+                                let seqs = missing_seqs(&seen[f], sent);
+                                mb.send(f, Msg::Resend { from: me, step: 0, seqs });
                             }
                         }
                         Ok(Msg::Resend { from, seqs, .. }) => {
                             let f = from as usize;
                             for s in seqs {
-                                if let Some(m) = st.history[f].get(s as usize) {
+                                if let Some(m) = st.history[f].get(s as usize).cloned() {
                                     rec.add("recovery.resent", 1);
-                                    let _ = txs[f].send(m.clone());
+                                    mb.send(f, m);
                                 }
                             }
                         }
@@ -651,11 +666,8 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
                                 if let Some(e) = exp[p] {
                                     if got[p] < e {
                                         rec.add("recovery.resend_requests", 1);
-                                        let _ = txs[p].send(Msg::Resend {
-                                            from: me,
-                                            step: 0,
-                                            seqs: missing_seqs(&seen[p], e),
-                                        });
+                                        let seqs = missing_seqs(&seen[p], e);
+                                        mb.send(p, Msg::Resend { from: me, step: 0, seqs });
                                     }
                                 }
                             }
@@ -667,7 +679,7 @@ fn run_rank<F: GlobalFilter<3> + Sync>(
         span.set_attr("received_elements", received.len());
         rec.record("exec.recv_elements", received.len() as u64);
     }
-    drop(txs);
+    mb.close_outgoing();
 
     // ---- Local contact search over owned + received. ------------------
     let _span = rec
@@ -776,20 +788,29 @@ pub fn execute_step_with<F: GlobalFilter<3> + Sync>(
     input: &StepInput<'_, F>,
     opts: &ExecOptions,
 ) -> Result<StepOutput, RuntimeError> {
+    execute_step_transport(input, opts, &InProcess)
+}
+
+/// [`execute_step_with`] over an explicit transport backend. The
+/// in-process backend is the oracle; any other backend must produce
+/// bit-identical [`StepOutput`]s (the transport tests assert this for
+/// TCP).
+pub fn execute_step_transport<F: GlobalFilter<3> + Sync, T: Transport>(
+    input: &StepInput<'_, F>,
+    opts: &ExecOptions,
+    transport: &T,
+) -> Result<StepOutput, RuntimeError> {
     let k = input.decomposition.k;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
+    let cfg = opts.mailbox_config(&input.recorder);
+    let mailboxes = transport.connect::<Msg>(k, &cfg)?;
 
     let joined: Vec<std::thread::Result<RankOutcome>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
-        #[allow(clippy::needless_range_loop)] // r is the rank id
-        for r in 0..k {
-            let txs = txs.clone();
-            let rx = rxs[r].clone();
+        for (r, mut mb) in mailboxes.into_iter().enumerate() {
             let plan = &input.decomposition.ranks[r];
             let input = &*input;
-            handles.push(scope.spawn(move || run_rank(r, k, plan, input, opts, txs, rx)));
+            handles.push(scope.spawn(move || run_rank(r, k, plan, input, opts, &mut mb)));
         }
-        drop(txs);
         // Join manually so a panicking rank is attributed, not re-thrown.
         handles.into_iter().map(|h| h.join()).collect()
     });

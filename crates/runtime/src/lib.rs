@@ -44,15 +44,21 @@ pub mod fault;
 pub mod migrate;
 pub mod pipeline;
 pub mod plan;
+pub mod remote;
+pub mod wire;
 
 pub use exec::{
-    execute_step, execute_step_with, ExecOptions, PhaseTraffic, Schedule, StepInput, StepOutput,
-    TrafficLog,
+    execute_step, execute_step_transport, execute_step_with, ExecOptions, Msg, PhaseTraffic,
+    RankResult, Schedule, StepInput, StepOutput, TrafficLog,
 };
 pub use fault::{Fate, FaultInjector, FaultPlan, KillSpec};
 pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
-pub use pipeline::{execute_steps, execute_steps_with, BatchError};
+pub use pipeline::{
+    collect_batch, execute_rank_steps, execute_steps, execute_steps_transport, execute_steps_with,
+    BatchError, RankBatchOutcome,
+};
 pub use plan::{build_decomposition, Decomposition, RankPlan};
+pub use remote::SteppedMailbox;
 
 /// A failed step execution — every former panic site on the executor hot
 /// path, made recoverable.
@@ -73,6 +79,11 @@ pub enum RuntimeError {
         /// Aggregated output of the surviving ranks.
         partial: Box<StepOutput>,
     },
+    /// The transport layer failed before or during the step: mesh
+    /// construction, socket I/O, or a fatal wire-format violation.
+    /// Frame-local corruption never surfaces here — readers drop the
+    /// frame and the NACK protocol repairs it.
+    Transport(cip_transport::TransportError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -86,11 +97,25 @@ impl fmt::Display for RuntimeError {
                 dead,
                 partial.contact_pairs.len()
             ),
+            Self::Transport(e) => write!(f, "transport failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cip_transport::TransportError> for RuntimeError {
+    fn from(e: cip_transport::TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -36,14 +36,15 @@
 //! send/completion cursor spread after every step sent.
 
 use crate::exec::{
-    aggregate, chaos_send, execute_step_with, mark_new, missing_seqs, recv_or_idle, search_rank,
-    ChaosState, ExecOptions, Msg, RankResult, Schedule, StepInput, StepOutput,
+    aggregate, chaos_send, execute_step_transport, mark_new, missing_seqs, recv_or_idle,
+    search_rank, ChaosState, ExecOptions, Msg, RankResult, Schedule, StepInput, StepOutput,
 };
 use crate::fault::FaultInjector;
 use crate::RuntimeError;
 use cip_contact::{GlobalFilter, SearchCache};
 use cip_geom::Aabb;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use cip_telemetry::Recorder;
+use cip_transport::{InProcess, Mailbox, RecvTimeoutError, Transport};
 use std::fmt;
 
 /// A failed batch execution: the steps committed before the failure, the
@@ -160,8 +161,12 @@ impl StepSend {
     }
 }
 
-/// How one rank thread ended a batch.
-enum BatchOutcome {
+/// How one rank ended a batch. Public so a remote worker process can
+/// report its rank's outcome back to the driver, which folds all `k` of
+/// them with [`collect_batch`] — exactly what the in-process executor
+/// does with its joined threads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankBatchOutcome {
     /// Every step drained, searched, and (if any step was chaos-armed)
     /// the batch completion round closed.
     Completed(Vec<RankResult>),
@@ -191,14 +196,14 @@ enum BatchOutcome {
 /// rank mid-step (trailers are all-or-nothing: a dead rank announces
 /// nothing).
 #[allow(clippy::too_many_arguments)]
-fn send_step<F: GlobalFilter<3> + Sync>(
+fn send_step<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     me: u32,
     r: usize,
     s: usize,
     input: &StepInput<'_, F>,
     fault: &FaultInjector,
     mut st: Option<&mut ChaosState>,
-    txs: &[Sender<Msg>],
+    mb: &mut MB,
     stats: &mut StepSend,
 ) -> bool {
     let rec = &input.recorder;
@@ -221,10 +226,8 @@ fn send_step<F: GlobalFilter<3> + Sync>(
             stats.sent_to[dest] += 1;
             payload_sends += 1;
             match st.as_deref_mut() {
-                None => {
-                    let _ = txs[dest].send(msg);
-                }
-                Some(cs) => chaos_send(cs, txs, fault, rec, me, dest, msg),
+                None => mb.send(dest, msg),
+                Some(cs) => chaos_send(cs, mb, fault, rec, me, dest, msg),
             }
         }
     }
@@ -261,10 +264,8 @@ fn send_step<F: GlobalFilter<3> + Sync>(
                 stats.sent_to[dest] += 1;
                 payload_sends += 1;
                 match st.as_deref_mut() {
-                    None => {
-                        let _ = txs[dest].send(msg);
-                    }
-                    Some(cs) => chaos_send(cs, txs, fault, rec, me, dest, msg),
+                    None => mb.send(dest, msg),
+                    Some(cs) => chaos_send(cs, mb, fault, rec, me, dest, msg),
                 }
             }
         }
@@ -272,23 +273,24 @@ fn send_step<F: GlobalFilter<3> + Sync>(
             rec.add("fault.killed_ranks", 1);
             return false;
         }
+        let k = input.decomposition.k;
         if let Some(cs) = st.as_deref_mut() {
-            for (dest, slot) in cs.held.iter_mut().enumerate() {
-                if let Some(m) = slot.take() {
-                    let _ = txs[dest].send(m);
+            for dest in 0..k {
+                if let Some(m) = cs.held[dest].take() {
+                    mb.send(dest, m);
                 }
             }
         }
-        for (dest, tx) in txs.iter().enumerate() {
+        for dest in 0..k {
             if dest != r {
-                let _ = tx.send(Msg::Done { from: me, step: s as u32, sent: stats.sent_to[dest] });
+                mb.send(dest, Msg::Done { from: me, step: s as u32, sent: stats.sent_to[dest] });
                 stats.done_msgs += 1;
             }
         }
         if let Some(cs) = st {
-            for (dest, q) in cs.delayed.iter_mut().enumerate() {
-                for m in q.drain(..) {
-                    let _ = txs[dest].send(m);
+            for dest in 0..k {
+                for m in cs.delayed[dest].drain(..) {
+                    mb.send(dest, m);
                 }
             }
         }
@@ -302,14 +304,14 @@ fn send_step<F: GlobalFilter<3> + Sync>(
 /// not replay the step it died in — the barrier oracle's dead ranks send
 /// nothing either).
 #[allow(clippy::too_many_arguments)]
-fn dispatch<F: GlobalFilter<3> + Sync>(
+fn dispatch<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     msg: Msg,
     me: u32,
     steps: &[StepInput<'_, F>],
     chaos: &mut [Option<ChaosState>],
     recv: &mut [StepRecv],
     completed_peers: &mut [bool],
-    txs: &[Sender<Msg>],
+    mb: &mut MB,
     serve_below: usize,
 ) {
     let n = steps.len();
@@ -375,11 +377,8 @@ fn dispatch<F: GlobalFilter<3> + Sync>(
                 rs.exp[f] = Some(sent);
                 if rs.got[f] < sent {
                     steps[s].recorder.add("recovery.resend_requests", 1);
-                    let _ = txs[f].send(Msg::Resend {
-                        from: me,
-                        step,
-                        seqs: missing_seqs(&rs.seen[f], sent),
-                    });
+                    let seqs = missing_seqs(&rs.seen[f], sent);
+                    mb.send(f, Msg::Resend { from: me, step, seqs });
                 }
             } else if !rs.done_from[f] {
                 rs.done_from[f] = true;
@@ -394,9 +393,9 @@ fn dispatch<F: GlobalFilter<3> + Sync>(
             if let Some(cs) = chaos.get(s).and_then(|c| c.as_ref()) {
                 let f = from as usize;
                 for q in seqs {
-                    if let Some(m) = cs.history[f].get(q as usize) {
+                    if let Some(m) = cs.history[f].get(q as usize).cloned() {
                         steps[s].recorder.add("recovery.resent", 1);
-                        let _ = txs[f].send(m.clone());
+                        mb.send(f, m);
                     }
                 }
             }
@@ -409,16 +408,15 @@ fn dispatch<F: GlobalFilter<3> + Sync>(
 
 /// One rank's whole batch: the event loop over the two cursors.
 #[allow(clippy::too_many_arguments)]
-fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
+fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     r: usize,
     k: usize,
     steps: &[StepInput<'_, F>],
     faults: &[FaultInjector],
     opts: &ExecOptions,
     lookahead: usize,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
-) -> BatchOutcome {
+    mb: &mut MB,
+) -> RankBatchOutcome {
     let me = r as u32;
     let n = steps.len();
     let rec0 = steps[0].recorder.clone();
@@ -443,7 +441,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
         while killed.is_none() && next_send < n && next_send < completed + lookahead {
             let s = next_send;
             let ok =
-                send_step(me, r, s, &steps[s], &faults[s], chaos[s].as_mut(), &txs, &mut send[s]);
+                send_step(me, r, s, &steps[s], &faults[s], chaos[s].as_mut(), mb, &mut send[s]);
             if !ok {
                 killed = Some(s);
                 break;
@@ -504,13 +502,13 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
         // ---- Batch finished: run the chaos completion round. ----------
         if killed.is_none() && completed == n {
             if chaos.iter().any(|c| c.is_some()) {
-                for (dest, tx) in txs.iter().enumerate() {
+                for dest in 0..k {
                     if dest != r {
-                        let _ = tx.send(Msg::Complete { from: me });
+                        mb.send(dest, Msg::Complete { from: me });
                     }
                 }
                 while !completed_peers.iter().all(|&c| c) {
-                    match recv_or_idle(&rec0, &rx, opts.timeout) {
+                    match recv_or_idle(&rec0, mb, opts.timeout) {
                         Ok(msg) => dispatch(
                             msg,
                             me,
@@ -518,7 +516,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
                             &mut chaos,
                             &mut recv,
                             &mut completed_peers,
-                            &txs,
+                            mb,
                             n,
                         ),
                         Err(RecvTimeoutError::Timeout) if retries_left > 0 => {
@@ -532,12 +530,12 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
                             let dead: Vec<u32> =
                                 (0..k).filter(|&p| !completed_peers[p]).map(|p| p as u32).collect();
                             let partial = results.pop();
-                            return BatchOutcome::Lost { done: results, partial, dead };
+                            return RankBatchOutcome::Lost { done: results, partial, dead };
                         }
                     }
                 }
             }
-            return BatchOutcome::Completed(results);
+            return RankBatchOutcome::Completed(results);
         }
 
         // ---- Zombie: killed and every earlier step is finished. -------
@@ -547,7 +545,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
             // declare us dead and hang up).
             let mut patience = opts.retries + 1;
             loop {
-                match recv_or_idle(&rec0, &rx, opts.timeout) {
+                match recv_or_idle(&rec0, mb, opts.timeout) {
                     Ok(msg) => dispatch(
                         msg,
                         me,
@@ -555,18 +553,18 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
                         &mut chaos,
                         &mut recv,
                         &mut completed_peers,
-                        &txs,
+                        mb,
                         completed,
                     ),
                     Err(RecvTimeoutError::Timeout) if patience > 0 => patience -= 1,
-                    Err(_) => return BatchOutcome::Dead { done: results },
+                    Err(_) => return RankBatchOutcome::Dead { done: results },
                 }
             }
         }
 
         // ---- Block on the inbox. --------------------------------------
         let serve_below = killed.unwrap_or(n);
-        match recv_or_idle(&rec0, &rx, opts.timeout) {
+        match recv_or_idle(&rec0, mb, opts.timeout) {
             Ok(msg) => dispatch(
                 msg,
                 me,
@@ -574,12 +572,12 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
                 &mut chaos,
                 &mut recv,
                 &mut completed_peers,
-                &txs,
+                mb,
                 serve_below,
             ),
-            Err(RecvTimeoutError::Disconnected) => {
+            Err(RecvTimeoutError::Closed) => {
                 if killed.is_some() {
-                    return BatchOutcome::Dead { done: results };
+                    return RankBatchOutcome::Dead { done: results };
                 }
                 return lose_step(
                     r,
@@ -596,7 +594,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
             Err(RecvTimeoutError::Timeout) => {
                 if retries_left == 0 {
                     if killed.is_some() {
-                        return BatchOutcome::Dead { done: results };
+                        return RankBatchOutcome::Dead { done: results };
                     }
                     return lose_step(
                         r,
@@ -618,19 +616,15 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync>(
                     if chaos[s].is_none() {
                         continue;
                     }
-                    let rs = &recv[s];
-                    for (p, tx) in txs.iter().enumerate() {
+                    for p in 0..k {
                         if p == r {
                             continue;
                         }
-                        if let Some(e) = rs.exp[p] {
-                            if rs.got[p] < e {
+                        if let Some(e) = recv[s].exp[p] {
+                            if recv[s].got[p] < e {
                                 steps[s].recorder.add("recovery.resend_requests", 1);
-                                let _ = tx.send(Msg::Resend {
-                                    from: me,
-                                    step: s as u32,
-                                    seqs: missing_seqs(&rs.seen[p], e),
-                                });
+                                let seqs = missing_seqs(&recv[s].seen[p], e);
+                                mb.send(p, Msg::Resend { from: me, step: s as u32, seqs });
                             }
                         }
                     }
@@ -655,13 +649,13 @@ fn lose_step<F: GlobalFilter<3> + Sync>(
     completed_peers: &[bool],
     completed: usize,
     results: Vec<RankResult>,
-) -> BatchOutcome {
+) -> RankBatchOutcome {
     let s = completed;
     if s >= steps.len() {
         // Cannot happen (the completion round handles `completed == n`),
         // but stay total: blame the peers that never completed.
         let dead = (0..k).filter(|&p| !completed_peers[p]).map(|p| p as u32).collect();
-        return BatchOutcome::Lost { done: results, partial: None, dead };
+        return RankBatchOutcome::Lost { done: results, partial: None, dead };
     }
     let mut dead = recv[s].unaccounted(chaos[s].is_some(), k);
     if dead.is_empty() {
@@ -678,7 +672,40 @@ fn lose_step<F: GlobalFilter<3> + Sync>(
         done_msgs: sd.done_msgs,
         ghost_mismatches: recv[s].ghost_mismatches,
     };
-    BatchOutcome::Lost { done: results, partial: Some(partial), dead }
+    RankBatchOutcome::Lost { done: results, partial: Some(partial), dead }
+}
+
+/// One rank's whole batch over any [`Mailbox`] — the entry point a
+/// remote worker process uses to run its rank of a batch, with the
+/// driver folding the reported [`RankBatchOutcome`]s via
+/// [`collect_batch`]. Normalizes an empty `faults` slice to
+/// no-injection and derives the lookahead from `opts.schedule`
+/// (a barrier schedule degrades to lookahead 1, which still orders by
+/// dependency — remote ranks have no global barrier to share).
+pub fn execute_rank_steps<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
+    r: usize,
+    k: usize,
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+    mb: &mut MB,
+) -> RankBatchOutcome {
+    let n = steps.len();
+    if n == 0 {
+        return RankBatchOutcome::Completed(Vec::new());
+    }
+    let filler: Vec<FaultInjector>;
+    let faults: &[FaultInjector] = if faults.len() == n {
+        faults
+    } else {
+        filler = vec![FaultInjector::none(); n];
+        &filler
+    };
+    let lookahead = match opts.schedule {
+        Schedule::Pipelined { lookahead } => lookahead.max(1),
+        Schedule::Barrier => 1,
+    };
+    run_rank_pipelined(r, k, steps, faults, opts, lookahead, mb)
 }
 
 /// Executes a batch of steps with default options (pipelined schedule,
@@ -697,8 +724,8 @@ pub fn execute_steps<F: GlobalFilter<3> + Sync>(
 /// rank threads with bounded-lookahead overlap (see the module docs);
 /// with [`Schedule::Barrier`] — or when the steps disagree on `k`, which
 /// a driver batch never does — it degrades to a sequential
-/// [`execute_step_with`] loop, the oracle the pipelined schedule is
-/// tested bit-identical against.
+/// [`crate::exec::execute_step_with`] loop, the oracle the pipelined
+/// schedule is tested bit-identical against.
 ///
 /// Errors carry the committed prefix: [`BatchError::completed`] holds
 /// the outputs of every step all ranks finished before the failure, and
@@ -709,6 +736,18 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
     steps: &[StepInput<'_, F>],
     faults: &[FaultInjector],
     opts: &ExecOptions,
+) -> Result<Vec<StepOutput>, BatchError> {
+    execute_steps_transport(steps, faults, opts, &InProcess)
+}
+
+/// [`execute_steps_with`] over an explicit [`Transport`] — the TCP
+/// backend runs the identical rank loops over sockets and must produce
+/// bit-identical outputs.
+pub fn execute_steps_transport<F: GlobalFilter<3> + Sync, T: Transport>(
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+    transport: &T,
 ) -> Result<Vec<StepOutput>, BatchError> {
     let n = steps.len();
     if n == 0 {
@@ -733,32 +772,33 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
         _ => 0,
     };
     if lookahead == 0 {
-        return barrier_batch(steps, faults, opts);
+        return barrier_batch(steps, faults, opts, transport);
     }
 
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..k).map(|_| unbounded()).unzip();
-    let joined: Vec<std::thread::Result<BatchOutcome>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(k);
-            #[allow(clippy::needless_range_loop)] // r is the rank id
-            for r in 0..k {
-                let txs = txs.clone();
-                let rx = rxs[r].clone();
-                handles.push(scope.spawn(move || {
-                    run_rank_pipelined(r, k, steps, faults, opts, lookahead, txs, rx)
-                }));
-            }
-            drop(txs);
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+    let cfg = opts.mailbox_config(&steps[0].recorder);
+    let mailboxes = match transport.connect::<Msg>(k, &cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            return Err(BatchError {
+                completed: Vec::new(),
+                failed_step: 0,
+                error: RuntimeError::from(e),
+            })
+        }
+    };
+    let joined: Vec<std::thread::Result<RankBatchOutcome>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (r, mut mb) in mailboxes.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                run_rank_pipelined(r, k, steps, faults, opts, lookahead, &mut mb)
+            }));
+        }
+        handles.into_iter().map(|h| h.join()).collect()
+    });
 
-    let mut killed: Vec<u32> = Vec::new();
-    let mut declared: Vec<u32> = Vec::new();
-    let mut done: Vec<std::vec::IntoIter<RankResult>> = Vec::with_capacity(k);
-    let mut partials: Vec<Option<RankResult>> = Vec::with_capacity(k);
-    let mut commit = n;
-    for (r, outcome) in joined.into_iter().enumerate() {
-        match outcome {
+    let mut outcomes = Vec::with_capacity(k);
+    for (r, res) in joined.into_iter().enumerate() {
+        match res {
             Err(_) => {
                 // A panicked rank's results are unrecoverable, so nothing
                 // in the batch can be trusted to have all k contributions.
@@ -768,18 +808,45 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
                     error: RuntimeError::RankPanicked { rank: r as u32 },
                 });
             }
-            Ok(BatchOutcome::Completed(res)) => {
+            Ok(o) => outcomes.push(o),
+        }
+    }
+    let recorders: Vec<Recorder> = steps.iter().map(|s| s.recorder.clone()).collect();
+    collect_batch(k, &recorders, outcomes)
+}
+
+/// Folds the `k` per-rank outcomes of one batch into committed step
+/// outputs (or the typed failure), exactly as the in-process executor
+/// folds its joined threads — public so the multi-process driver can
+/// fold the outcomes its workers report over the control channel.
+/// `recorders` holds one recorder per step of the batch (they may all be
+/// clones of the same one); committed steps get their traffic counters,
+/// the failed step its `recovery.rank_dead` count.
+pub fn collect_batch(
+    k: usize,
+    recorders: &[Recorder],
+    outcomes: Vec<RankBatchOutcome>,
+) -> Result<Vec<StepOutput>, BatchError> {
+    let n = recorders.len();
+    let mut killed: Vec<u32> = Vec::new();
+    let mut declared: Vec<u32> = Vec::new();
+    let mut done: Vec<std::vec::IntoIter<RankResult>> = Vec::with_capacity(k);
+    let mut partials: Vec<Option<RankResult>> = Vec::with_capacity(k);
+    let mut commit = n;
+    for (r, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            RankBatchOutcome::Completed(res) => {
                 commit = commit.min(res.len());
                 done.push(res.into_iter());
                 partials.push(None);
             }
-            Ok(BatchOutcome::Dead { done: res }) => {
+            RankBatchOutcome::Dead { done: res } => {
                 killed.push(r as u32);
                 commit = commit.min(res.len());
                 done.push(res.into_iter());
                 partials.push(None);
             }
-            Ok(BatchOutcome::Lost { done: res, partial, dead }) => {
+            RankBatchOutcome::Lost { done: res, partial, dead } => {
                 declared.extend(dead);
                 commit = commit.min(res.len());
                 done.push(res.into_iter());
@@ -791,11 +858,11 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
     // Commit the prefix every rank finished: these steps aggregate all k
     // ranks, so their outputs are bit-identical to the barrier schedule.
     let mut outputs = Vec::with_capacity(commit);
-    for step in steps.iter().take(commit) {
+    for rec in recorders.iter().take(commit) {
         let step_results: Vec<Option<RankResult>> = done.iter_mut().map(|it| it.next()).collect();
         let out = aggregate(k, step_results);
-        step.recorder.add("traffic.halo_units", out.traffic.phases.halo_units);
-        step.recorder.add("traffic.shipment_units", out.traffic.phases.ship_msgs);
+        rec.add("traffic.halo_units", out.traffic.phases.halo_units);
+        rec.add("traffic.shipment_units", out.traffic.phases.ship_msgs);
         outputs.push(out);
     }
     if killed.is_empty() && declared.is_empty() {
@@ -822,7 +889,7 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
         .map(|(it, p)| it.next().or_else(|| p.take()))
         .collect();
     let partial = aggregate(k, salvage);
-    steps[commit].recorder.add("recovery.rank_dead", dead.len() as u64);
+    recorders[commit].add("recovery.rank_dead", dead.len() as u64);
     Err(BatchError {
         completed: outputs,
         failed_step: commit,
@@ -830,17 +897,18 @@ pub fn execute_steps_with<F: GlobalFilter<3> + Sync>(
     })
 }
 
-/// The barrier oracle: one [`execute_step_with`] per step, substituting
-/// the per-step injector.
-fn barrier_batch<F: GlobalFilter<3> + Sync>(
+/// The barrier oracle: one [`execute_step_transport`] per step,
+/// substituting the per-step injector.
+fn barrier_batch<F: GlobalFilter<3> + Sync, T: Transport>(
     steps: &[StepInput<'_, F>],
     faults: &[FaultInjector],
     opts: &ExecOptions,
+    transport: &T,
 ) -> Result<Vec<StepOutput>, BatchError> {
     let mut outputs = Vec::with_capacity(steps.len());
     for (s, input) in steps.iter().enumerate() {
         let step_opts = ExecOptions { fault: faults[s].clone(), ..opts.clone() };
-        match execute_step_with(input, &step_opts) {
+        match execute_step_transport(input, &step_opts, transport) {
             Ok(out) => outputs.push(out),
             Err(error) => {
                 return Err(BatchError { completed: outputs, failed_step: s, error });

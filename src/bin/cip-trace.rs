@@ -25,7 +25,7 @@
 //! cip-trace --scenario tiny --k 4 --chaos 7 --kill 3:2
 //! ```
 
-use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions};
+use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions, TransportKind};
 use cip_runtime::Schedule;
 
 struct Args {
@@ -87,12 +87,17 @@ fn parse_args() -> Args {
                 args.opts.schedule = parse_schedule(&argv[i + 1]);
                 i += 2;
             }
+            "--transport" if i + 1 < argv.len() => {
+                args.opts.transport = parse_transport(&argv[i + 1]);
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
                      blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
                      [--period N | --no-repart] [--chaos SEED] [--kill STEP:RANK] \
-                     [--schedule barrier|pipelined[:LOOKAHEAD]] [--out DIR]"
+                     [--schedule barrier|pipelined[:LOOKAHEAD]] \
+                     [--transport inproc|tcp-threads[:BIND]|tcp[:BIND]] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -103,6 +108,31 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Parses `inproc` (the in-memory oracle), `tcp-threads[:BIND]` (rank
+/// threads over loopback sockets), or `tcp[:BIND]` (one `cip-worker`
+/// process per rank; the worker binary comes from `$CIP_WORKER_BIN` or
+/// sits next to `cip-trace`).
+fn parse_transport(spec: &str) -> TransportKind {
+    let default_bind = "127.0.0.1:0";
+    match spec {
+        "inproc" => TransportKind::InProcess,
+        "tcp-threads" => TransportKind::TcpThreads { bind: default_bind.to_string() },
+        "tcp" => TransportKind::Workers { bind: default_bind.to_string(), worker_bin: None },
+        other => {
+            if let Some(bind) = other.strip_prefix("tcp-threads:") {
+                TransportKind::TcpThreads { bind: bind.to_string() }
+            } else if let Some(bind) = other.strip_prefix("tcp:") {
+                TransportKind::Workers { bind: bind.to_string(), worker_bin: None }
+            } else {
+                eprintln!(
+                    "--transport takes inproc, tcp-threads[:BIND], or tcp[:BIND], got '{spec}'"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// Parses `barrier`, `pipelined`, or `pipelined:N` (N = lookahead).

@@ -1,0 +1,74 @@
+//! `cip-worker` — one rank of a multi-process traced run.
+//!
+//! Spawned by `cip-trace --transport tcp` (one process per rank), not
+//! meant to be run by hand. The worker dials the driver's control
+//! address, joins the rank-to-rank TCP mesh, and executes the batches
+//! the driver assigns until it is told to exit — or until its fault
+//! plan kills its rank, at which point the process exits for real and
+//! the driver recovers over the survivors. See `cip::worker`.
+
+use cip::worker::{run_worker, WorkerArgs};
+
+fn parse_args() -> WorkerArgs {
+    let mut args = WorkerArgs {
+        connect: String::new(),
+        rank: usize::MAX,
+        ranks: 0,
+        scenario: "tiny".to_string(),
+        snapshots: None,
+        capacity: 256,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" if i + 1 < argv.len() => {
+                args.connect = argv[i + 1].clone();
+                i += 2;
+            }
+            "--rank" if i + 1 < argv.len() => {
+                args.rank = argv[i + 1].parse().expect("--rank takes an integer");
+                i += 2;
+            }
+            "--ranks" if i + 1 < argv.len() => {
+                args.ranks = argv[i + 1].parse().expect("--ranks takes an integer");
+                i += 2;
+            }
+            "--scenario" if i + 1 < argv.len() => {
+                args.scenario = argv[i + 1].clone();
+                i += 2;
+            }
+            "--snapshots" if i + 1 < argv.len() => {
+                args.snapshots = Some(argv[i + 1].parse().expect("--snapshots takes an integer"));
+                i += 2;
+            }
+            "--capacity" if i + 1 < argv.len() => {
+                args.capacity = argv[i + 1].parse().expect("--capacity takes an integer");
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument '{other}' (cip-worker is spawned by \
+                     cip-trace --transport tcp)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.connect.is_empty() || args.ranks == 0 || args.rank >= args.ranks {
+        eprintln!(
+            "usage: cip-worker --connect ADDR --rank R --ranks K --scenario NAME \
+             [--snapshots N] [--capacity C]"
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run_worker(&args) {
+        eprintln!("cip-worker rank {}: {e}", args.rank);
+        std::process::exit(1);
+    }
+}

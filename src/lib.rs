@@ -14,3 +14,4 @@ pub use cip_sim as sim;
 pub use cip_telemetry as telemetry;
 
 pub mod trace;
+pub mod worker;

@@ -10,6 +10,7 @@
 //! driver on its own lane above them) and a flat summary whose traffic
 //! counters equal the executed [`cip_runtime::TrafficLog`] exactly.
 
+use crate::worker::{BatchSpec, PoolConfig, WorkerPool};
 use cip_contact::DtreeFilter;
 use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
 use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
@@ -17,11 +18,14 @@ use cip_partition::{
     compact_parts_after_loss, diffusion_repartition, partition_kway, PartitionerConfig,
 };
 use cip_runtime::{
-    build_decomposition, build_migration_recorded, execute_steps_with, BatchError, Decomposition,
-    ExecOptions, FaultInjector, FaultPlan, KillSpec, RuntimeError, Schedule, StepInput,
+    build_decomposition, build_migration_recorded, collect_batch, execute_steps_transport,
+    execute_steps_with, BatchError, Decomposition, ExecOptions, FaultInjector, FaultPlan, KillSpec,
+    RuntimeError, Schedule, StepInput,
 };
 use cip_sim::{scenarios, SimConfig};
 use cip_telemetry::{export::Summary, Recorder};
+use cip_transport::tcp::Tcp;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Chaos-mode settings for a traced run: deterministic message faults,
@@ -63,6 +67,35 @@ impl Default for ChaosOptions {
     }
 }
 
+/// Which message transport carries the rank-to-rank traffic.
+///
+/// All three execute the identical protocol and produce bit-identical
+/// `TrafficLog` totals; they differ only in where the ranks live and
+/// what the bytes travel through (DESIGN.md §6e).
+#[derive(Debug, Clone, Default)]
+pub enum TransportKind {
+    /// Rank threads exchanging in-memory messages — the default and
+    /// the oracle every other backend is measured against.
+    #[default]
+    InProcess,
+    /// Rank threads in this process, but every message serialized
+    /// through a real loopback TCP socket (wire-format coverage with
+    /// full per-frame telemetry).
+    TcpThreads {
+        /// Mesh listener bind address (`127.0.0.1:0` = OS ports).
+        bind: String,
+    },
+    /// One `cip-worker` OS process per rank, meshed over TCP; the
+    /// driver assigns batches over per-worker control sockets.
+    Workers {
+        /// Control listener bind address.
+        bind: String,
+        /// Worker executable override (`None` = `$CIP_WORKER_BIN`,
+        /// then a `cip-worker` sibling of the current executable).
+        worker_bin: Option<PathBuf>,
+    },
+}
+
 /// What to run and how.
 #[derive(Debug, Clone)]
 pub struct TraceOptions {
@@ -83,6 +116,8 @@ pub struct TraceOptions {
     /// with cross-step overlap; [`Schedule::Barrier`] is the one-step-
     /// at-a-time oracle.
     pub schedule: Schedule,
+    /// Where the ranks live and what carries their messages.
+    pub transport: TransportKind,
 }
 
 impl Default for TraceOptions {
@@ -95,6 +130,7 @@ impl Default for TraceOptions {
             repartition_period: Some(10),
             chaos: None,
             schedule: Schedule::pipelined(),
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -203,7 +239,8 @@ impl TraceReport {
 
 /// Runs `opts` end to end with telemetry enabled.
 ///
-/// Returns `Err` only for an unknown scenario name.
+/// Returns `Err` for an unknown scenario name or a transport that
+/// could not be brought up (worker spawn, mesh construction).
 pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
     let mut scfg = scenario_config(&opts.scenario)
         .ok_or_else(|| format!("unknown scenario '{}'", opts.scenario))?;
@@ -228,6 +265,33 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
         view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
     dt_friendly_correct(&view0.graph2.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
     let mut node_parts = view0.graph2.assignment_on_nodes(&asg);
+
+    // Multi-process mode: spawn the worker pool once; it outlives every
+    // batch, repartition, and recovery (dead workers are retired).
+    let mut pool: Option<WorkerPool> = match &opts.transport {
+        TransportKind::Workers { bind, worker_bin } => Some(
+            WorkerPool::spawn(&PoolConfig {
+                k,
+                scenario: opts.scenario.clone(),
+                snapshots: scfg.snapshots,
+                capacity: ExecOptions::default().mailbox_capacity,
+                bind: bind.clone(),
+                worker_bin: worker_bin.clone(),
+            })
+            .map_err(|e| format!("worker pool: {e}"))?,
+        ),
+        _ => None,
+    };
+    // Pool bookkeeping: `route[live]` = worker id playing live rank
+    // `live`; `epoch` grows by every *attempted* batch so stale frames
+    // of aborted batches can never alias into a live step; and
+    // `chain_start` is the snapshot where the current search-tree chain
+    // was induced, which workers replay to reproduce the driver's
+    // incrementally refreshed tree (the assignment is constant within a
+    // chain — it only changes where the chain resets).
+    let mut route: Vec<u32> = (0..k as u32).collect();
+    let mut epoch: u32 = 0;
+    let mut chain_start = 0usize;
 
     let dcfg = DtreeConfig::search_tree();
     let mut tree: Option<DecisionTree<3>> = None;
@@ -275,6 +339,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 // The decomposition changed: the old tree no longer
                 // matches the labels, so induce from scratch.
                 tree = None;
+                chain_start = i;
             }
         }
 
@@ -288,53 +353,6 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
             }
         }
 
-        // Per-step prep: decomposition views and the search-tree chain
-        // (fresh induction when no tree carries over, incremental refresh
-        // otherwise). All of this is executor-independent, so it can be
-        // staged for the whole batch before any rank thread starts.
-        let mut prepped: Vec<PreparedStep> = Vec::with_capacity(end - i);
-        let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - i);
-        for j in i..end {
-            let _step_span = rec.span("trace.step").attr("step", j);
-            let view = SnapshotView::build(&sim, j, 5);
-            let asg_now: Vec<u32> =
-                view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
-            let elements = view.surface_elements(&node_parts);
-            let bodies = view.face_bodies();
-            let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
-            let decomposition = build_decomposition(
-                &view.graph2.graph,
-                &view.graph2.node_of_vertex,
-                &asg_now,
-                &owners,
-                live_k,
-            );
-            let labels = view.contact.labels_from_node_parts(&node_parts);
-            let new_tree = match trees.last().or(tree.as_ref()) {
-                None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
-                Some(t) => {
-                    refresh_recorded(t, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
-                }
-            };
-            trees.push(new_tree);
-            prepped.push(PreparedStep { view, elements, bodies, decomposition });
-        }
-
-        let filters: Vec<DtreeFilter<'_, 3>> =
-            trees.iter().map(|t| DtreeFilter::new(t, live_k)).collect();
-        let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
-            .iter()
-            .zip(filters.iter())
-            .map(|(p, filter)| StepInput {
-                decomposition: &p.decomposition,
-                positions: &p.view.mesh.points,
-                elements: &p.elements,
-                bodies: &p.bodies,
-                filter,
-                tolerance: 0.4,
-                recorder: rec.clone(),
-            })
-            .collect();
         let faults: Vec<FaultInjector> =
             (i..end)
                 .map(|j| {
@@ -347,12 +365,106 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 .collect();
         let exec_opts = exec_options(&opts.chaos, opts.schedule);
 
-        match execute_steps_with(&inputs, &faults, &exec_opts) {
+        // A serial survivor (live_k == 1) exchanges no messages, so the
+        // pool adds nothing — run it in-process like the other modes.
+        let use_pool = live_k >= 2 && pool.is_some();
+        let (result, carried_tree) = if use_pool {
+            // Pool path: the workers rebuild the step inputs themselves
+            // (tree-chain replay from `chain_start`), so the driver only
+            // ships its mutable state and folds the reported outcomes —
+            // the same fold the in-process executor applies to its
+            // joined threads.
+            let p = pool.as_mut().expect("use_pool checked pool.is_some()");
+            let plans: Vec<Option<FaultPlan>> = faults.iter().map(|f| f.plan().cloned()).collect();
+            let lookahead = match opts.schedule {
+                Schedule::Pipelined { lookahead } => lookahead.max(1),
+                Schedule::Barrier => 1,
+            };
+            let spec = BatchSpec {
+                start: i,
+                end,
+                chain_start,
+                live_k,
+                epoch,
+                node_parts: &node_parts,
+                plans,
+                timeout_ms: exec_opts.timeout.as_millis() as u64,
+                retries: exec_opts.retries,
+                lookahead,
+            };
+            let outcomes = p.execute_batch(&spec, &route, &rec);
+            epoch += (end - i) as u32;
+            let recorders = vec![rec.clone(); end - i];
+            (collect_batch(live_k, &recorders, outcomes), None)
+        } else {
+            // Per-step prep: decomposition views and the search-tree
+            // chain (fresh induction when no tree carries over,
+            // incremental refresh otherwise). All of this is
+            // executor-independent, so it can be staged for the whole
+            // batch before any rank thread starts.
+            let mut prepped: Vec<PreparedStep> = Vec::with_capacity(end - i);
+            let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - i);
+            for j in i..end {
+                let _step_span = rec.span("trace.step").attr("step", j);
+                let view = SnapshotView::build(&sim, j, 5);
+                let asg_now: Vec<u32> =
+                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+                let elements = view.surface_elements(&node_parts);
+                let bodies = view.face_bodies();
+                let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+                let decomposition = build_decomposition(
+                    &view.graph2.graph,
+                    &view.graph2.node_of_vertex,
+                    &asg_now,
+                    &owners,
+                    live_k,
+                );
+                let labels = view.contact.labels_from_node_parts(&node_parts);
+                let new_tree = match trees.last().or(tree.as_ref()) {
+                    None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
+                    Some(t) => {
+                        refresh_recorded(t, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
+                    }
+                };
+                trees.push(new_tree);
+                prepped.push(PreparedStep { view, elements, bodies, decomposition });
+            }
+
+            let filters: Vec<DtreeFilter<'_, 3>> =
+                trees.iter().map(|t| DtreeFilter::new(t, live_k)).collect();
+            let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
+                .iter()
+                .zip(filters.iter())
+                .map(|(p, filter)| StepInput {
+                    decomposition: &p.decomposition,
+                    positions: &p.view.mesh.points,
+                    elements: &p.elements,
+                    bodies: &p.bodies,
+                    filter,
+                    tolerance: 0.4,
+                    recorder: rec.clone(),
+                })
+                .collect();
+            let result = match &opts.transport {
+                TransportKind::TcpThreads { bind } => execute_steps_transport(
+                    &inputs,
+                    &faults,
+                    &exec_opts,
+                    &Tcp { bind: bind.clone() },
+                ),
+                _ => execute_steps_with(&inputs, &faults, &exec_opts),
+            };
+            drop(inputs);
+            drop(filters);
+            (result, trees.pop())
+        };
+
+        match result {
             Ok(outs) => {
                 for (off, out) in outs.iter().enumerate() {
                     commit_step(&mut report, i + off, out);
                 }
-                tree = trees.pop();
+                tree = carried_tree;
                 i = end;
             }
             Err(BatchError { completed, failed_step, error }) => {
@@ -363,12 +475,32 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 let dead = match error {
                     RuntimeError::RankLost { dead, .. } => dead,
                     RuntimeError::RankPanicked { rank } => vec![rank],
+                    // Not a rank death: the transport itself is broken
+                    // (mesh construction, fatal socket failure) — there
+                    // is nothing to recover over.
+                    RuntimeError::Transport(e) => {
+                        return Err(format!("transport failed: {e}"));
+                    }
                 };
                 let mut span = rec.span("recovery.repartition").attr("step", failed);
                 span.set_attr("dead", dead.len());
                 report.rank_losses += dead.len();
+                // Retire the dead ranks' worker processes and route the
+                // surviving live ranks onto the surviving workers, in
+                // the same order `compact_parts_after_loss` relabels.
+                if let Some(p) = pool.as_mut() {
+                    let dead_workers: Vec<u32> =
+                        dead.iter().filter_map(|&d| route.get(d as usize).copied()).collect();
+                    p.retire(&dead_workers);
+                    route = route
+                        .iter()
+                        .enumerate()
+                        .filter(|&(live, _)| !dead.contains(&(live as u32)))
+                        .map(|(_, &w)| w)
+                        .collect();
+                }
                 live_k = compact_parts_after_loss(&mut node_parts, live_k, &dead);
-                let view = &prepped[failed_step].view;
+                let view = SnapshotView::build(&sim, failed, 5);
                 if live_k >= 2 {
                     let old: Vec<u32> = view
                         .graph2
@@ -399,6 +531,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                     rec.add("recovery.serial_fallback", 1);
                 }
                 tree = None;
+                chain_start = failed;
                 spent[failed] = true;
                 i = failed;
             }

@@ -1,0 +1,1046 @@
+//! Multi-process execution: the worker pool behind
+//! `cip-trace --transport tcp` and the per-rank entry point behind the
+//! `cip-worker` binary.
+//!
+//! One OS process per rank. The driver ([`WorkerPool`]) spawns `k`
+//! workers, each of which binds a mesh listener, dials the driver's
+//! control socket, and announces itself with [`Ctrl::Hello`]. The
+//! driver gossips the collected mesh addresses back
+//! ([`Ctrl::Peers`]), the workers assemble the rank-to-rank TCP mesh
+//! among themselves ([`cip_transport::tcp::connect_mesh`]), and from
+//! then on the control sockets carry only batch assignments
+//! ([`Ctrl::Run`]) and their outcomes ([`Ctrl::Done`]).
+//!
+//! A worker holds the full simulation (rebuilt deterministically from
+//! the scenario name), so a [`RunSpec`] only needs the driver's mutable
+//! state: the node assignment, the live-rank routing table, the
+//! epoch base for [`SteppedMailbox`], and where the current search-tree
+//! chain was induced. The node assignment changes exactly where the
+//! tree chain resets (repartition and recovery), so replaying the chain
+//! from `chain_start` under the shipped `node_parts` reproduces the
+//! driver's incrementally refreshed tree bit for bit — the worker's
+//! step inputs equal the in-process driver's, and so do the totals.
+//!
+//! Failure model: a worker whose fault plan kills its rank reports
+//! [`RankBatchOutcome::Dead`] and then exits — the logical death is a
+//! real process death. A worker that dies *without* reporting (crash,
+//! `kill -9`) is detected by the driver as control-channel EOF and
+//! folded in as `Dead` at step 0 of the batch, which surfaces as
+//! [`cip_runtime::RuntimeError::RankLost`] and drives the same
+//! recovery path.
+
+use crate::trace::scenario_config;
+use cip_contact::DtreeFilter;
+use cip_core::SnapshotView;
+use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
+use cip_runtime::{
+    build_decomposition, execute_rank_steps, Decomposition, ExecOptions, FaultInjector, FaultPlan,
+    KillSpec, Msg, RankBatchOutcome, RankResult, Schedule, StepInput, SteppedMailbox,
+};
+use cip_sim::SimResult;
+use cip_telemetry::Recorder;
+use cip_transport::frame::{read_frame, write_frame, ReadError};
+use cip_transport::tcp::{bind_mesh, connect_mesh, mesh_mailbox};
+use cip_transport::{
+    ByteReader, ByteWriter, ChannelMailbox, Mailbox, MailboxConfig, TransportStats, Wire, WireError,
+};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Contact capture tolerance used by every traced run (the same
+/// constant the in-process driver hardcodes in its step inputs).
+const TOLERANCE: f64 = 0.4;
+
+// ---------------------------------------------------------------------
+// Control protocol
+// ---------------------------------------------------------------------
+
+/// One batch assignment: everything a worker cannot derive from the
+/// scenario itself. See the module docs for why this is sufficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// First snapshot index of the batch.
+    pub start: u32,
+    /// One past the last snapshot index.
+    pub end: u32,
+    /// Snapshot where the live search-tree chain was induced
+    /// (`chain_start <= start`); the worker replays refreshes from
+    /// there.
+    pub chain_start: u32,
+    /// Live rank count of this batch.
+    pub live_k: u32,
+    /// The live rank this worker plays.
+    pub rank: u32,
+    /// Epoch base for [`SteppedMailbox`]; strictly increasing across
+    /// attempts so stale frames of aborted batches are dropped.
+    pub epoch: u32,
+    /// Node-to-part assignment (`u32::MAX` = unassigned), constant
+    /// within a tree chain.
+    pub node_parts: Vec<u32>,
+    /// `route[live]` = original worker id playing live rank `live`.
+    pub route: Vec<u32>,
+    /// Per-step fault plans (`None` = clean step); same length as the
+    /// batch.
+    pub plans: Vec<Option<FaultPlan>>,
+    /// Executor drain timeout, milliseconds.
+    pub timeout_ms: u64,
+    /// Executor repair rounds before declaring peers dead.
+    pub retries: u32,
+    /// Pipelined lookahead (the barrier oracle ships 1).
+    pub lookahead: u32,
+}
+
+/// Messages on a worker's control socket, framed exactly like mesh
+/// traffic ([`cip_transport::frame`]) so the corruption guarantees are
+/// shared. Control corruption is fatal (there is no NACK layer here);
+/// the driver treats it as a dead worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ctrl {
+    /// Worker -> driver: "rank `rank` is up, my mesh listener is at
+    /// `mesh_addr`".
+    Hello {
+        /// The worker's original rank id.
+        rank: u32,
+        /// The worker's bound mesh listener address.
+        mesh_addr: String,
+    },
+    /// Driver -> workers: every worker's mesh address, indexed by rank.
+    Peers {
+        /// `mesh_addrs[r]` = rank `r`'s listener.
+        mesh_addrs: Vec<String>,
+    },
+    /// Driver -> worker: execute one batch.
+    Run(RunSpec),
+    /// Worker -> driver: the batch outcome plus cumulative transport
+    /// counters (the driver folds the per-batch delta into telemetry).
+    Done {
+        /// How the rank ended the batch.
+        outcome: RankBatchOutcome,
+        /// Cumulative mesh-socket counters of this worker.
+        stats: TransportStats,
+    },
+    /// Driver -> worker: shut down cleanly.
+    Exit,
+}
+
+/// Frame tag of [`Ctrl::Hello`].
+pub const TAG_HELLO: u8 = 1;
+/// Frame tag of [`Ctrl::Peers`].
+pub const TAG_PEERS: u8 = 2;
+/// Frame tag of [`Ctrl::Run`].
+pub const TAG_RUN: u8 = 3;
+/// Frame tag of [`Ctrl::Done`].
+pub const TAG_DONE: u8 = 4;
+/// Frame tag of [`Ctrl::Exit`].
+pub const TAG_EXIT: u8 = 5;
+
+fn w_str(w: &mut ByteWriter<'_>, s: &str) {
+    w.u32(s.len() as u32);
+    for &b in s.as_bytes() {
+        w.u8(b);
+    }
+}
+
+fn r_str(r: &mut ByteReader<'_>) -> Result<String, WireError> {
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(WireError::Malformed { what: "string length exceeds payload" });
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.u8()?);
+    }
+    String::from_utf8(bytes).map_err(|_| WireError::Malformed { what: "string is not utf-8" })
+}
+
+fn w_u32s(w: &mut ByteWriter<'_>, v: &[u32]) {
+    w.u32(v.len() as u32);
+    for &x in v {
+        w.u32(x);
+    }
+}
+
+fn r_u32s(r: &mut ByteReader<'_>) -> Result<Vec<u32>, WireError> {
+    let count = r.u32()? as usize;
+    if count * 4 > r.remaining() {
+        return Err(WireError::Malformed { what: "u32 count exceeds payload" });
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(r.u32()?);
+    }
+    Ok(v)
+}
+
+fn w_u64s(w: &mut ByteWriter<'_>, v: &[u64]) {
+    w.u32(v.len() as u32);
+    for &x in v {
+        w.u64(x);
+    }
+}
+
+fn r_u64s(r: &mut ByteReader<'_>) -> Result<Vec<u64>, WireError> {
+    let count = r.u32()? as usize;
+    if count * 8 > r.remaining() {
+        return Err(WireError::Malformed { what: "u64 count exceeds payload" });
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(r.u64()?);
+    }
+    Ok(v)
+}
+
+fn w_plan(w: &mut ByteWriter<'_>, p: &FaultPlan) {
+    w.u64(p.seed);
+    w.u16(p.drop_permille);
+    w.u16(p.dup_permille);
+    w.u16(p.delay_permille);
+    w.u16(p.reorder_permille);
+    match &p.kill {
+        None => w.u8(0),
+        Some(k) => {
+            w.u8(1);
+            w.u32(k.rank);
+            w.u64(k.after_sends);
+        }
+    }
+}
+
+fn r_plan(r: &mut ByteReader<'_>) -> Result<FaultPlan, WireError> {
+    let seed = r.u64()?;
+    let drop_permille = r.u16()?;
+    let dup_permille = r.u16()?;
+    let delay_permille = r.u16()?;
+    let reorder_permille = r.u16()?;
+    let kill = match r.u8()? {
+        0 => None,
+        _ => Some(KillSpec { rank: r.u32()?, after_sends: r.u64()? }),
+    };
+    Ok(FaultPlan { seed, drop_permille, dup_permille, delay_permille, reorder_permille, kill })
+}
+
+fn w_result(w: &mut ByteWriter<'_>, res: &RankResult) {
+    w.u32(res.pairs.len() as u32);
+    for p in &res.pairs {
+        w.u32(p.a);
+        w.u32(p.b);
+    }
+    w_u64s(w, &res.halo_sent);
+    w_u64s(w, &res.shipments_sent);
+    w.u64(res.halo_msgs);
+    w.u64(res.done_msgs);
+    w.u64(res.ghost_mismatches as u64);
+}
+
+fn r_result(r: &mut ByteReader<'_>) -> Result<RankResult, WireError> {
+    let count = r.u32()? as usize;
+    if count * 8 > r.remaining() {
+        return Err(WireError::Malformed { what: "pair count exceeds payload" });
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        pairs.push(cip_contact::ContactPair { a: r.u32()?, b: r.u32()? });
+    }
+    let halo_sent = r_u64s(r)?;
+    let shipments_sent = r_u64s(r)?;
+    Ok(RankResult {
+        pairs,
+        halo_sent,
+        shipments_sent,
+        halo_msgs: r.u64()?,
+        done_msgs: r.u64()?,
+        ghost_mismatches: r.u64()? as usize,
+    })
+}
+
+fn w_results(w: &mut ByteWriter<'_>, v: &[RankResult]) {
+    w.u32(v.len() as u32);
+    for res in v {
+        w_result(w, res);
+    }
+}
+
+fn r_results(r: &mut ByteReader<'_>) -> Result<Vec<RankResult>, WireError> {
+    let count = r.u32()? as usize;
+    // A RankResult is never smaller than its three length fields plus
+    // the three scalar counters.
+    if count * 36 > r.remaining() {
+        return Err(WireError::Malformed { what: "result count exceeds payload" });
+    }
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(r_result(r)?);
+    }
+    Ok(v)
+}
+
+fn w_outcome(w: &mut ByteWriter<'_>, o: &RankBatchOutcome) {
+    match o {
+        RankBatchOutcome::Completed(done) => {
+            w.u8(0);
+            w_results(w, done);
+        }
+        RankBatchOutcome::Dead { done } => {
+            w.u8(1);
+            w_results(w, done);
+        }
+        RankBatchOutcome::Lost { done, partial, dead } => {
+            w.u8(2);
+            w_results(w, done);
+            match partial {
+                None => w.u8(0),
+                Some(res) => {
+                    w.u8(1);
+                    w_result(w, res);
+                }
+            }
+            w_u32s(w, dead);
+        }
+    }
+}
+
+fn r_outcome(r: &mut ByteReader<'_>) -> Result<RankBatchOutcome, WireError> {
+    match r.u8()? {
+        0 => Ok(RankBatchOutcome::Completed(r_results(r)?)),
+        1 => Ok(RankBatchOutcome::Dead { done: r_results(r)? }),
+        2 => {
+            let done = r_results(r)?;
+            let partial = match r.u8()? {
+                0 => None,
+                _ => Some(r_result(r)?),
+            };
+            let dead = r_u32s(r)?;
+            Ok(RankBatchOutcome::Lost { done, partial, dead })
+        }
+        _ => Err(WireError::Malformed { what: "unknown outcome variant" }),
+    }
+}
+
+impl Wire for Ctrl {
+    fn tag(&self) -> u8 {
+        match self {
+            Ctrl::Hello { .. } => TAG_HELLO,
+            Ctrl::Peers { .. } => TAG_PEERS,
+            Ctrl::Run(_) => TAG_RUN,
+            Ctrl::Done { .. } => TAG_DONE,
+            Ctrl::Exit => TAG_EXIT,
+        }
+    }
+
+    fn src_rank(&self) -> u32 {
+        match self {
+            Ctrl::Hello { rank, .. } => *rank,
+            _ => 0,
+        }
+    }
+
+    fn step(&self) -> u32 {
+        0
+    }
+
+    fn seq(&self) -> u64 {
+        0
+    }
+
+    fn encode_payload(&self, w: &mut ByteWriter<'_>) {
+        match self {
+            Ctrl::Hello { mesh_addr, .. } => w_str(w, mesh_addr),
+            Ctrl::Peers { mesh_addrs } => {
+                w.u32(mesh_addrs.len() as u32);
+                for a in mesh_addrs {
+                    w_str(w, a);
+                }
+            }
+            Ctrl::Run(spec) => {
+                w.u32(spec.start);
+                w.u32(spec.end);
+                w.u32(spec.chain_start);
+                w.u32(spec.live_k);
+                w.u32(spec.rank);
+                w.u32(spec.epoch);
+                w.u64(spec.timeout_ms);
+                w.u32(spec.retries);
+                w.u32(spec.lookahead);
+                w_u32s(w, &spec.node_parts);
+                w_u32s(w, &spec.route);
+                w.u32(spec.plans.len() as u32);
+                for p in &spec.plans {
+                    match p {
+                        None => w.u8(0),
+                        Some(plan) => {
+                            w.u8(1);
+                            w_plan(w, plan);
+                        }
+                    }
+                }
+            }
+            Ctrl::Done { outcome, stats } => {
+                w_outcome(w, outcome);
+                w.u64(stats.bytes_sent);
+                w.u64(stats.bytes_recv);
+                w.u64(stats.frames_sent);
+                w.u64(stats.frames_recv);
+                w.u64(stats.recv_corrupt);
+            }
+            Ctrl::Exit => {}
+        }
+    }
+
+    fn decode_payload(
+        tag: u8,
+        from: u32,
+        _step: u32,
+        _seq: u64,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, WireError> {
+        match tag {
+            TAG_HELLO => Ok(Ctrl::Hello { rank: from, mesh_addr: r_str(r)? }),
+            TAG_PEERS => {
+                let count = r.u32()? as usize;
+                if count * 4 > r.remaining() {
+                    return Err(WireError::Malformed { what: "peer count exceeds payload" });
+                }
+                let mut mesh_addrs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    mesh_addrs.push(r_str(r)?);
+                }
+                Ok(Ctrl::Peers { mesh_addrs })
+            }
+            TAG_RUN => {
+                let start = r.u32()?;
+                let end = r.u32()?;
+                let chain_start = r.u32()?;
+                let live_k = r.u32()?;
+                let rank = r.u32()?;
+                let epoch = r.u32()?;
+                let timeout_ms = r.u64()?;
+                let retries = r.u32()?;
+                let lookahead = r.u32()?;
+                let node_parts = r_u32s(r)?;
+                let route = r_u32s(r)?;
+                let count = r.u32()? as usize;
+                if count > r.remaining() {
+                    return Err(WireError::Malformed { what: "plan count exceeds payload" });
+                }
+                let mut plans = Vec::with_capacity(count);
+                for _ in 0..count {
+                    plans.push(match r.u8()? {
+                        0 => None,
+                        _ => Some(r_plan(r)?),
+                    });
+                }
+                Ok(Ctrl::Run(RunSpec {
+                    start,
+                    end,
+                    chain_start,
+                    live_k,
+                    rank,
+                    epoch,
+                    node_parts,
+                    route,
+                    plans,
+                    timeout_ms,
+                    retries,
+                    lookahead,
+                }))
+            }
+            TAG_DONE => {
+                let outcome = r_outcome(r)?;
+                let stats = TransportStats {
+                    bytes_sent: r.u64()?,
+                    bytes_recv: r.u64()?,
+                    frames_sent: r.u64()?,
+                    frames_recv: r.u64()?,
+                    recv_corrupt: r.u64()?,
+                };
+                Ok(Ctrl::Done { outcome, stats })
+            }
+            TAG_EXIT => Ok(Ctrl::Exit),
+            got => Err(WireError::BadTag { got }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver side: the worker pool
+// ---------------------------------------------------------------------
+
+/// How to spawn a worker pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker (= initial rank) count.
+    pub k: usize,
+    /// Scenario name every worker rebuilds (see
+    /// [`crate::trace::scenario_config`]).
+    pub scenario: String,
+    /// Snapshot count (the driver's, post-override — workers must
+    /// simulate the identical trajectory).
+    pub snapshots: usize,
+    /// Mesh mailbox capacity per lane.
+    pub capacity: usize,
+    /// Control-listener bind address (`127.0.0.1:0` = loopback,
+    /// OS-assigned port).
+    pub bind: String,
+    /// Worker executable; `None` resolves `CIP_WORKER_BIN`, then a
+    /// `cip-worker` sibling of the current executable.
+    pub worker_bin: Option<PathBuf>,
+}
+
+/// One live worker process and its control socket.
+struct Worker {
+    child: Child,
+    ctrl: TcpStream,
+}
+
+/// `k` worker processes plus the driver-side control plumbing. Dropping
+/// the pool shuts every worker down.
+pub struct WorkerPool {
+    workers: Vec<Option<Worker>>,
+    last_stats: Vec<TransportStats>,
+}
+
+/// One batch assignment from the driver's point of view; per-rank
+/// [`RunSpec`]s are derived from it.
+#[derive(Debug)]
+pub struct BatchSpec<'a> {
+    /// First snapshot index.
+    pub start: usize,
+    /// One past the last snapshot index.
+    pub end: usize,
+    /// Where the live tree chain was induced.
+    pub chain_start: usize,
+    /// Live rank count.
+    pub live_k: usize,
+    /// Epoch base of this attempt.
+    pub epoch: u32,
+    /// Node assignment.
+    pub node_parts: &'a [u32],
+    /// Per-step fault plans.
+    pub plans: Vec<Option<FaultPlan>>,
+    /// Executor drain timeout, milliseconds.
+    pub timeout_ms: u64,
+    /// Executor repair rounds.
+    pub retries: u32,
+    /// Pipelined lookahead.
+    pub lookahead: usize,
+}
+
+fn resolve_worker_bin(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    if let Ok(p) = std::env::var("CIP_WORKER_BIN") {
+        return p.into();
+    }
+    match std::env::current_exe() {
+        Ok(exe) => exe.with_file_name("cip-worker"),
+        Err(_) => PathBuf::from("cip-worker"),
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `cfg.k` worker processes and run the hello/peers
+    /// handshake until the mesh is ready for batches.
+    pub fn spawn(cfg: &PoolConfig) -> Result<Self, String> {
+        let listener = TcpListener::bind(&cfg.bind)
+            .map_err(|e| format!("bind control listener on {}: {e}", cfg.bind))?;
+        let addr = listener.local_addr().map_err(|e| format!("control listener address: {e}"))?;
+        let bin = resolve_worker_bin(cfg.worker_bin.as_deref());
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(cfg.k);
+        for r in 0..cfg.k {
+            let child = Command::new(&bin)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--rank")
+                .arg(r.to_string())
+                .arg("--ranks")
+                .arg(cfg.k.to_string())
+                .arg("--scenario")
+                .arg(&cfg.scenario)
+                .arg("--snapshots")
+                .arg(cfg.snapshots.to_string())
+                .arg("--capacity")
+                .arg(cfg.capacity.to_string())
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn worker '{}': {e}", bin.display()))?;
+            children.push(Some(child));
+        }
+
+        // Non-blocking accept with a deadline: a worker that crashes
+        // before dialing (bad binary, failed dynamic link) must fail
+        // the spawn, not hang it.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("control listener non-blocking: {e}"))?;
+        let handshake_deadline = Instant::now() + Duration::from_secs(120);
+        let mut workers: Vec<Option<Worker>> = (0..cfg.k).map(|_| None).collect();
+        let mut mesh_addrs = vec![String::new(); cfg.k];
+        let mut payload = Vec::new();
+        for _ in 0..cfg.k {
+            let (mut s, _) = loop {
+                match listener.accept() {
+                    Ok(pair) => break pair,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= handshake_deadline {
+                            return Err(
+                                "worker handshake timed out (did a worker die before connecting?)"
+                                    .to_string(),
+                            );
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(format!("accept worker: {e}")),
+                }
+            };
+            s.set_nonblocking(false).ok();
+            s.set_nodelay(true).ok();
+            s.set_read_timeout(Some(Duration::from_secs(120))).ok();
+            let msg = match read_frame::<Ctrl>(&mut s, &mut payload) {
+                Ok((m, _, _)) => m,
+                Err(e) => return Err(format!("worker hello failed: {e:?}")),
+            };
+            let Ctrl::Hello { rank, mesh_addr } = msg else {
+                return Err("worker spoke out of turn during the handshake".to_string());
+            };
+            let r = rank as usize;
+            if r >= cfg.k || workers[r].is_some() {
+                return Err(format!("unexpected hello from rank {rank}"));
+            }
+            let Some(child) = children[r].take() else {
+                return Err(format!("duplicate hello from rank {rank}"));
+            };
+            mesh_addrs[r] = mesh_addr;
+            workers[r] = Some(Worker { child, ctrl: s });
+        }
+
+        let peers = Ctrl::Peers { mesh_addrs };
+        let mut buf = Vec::new();
+        for w in workers.iter_mut().flatten() {
+            write_frame(&mut w.ctrl, &peers, 0, &mut buf)
+                .map_err(|e| format!("send peer list: {e}"))?;
+        }
+        Ok(Self { workers, last_stats: vec![TransportStats::default(); cfg.k] })
+    }
+
+    /// Run one batch across the live workers named by `route`
+    /// (`route[live]` = worker id). Returns one outcome per live rank,
+    /// ready for [`cip_runtime::collect_batch`]; a worker that cannot
+    /// report (dead process, broken control channel) comes back as
+    /// [`RankBatchOutcome::Dead`] at step 0. Per-batch transport byte
+    /// deltas are folded into `rec`'s `transport.*` counters.
+    pub fn execute_batch(
+        &mut self,
+        spec: &BatchSpec<'_>,
+        route: &[u32],
+        rec: &Recorder,
+    ) -> Vec<RankBatchOutcome> {
+        let mut buf = Vec::new();
+        for (live, &wid) in route.iter().enumerate().take(spec.live_k) {
+            let run = Ctrl::Run(RunSpec {
+                start: spec.start as u32,
+                end: spec.end as u32,
+                chain_start: spec.chain_start as u32,
+                live_k: spec.live_k as u32,
+                rank: live as u32,
+                epoch: spec.epoch,
+                node_parts: spec.node_parts.to_vec(),
+                route: route.to_vec(),
+                plans: spec.plans.clone(),
+                timeout_ms: spec.timeout_ms,
+                retries: spec.retries,
+                lookahead: spec.lookahead as u32,
+            });
+            let wid = wid as usize;
+            let ok = match self.workers.get_mut(wid).and_then(|w| w.as_mut()) {
+                Some(w) => write_frame(&mut w.ctrl, &run, 0, &mut buf).is_ok(),
+                None => false,
+            };
+            if !ok {
+                self.kill(wid);
+            }
+        }
+
+        // A worker is never slower than its own executor's give-up
+        // budget plus the batch prep; anything beyond that is a dead
+        // process, not a slow one.
+        let steps = (spec.end - spec.start).max(1) as u64;
+        let deadline = Duration::from_millis(
+            60_000 + steps * spec.timeout_ms.max(1_000) * (u64::from(spec.retries) + 2),
+        );
+        let mut payload = Vec::new();
+        let mut outcomes = Vec::with_capacity(spec.live_k);
+        for &wid in route.iter().take(spec.live_k) {
+            let wid = wid as usize;
+            let outcome = match self.workers.get_mut(wid).and_then(|w| w.as_mut()) {
+                None => RankBatchOutcome::Dead { done: Vec::new() },
+                Some(w) => {
+                    w.ctrl.set_read_timeout(Some(deadline)).ok();
+                    match read_frame::<Ctrl>(&mut w.ctrl, &mut payload) {
+                        Ok((Ctrl::Done { outcome, stats }, _, _)) => {
+                            let prev = self.last_stats[wid];
+                            rec.add(
+                                "transport.bytes_sent",
+                                stats.bytes_sent.saturating_sub(prev.bytes_sent),
+                            );
+                            rec.add(
+                                "transport.bytes_recv",
+                                stats.bytes_recv.saturating_sub(prev.bytes_recv),
+                            );
+                            self.last_stats[wid] = stats;
+                            outcome
+                        }
+                        // EOF, timeout, corruption, or a non-Done
+                        // frame: the worker is unusable — fold it in
+                        // as dead and let recovery handle it.
+                        _ => {
+                            self.kill(wid);
+                            RankBatchOutcome::Dead { done: Vec::new() }
+                        }
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    /// Shut down the given workers (by original worker id) — used when
+    /// recovery removes their ranks from the computation.
+    pub fn retire(&mut self, worker_ids: &[u32]) {
+        for &wid in worker_ids {
+            self.kill(wid as usize);
+        }
+    }
+
+    /// Live worker count (diagnostics).
+    pub fn live(&self) -> usize {
+        self.workers.iter().flatten().count()
+    }
+
+    fn kill(&mut self, wid: usize) {
+        let Some(slot) = self.workers.get_mut(wid) else { return };
+        let Some(mut w) = slot.take() else { return };
+        let mut buf = Vec::new();
+        let _ = write_frame(&mut w.ctrl, &Ctrl::Exit, 0, &mut buf);
+        let _ = w.ctrl.shutdown(Shutdown::Both);
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for wid in 0..self.workers.len() {
+            self.kill(wid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Parsed `cip-worker` arguments.
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// Driver control address to dial.
+    pub connect: String,
+    /// This worker's original rank.
+    pub rank: usize,
+    /// Total worker count (mesh size).
+    pub ranks: usize,
+    /// Scenario to rebuild.
+    pub scenario: String,
+    /// Snapshot-count override.
+    pub snapshots: Option<usize>,
+    /// Mesh mailbox capacity per lane.
+    pub capacity: usize,
+}
+
+/// Owned per-step inputs staged for one batch (the worker's mirror of
+/// the driver's prep).
+struct Prepared {
+    view: SnapshotView,
+    elements: Vec<cip_contact::SurfaceElementInfo<3>>,
+    bodies: Vec<u16>,
+    decomposition: Decomposition,
+}
+
+/// The `cip-worker` main loop: handshake, then execute [`Ctrl::Run`]
+/// batches until [`Ctrl::Exit`] or driver EOF. Returns `Ok` on clean
+/// shutdown — including after this rank was killed by its fault plan,
+/// in which case the outcome has already been reported and the caller
+/// should simply exit (the process death *is* the simulated death).
+pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
+    // Handshake before the (potentially slow) simulation rebuild, so a
+    // worker that dies during setup is an ordinary mid-protocol EOF for
+    // the driver rather than a never-connected hole in the handshake.
+    let lst = bind_mesh("127.0.0.1:0").map_err(|e| format!("bind mesh listener: {e}"))?;
+    let mut ctrl = TcpStream::connect(&args.connect)
+        .map_err(|e| format!("dial driver at {}: {e}", args.connect))?;
+    ctrl.set_nodelay(true).ok();
+    let mut buf = Vec::new();
+    let hello = Ctrl::Hello { rank: args.rank as u32, mesh_addr: lst.addr.to_string() };
+    write_frame(&mut ctrl, &hello, 0, &mut buf).map_err(|e| format!("send hello: {e}"))?;
+
+    let mut scfg = scenario_config(&args.scenario)
+        .ok_or_else(|| format!("unknown scenario '{}'", args.scenario))?;
+    if let Some(s) = args.snapshots {
+        scfg.snapshots = s;
+    }
+    let sim = cip_sim::run(&scfg);
+
+    let mut payload = Vec::new();
+    let msg = match read_frame::<Ctrl>(&mut ctrl, &mut payload) {
+        Ok((m, _, _)) => m,
+        Err(e) => return Err(format!("read peer list: {e:?}")),
+    };
+    let Ctrl::Peers { mesh_addrs } = msg else {
+        return Err("expected the peer list after hello".to_string());
+    };
+    let addrs: Vec<SocketAddr> = mesh_addrs
+        .iter()
+        .map(|a| a.parse().map_err(|e| format!("bad mesh address '{a}': {e}")))
+        .collect::<Result<_, _>>()?;
+    let node = connect_mesh(args.rank, args.ranks, lst, &addrs)
+        .map_err(|e| format!("connect mesh: {e}"))?;
+    let cfg = MailboxConfig { capacity: args.capacity.max(1), recorder: Recorder::disabled() };
+    let mut mesh = mesh_mailbox::<Msg>(node, &cfg).map_err(|e| format!("mesh mailbox: {e}"))?;
+
+    loop {
+        let msg = match read_frame::<Ctrl>(&mut ctrl, &mut payload) {
+            Ok((m, _, _)) => m,
+            Err(ReadError::Eof) => break, // driver gone: clean exit
+            Err(e) => return Err(format!("control channel failed: {e:?}")),
+        };
+        match msg {
+            Ctrl::Run(spec) => {
+                if abrupt_death_requested(args.rank) {
+                    // Chaos hook: vanish without reporting — no Done,
+                    // no clean shutdown — exactly like an external
+                    // `kill -9` mid-protocol. The driver must
+                    // synthesize the death from control-channel EOF.
+                    std::process::exit(137);
+                }
+                let outcome = run_batch(&sim, &spec, &mut mesh);
+                let died = matches!(outcome, RankBatchOutcome::Dead { .. });
+                let done = Ctrl::Done { outcome, stats: mesh.stats() };
+                write_frame(&mut ctrl, &done, 0, &mut buf)
+                    .map_err(|e| format!("report outcome: {e}"))?;
+                if died {
+                    // The logical kill becomes a real process death —
+                    // in-flight mesh frames from this zombie are stale
+                    // epochs by the time survivors re-run the step.
+                    break;
+                }
+            }
+            Ctrl::Exit => break,
+            other => return Err(format!("unexpected control message: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Chaos hook: `CIP_WORKER_DIE=N` makes the worker spawned as original
+/// rank `N` exit abruptly when its first batch assignment arrives,
+/// without reporting an outcome. This exercises the driver's
+/// EOF-synthesis path (`Dead` at step 0 → `RankLost` → recovery) the
+/// same way an out-of-band `kill -9` would, but deterministically.
+fn abrupt_death_requested(original_rank: usize) -> bool {
+    std::env::var("CIP_WORKER_DIE").ok().as_deref() == Some(original_rank.to_string().as_str())
+}
+
+/// Execute one batch assignment: replay the driver's search-tree chain
+/// under the shipped assignment, rebuild the step inputs exactly as the
+/// in-process driver stages them, and run this rank's executor loop
+/// over the epoch-tagged mesh.
+fn run_batch(sim: &SimResult, spec: &RunSpec, mesh: &mut ChannelMailbox<Msg>) -> RankBatchOutcome {
+    let (start, end) = (spec.start as usize, spec.end as usize);
+    let chain_start = spec.chain_start as usize;
+    let live_k = spec.live_k as usize;
+    let rec = Recorder::disabled();
+    let dcfg = DtreeConfig::search_tree();
+
+    // Tree-chain replay: `node_parts` is constant within a chain (it
+    // only changes where the driver resets the chain), so inducing at
+    // `chain_start` and refreshing forward reproduces the driver's
+    // incrementally refreshed tree exactly.
+    let mut chain: Option<DecisionTree<3>> = None;
+    let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - start);
+    let mut prepped: Vec<Prepared> = Vec::with_capacity(end - start);
+    for j in chain_start..end {
+        let view = SnapshotView::build(sim, j, 5);
+        let labels = view.contact.labels_from_node_parts(&spec.node_parts);
+        let t = match trees.last().or(chain.as_ref()) {
+            None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
+            Some(prev) => {
+                refresh_recorded(prev, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
+            }
+        };
+        if j < start {
+            chain = Some(t);
+            continue;
+        }
+        let asg_now: Vec<u32> =
+            view.graph2.node_of_vertex.iter().map(|&n| spec.node_parts[n as usize]).collect();
+        let elements = view.surface_elements(&spec.node_parts);
+        let bodies = view.face_bodies();
+        let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+        let decomposition = build_decomposition(
+            &view.graph2.graph,
+            &view.graph2.node_of_vertex,
+            &asg_now,
+            &owners,
+            live_k,
+        );
+        trees.push(t);
+        prepped.push(Prepared { view, elements, bodies, decomposition });
+    }
+
+    let filters: Vec<DtreeFilter<'_, 3>> =
+        trees.iter().map(|t| DtreeFilter::new(t, live_k)).collect();
+    let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
+        .iter()
+        .zip(filters.iter())
+        .map(|(p, filter)| StepInput {
+            decomposition: &p.decomposition,
+            positions: &p.view.mesh.points,
+            elements: &p.elements,
+            bodies: &p.bodies,
+            filter,
+            tolerance: TOLERANCE,
+            recorder: rec.clone(),
+        })
+        .collect();
+    let faults: Vec<FaultInjector> = spec
+        .plans
+        .iter()
+        .map(|p| match p {
+            None => FaultInjector::none(),
+            Some(plan) => FaultInjector::with_plan(plan.clone()),
+        })
+        .collect();
+    let opts = ExecOptions {
+        timeout: Duration::from_millis(spec.timeout_ms),
+        retries: spec.retries,
+        schedule: Schedule::Pipelined { lookahead: (spec.lookahead as usize).max(1) },
+        ..ExecOptions::default()
+    };
+
+    let mut mb = SteppedMailbox::new(mesh, spec.epoch, &spec.route);
+    execute_rank_steps(spec.rank as usize, live_k, &inputs, &faults, &opts, &mut mb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cip_transport::frame::{decode_frame, encode_frame};
+
+    fn round_trip(msg: &Ctrl) {
+        let mut buf = Vec::new();
+        encode_frame(msg, 0, &mut buf);
+        let (back, _, consumed) = decode_frame::<Ctrl>(&buf).expect("control frame decodes");
+        assert_eq!(&back, msg);
+        assert_eq!(consumed, buf.len());
+    }
+
+    fn sample_result(n: usize) -> RankResult {
+        RankResult {
+            pairs: vec![cip_contact::ContactPair { a: 1, b: 9 }; n],
+            halo_sent: vec![3, 0, 7],
+            shipments_sent: vec![0, 2, 0],
+            halo_msgs: 5,
+            done_msgs: 2,
+            ghost_mismatches: 0,
+        }
+    }
+
+    #[test]
+    fn every_control_variant_round_trips() {
+        round_trip(&Ctrl::Hello { rank: 3, mesh_addr: "127.0.0.1:45123".into() });
+        round_trip(&Ctrl::Peers { mesh_addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()] });
+        round_trip(&Ctrl::Peers { mesh_addrs: Vec::new() });
+        round_trip(&Ctrl::Run(RunSpec {
+            start: 4,
+            end: 8,
+            chain_start: 2,
+            live_k: 3,
+            rank: 1,
+            epoch: 12,
+            node_parts: vec![0, 1, 2, u32::MAX],
+            route: vec![0, 2, 3],
+            plans: vec![
+                None,
+                Some(FaultPlan {
+                    seed: 99,
+                    drop_permille: 10,
+                    dup_permille: 0,
+                    delay_permille: 5,
+                    reorder_permille: 0,
+                    kill: Some(KillSpec { rank: 2, after_sends: 7 }),
+                }),
+            ],
+            timeout_ms: 2000,
+            retries: 3,
+            lookahead: 2,
+        }));
+        round_trip(&Ctrl::Done {
+            outcome: RankBatchOutcome::Completed(vec![sample_result(2), sample_result(0)]),
+            stats: TransportStats {
+                bytes_sent: 100,
+                bytes_recv: 200,
+                frames_sent: 3,
+                frames_recv: 4,
+                recv_corrupt: 1,
+            },
+        });
+        round_trip(&Ctrl::Done {
+            outcome: RankBatchOutcome::Dead { done: vec![sample_result(1)] },
+            stats: TransportStats::default(),
+        });
+        round_trip(&Ctrl::Done {
+            outcome: RankBatchOutcome::Lost {
+                done: vec![sample_result(3)],
+                partial: Some(sample_result(1)),
+                dead: vec![2],
+            },
+            stats: TransportStats::default(),
+        });
+        round_trip(&Ctrl::Done {
+            outcome: RankBatchOutcome::Lost { done: Vec::new(), partial: None, dead: vec![0, 1] },
+            stats: TransportStats::default(),
+        });
+        round_trip(&Ctrl::Exit);
+    }
+
+    #[test]
+    fn hostile_control_counts_are_rejected() {
+        // A Peers frame claiming 2^30 strings in a tiny payload.
+        let msg = Ctrl::Peers { mesh_addrs: Vec::new() };
+        let mut buf = Vec::new();
+        encode_frame(&msg, 0, &mut buf);
+        let hdr = cip_transport::HEADER_LEN;
+        buf[hdr..hdr + 4].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let crc = cip_transport::wire::crc32(&[&buf[..26], &buf[hdr..]]);
+        buf[26..30].copy_from_slice(&crc.to_le_bytes());
+        let err = decode_frame::<Ctrl>(&buf).expect_err("hostile count rejected");
+        assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn worker_bin_resolution_prefers_explicit_path() {
+        let p = resolve_worker_bin(Some(Path::new("/tmp/custom-worker")));
+        assert_eq!(p, PathBuf::from("/tmp/custom-worker"));
+        // Without an explicit path we fall back to the environment or a
+        // sibling — either way the file name is `cip-worker` unless the
+        // env var overrides it.
+        if std::env::var("CIP_WORKER_BIN").is_err() {
+            let p = resolve_worker_bin(None);
+            assert_eq!(p.file_name().and_then(|s| s.to_str()), Some("cip-worker"));
+        }
+    }
+}
