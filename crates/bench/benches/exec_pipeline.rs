@@ -9,8 +9,9 @@
 //! on their inbox) is the direct measurement; on a single-CPU runner the
 //! wall-clock gap narrows but the idle gap survives.
 
+use cip::trace::{run_traced, TraceOptions};
 use cip_bench::pipeline_load::{batch_inputs, skewed_chain};
-use cip_runtime::{execute_steps_with, ExecOptions, Schedule};
+use cip_runtime::{execute_steps_with, ExecOptions, RepartitionMode, Schedule};
 use cip_telemetry::Recorder;
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -45,6 +46,39 @@ fn idle_report() {
     }
 }
 
+/// One instrumented traced run per repartition mode: prints the
+/// boundary stall time and the planning time hidden behind batches
+/// (DESIGN.md §6f).
+fn repart_report() {
+    for (label, mode) in
+        [("barrier", RepartitionMode::Barrier), ("overlapped", RepartitionMode::Overlapped)]
+    {
+        let report = run_traced(&repart_opts(mode)).expect("traced repartition run");
+        let summary = report.summary();
+        let stall_ms = summary.span("repartition.stall").map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        let hidden_ms = report.recorder.counter_value("repartition.overlap.hidden_ms") as f64;
+        eprintln!(
+            "repart report: {label:<10} repartition.stall {stall_ms:8.2} ms  \
+             hidden {hidden_ms:8.2} ms  ({} repartitions)",
+            report.repartitions
+        );
+    }
+}
+
+/// The traced-driver config of the repartition-mode rows: big enough
+/// that a boundary plan costs whole milliseconds, with two mid-run
+/// boundaries for the background planner to hide.
+fn repart_opts(mode: RepartitionMode) -> TraceOptions {
+    TraceOptions {
+        scenario: "head_on".into(),
+        k: 4,
+        snapshots: Some(12),
+        repartition_period: Some(4),
+        repartition_mode: mode,
+        ..TraceOptions::default()
+    }
+}
+
 fn bench_exec_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec_pipeline");
     group.sample_size(10);
@@ -66,9 +100,27 @@ fn bench_exec_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exec_pipeline);
+/// Barrier vs overlapped repartitioning through the full traced driver
+/// — same totals by construction, the difference is where the planning
+/// time goes (a boundary stall vs hidden behind the preceding batch).
+fn bench_repart_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_repart");
+    group.sample_size(10);
+    for (label, mode) in
+        [("barrier", RepartitionMode::Barrier), ("overlapped", RepartitionMode::Overlapped)]
+    {
+        let topts = repart_opts(mode);
+        group.bench_function(BenchmarkId::new(label, 4), |b| {
+            b.iter(|| black_box(run_traced(&topts).expect("traced repartition run")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_pipeline, bench_repart_modes);
 
 fn main() {
     idle_report();
+    repart_report();
     benches();
 }

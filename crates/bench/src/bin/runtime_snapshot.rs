@@ -11,12 +11,23 @@
 //! in-process channels — the delta against `exec_batch/pipelined` is
 //! the framing + socket cost of the wire.
 //!
+//! The `trace_repart/*` rows run the full traced driver with periodic
+//! diffusion repartitioning under both repartition modes (DESIGN.md
+//! §6f): `stall_ms` is the time the driver was blocked at boundaries
+//! waiting for a plan, and `hidden_ms` is planning time that overlapped
+//! batch execution — the acceptance signal is `hidden_ms > 0` for
+//! `trace_repart/overlapped` (planning really ran behind the batch)
+//! while the executed totals stay bit-identical to the barrier row.
+//!
 //! Usage: `cargo run --release -p cip-bench --bin runtime_snapshot
 //! [--nodes N] [--steps S] [--reps R]` (defaults: 512, 8, 5).
 
+use cip::trace::{run_traced, TraceOptions};
 use cip_bench::pipeline_load::{batch_inputs, skewed_chain};
 use cip_bench::write_json;
-use cip_runtime::{execute_steps_transport, execute_steps_with, ExecOptions, Schedule};
+use cip_runtime::{
+    execute_steps_transport, execute_steps_with, ExecOptions, RepartitionMode, Schedule,
+};
 use cip_telemetry::Recorder;
 use cip_transport::tcp::Tcp;
 use serde::Serialize;
@@ -40,6 +51,12 @@ struct RuntimeRow {
     idle_ms: f64,
     /// High-water `exec.overlap.steps_in_flight` gauge (1 for barrier).
     max_steps_in_flight: u64,
+    /// Driver wall time blocked at repartition boundaries, milliseconds
+    /// (`repartition.stall` span total; 0 for the `exec_batch` rows).
+    stall_ms: f64,
+    /// Planning time hidden behind batch execution, milliseconds
+    /// (`repartition.overlap.hidden_ms`; 0 outside overlapped mode).
+    hidden_ms: f64,
 }
 
 #[derive(Serialize)]
@@ -144,8 +161,63 @@ fn main() {
                 median_ms,
                 idle_ms,
                 max_steps_in_flight,
+                stall_ms: 0.0,
+                hidden_ms: 0.0,
             });
         }
+    }
+
+    // Full traced driver with periodic repartitioning: barrier vs
+    // overlapped boundary planning (DESIGN.md §6f). The head_on
+    // scenario is large enough that a boundary plan costs whole
+    // milliseconds, so the overlap is visible even when the wall-clock
+    // delta drowns in scheduler noise.
+    for (label, mode) in
+        [("barrier", RepartitionMode::Barrier), ("overlapped", RepartitionMode::Overlapped)]
+    {
+        let topts = TraceOptions {
+            scenario: "head_on".into(),
+            k: 4,
+            snapshots: Some(12),
+            repartition_period: Some(4),
+            repartition_mode: mode,
+            ..TraceOptions::default()
+        };
+        let run = || run_traced(&topts).expect("traced repartition run");
+        run();
+        let mut samples: Vec<f64> = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let report = run();
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+            last = Some(report);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let (min_ms, median_ms) = (samples[0], samples[reps / 2]);
+        let report = last.expect("reps >= 1");
+        let summary = report.summary();
+        let stall_ms = summary.span("repartition.stall").map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        let hidden_ms = report.recorder.counter_value("repartition.overlap.hidden_ms") as f64;
+        let idle_ms = summary.span("exec.idle").map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        let max_steps_in_flight =
+            summary.histogram("exec.overlap.steps_in_flight").map_or(1, |h| h.max);
+        eprintln!(
+            "  k=4 repart/{label:<10} min {min_ms:8.2} ms  median {median_ms:8.2} ms  \
+             stall {stall_ms:8.2} ms  hidden {hidden_ms:8.2} ms"
+        );
+        rows.push(RuntimeRow {
+            name: format!("trace_repart/{label}"),
+            k: 4,
+            n_steps: report.steps,
+            reps,
+            min_ms,
+            median_ms,
+            idle_ms,
+            max_steps_in_flight,
+            stall_ms,
+            hidden_ms,
+        });
     }
 
     let snapshot = Snapshot { threads, nodes, rows };

@@ -99,6 +99,22 @@ pub enum Msg {
         /// Sending rank.
         from: u32,
     },
+    /// Overlapped-repartition hand-off (DESIGN.md §6f): the nodes this
+    /// rank surrenders to the receiver under an accepted
+    /// [`crate::MigrationPlan`]. Spliced in front of a pipelined batch as
+    /// a tagged stage, so the decomposition flip rides the normal message
+    /// schedule instead of a driver barrier. Control-plane: never routed
+    /// through fault injection and never counted as payload traffic, so
+    /// the fate stream stays bit-identical to the barrier oracle.
+    Migrate {
+        /// Sending rank (the old owner).
+        from: u32,
+        /// Batch-local step the stage precedes (always 0; epoch-lifted by
+        /// the multi-process fence exactly like payload steps).
+        step: u32,
+        /// Global node ids handed to the receiver, in plan order.
+        nodes: Vec<u32>,
+    },
 }
 
 /// Message counts per communication phase of one executed step.
@@ -227,6 +243,21 @@ impl Schedule {
     }
 }
 
+/// How the driver schedules periodic repartitions relative to the step
+/// loop (DESIGN.md §6f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepartitionMode {
+    /// Stop-the-world: drain the batch, plan the repartition serially,
+    /// apply it, then start the next batch. The bit-identity oracle for
+    /// the overlapped path.
+    Barrier,
+    /// Plan the repartition for the next boundary on a background thread
+    /// while the current batch executes, and splice the executed
+    /// migration into the next batch as a [`Msg::Migrate`] stage.
+    #[default]
+    Overlapped,
+}
+
 /// Execution policy: drain timeout, repair budget, fault injection,
 /// batch schedule.
 #[derive(Debug, Clone)]
@@ -248,6 +279,14 @@ pub struct ExecOptions {
     /// `cip_transport::mailbox` — so this is purely a memory/backpressure
     /// knob.
     pub mailbox_capacity: usize,
+    /// Largest step batch the driver hands the executor at once (clamped
+    /// to ≥ 1 by consumers). Batch length and repartition period tune
+    /// together: a batch never spans a repartition boundary.
+    pub max_batch: usize,
+    /// Whether the driver plans repartitions behind the running batch
+    /// ([`RepartitionMode::Overlapped`], the default) or at a full stop
+    /// ([`RepartitionMode::Barrier`], the oracle).
+    pub repartition_mode: RepartitionMode,
 }
 
 impl Default for ExecOptions {
@@ -258,6 +297,8 @@ impl Default for ExecOptions {
             fault: FaultInjector::none(),
             schedule: Schedule::pipelined(),
             mailbox_capacity: 256,
+            max_batch: 8,
+            repartition_mode: RepartitionMode::default(),
         }
     }
 }
@@ -562,7 +603,10 @@ fn run_rank<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
                                 done += 1;
                             }
                         }
-                        Ok(Msg::Resend { .. } | Msg::Complete { .. }) => {}
+                        // A barrier step has no migrate stage to serve
+                        // (DESIGN.md §6f): the decomposition flip
+                        // already happened driver-side.
+                        Ok(Msg::Resend { .. } | Msg::Complete { .. } | Msg::Migrate { .. }) => {}
                         Err(_) => {
                             let dead: Vec<u32> =
                                 (0..k).filter(|&p| !done_from[p]).map(|p| p as u32).collect();
@@ -639,6 +683,10 @@ fn run_rank<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
                         Ok(Msg::Complete { from }) => {
                             completed[from as usize] = true;
                         }
+                        // Control-plane migrate stages are outside the
+                        // payload sequence space and a barrier step has
+                        // no stage to serve (DESIGN.md §6f).
+                        Ok(Msg::Migrate { .. }) => {}
                         Err(_) => {
                             if retries_left == 0 {
                                 let mut dead: Vec<u32> = (0..k)

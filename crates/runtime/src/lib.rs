@@ -31,7 +31,10 @@
 //!   duplication / delay / reorder, mid-step rank kills) behind a
 //!   zero-cost-when-disabled hook,
 //! * [`migrate`] — migration plans between successive decompositions
-//!   (the executable counterpart of the UpdComm metric).
+//!   (the executable counterpart of the UpdComm metric),
+//! * [`replan`] — the background repartition planner that hides
+//!   migration planning behind a running batch
+//!   ([`exec::RepartitionMode::Overlapped`], DESIGN.md §6f).
 //!
 //! Failures surface as typed [`RuntimeError`]s instead of panics, so a
 //! driver can recover — repartition over the surviving ranks, migrate,
@@ -45,20 +48,22 @@ pub mod migrate;
 pub mod pipeline;
 pub mod plan;
 pub mod remote;
+pub mod replan;
 pub mod wire;
 
 pub use exec::{
     execute_step, execute_step_transport, execute_step_with, ExecOptions, Msg, PhaseTraffic,
-    RankResult, Schedule, StepInput, StepOutput, TrafficLog,
+    RankResult, RepartitionMode, Schedule, StepInput, StepOutput, TrafficLog,
 };
 pub use fault::{Fate, FaultInjector, FaultPlan, KillSpec};
 pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
 pub use pipeline::{
-    collect_batch, execute_rank_steps, execute_steps, execute_steps_transport, execute_steps_with,
-    BatchError, RankBatchOutcome,
+    collect_batch, execute_rank_steps, execute_steps, execute_steps_overlapped,
+    execute_steps_transport, execute_steps_with, BatchError, RankBatchOutcome,
 };
 pub use plan::{build_decomposition, Decomposition, RankPlan};
 pub use remote::SteppedMailbox;
+pub use replan::Replanner;
 
 /// A failed step execution — every former panic site on the executor hot
 /// path, made recoverable.

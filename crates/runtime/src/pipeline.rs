@@ -14,8 +14,11 @@
 //! * a rank's step `s + 1` halo/shipment sends may begin while stragglers
 //!   are still finishing step `s`, bounded by
 //!   [`Schedule::Pipelined`]'s `lookahead`;
-//! * migration and repartition boundaries remain full barriers — the
-//!   driver simply ends the batch there.
+//! * repartition boundaries still end the batch, but under
+//!   [`crate::exec::RepartitionMode::Overlapped`] the migration of an
+//!   accepted plan rides the next batch as a [`Msg::Migrate`] prologue
+//!   ([`execute_steps_overlapped`], DESIGN.md §6f) instead of a
+//!   stop-the-world stage of its own.
 //!
 //! The scheduler is a pair of cursors (`next_send`, `completed`) over
 //! per-step state tables allocated once at batch start: the ready set is
@@ -40,6 +43,7 @@ use crate::exec::{
     search_rank, ChaosState, ExecOptions, Msg, RankResult, Schedule, StepInput, StepOutput,
 };
 use crate::fault::FaultInjector;
+use crate::migrate::MigrationPlan;
 use crate::RuntimeError;
 use cip_contact::{GlobalFilter, SearchCache};
 use cip_geom::Aabb;
@@ -158,6 +162,65 @@ impl StepSend {
             halo_msgs: 0,
             done_msgs: 0,
         }
+    }
+}
+
+/// Receive-side state of the batch-prologue migrate stage (DESIGN.md
+/// §6f): which peers still owe this rank a [`Msg::Migrate`], and the
+/// node list each must carry under the accepted plan. Receivers know
+/// both statically from the plan, so the stage needs no `Done` trailer
+/// and no sequence space — one message per non-empty plan row.
+struct MigrateRecv {
+    /// Expected node list per peer; `None` once received (or never owed).
+    expect: Vec<Option<Vec<u32>>>,
+    /// Peers whose stage has not arrived yet.
+    pending: usize,
+    /// Received stages that disagreed with the plan row (must be 0;
+    /// folded into step 0's `ghost_mismatches` so the driver's commit
+    /// assertion catches any splice bug loudly).
+    mismatches: usize,
+    /// Node ids received across all stages.
+    nodes_received: u64,
+}
+
+impl MigrateRecv {
+    /// No migrate stage in this batch: nothing expected, strays ignored.
+    fn idle() -> Self {
+        Self { expect: Vec::new(), pending: 0, mismatches: 0, nodes_received: 0 }
+    }
+
+    /// Arms rank `r`'s expectations: one stage per peer whose plan row
+    /// toward `r` is non-empty.
+    fn arm(plan: &MigrationPlan, r: usize, k: usize) -> Self {
+        let mut expect: Vec<Option<Vec<u32>>> = vec![None; k];
+        let mut pending = 0usize;
+        for (src, slot) in expect.iter_mut().enumerate() {
+            if src == r {
+                continue;
+            }
+            let row = &plan.moves[src * k + r];
+            if !row.is_empty() {
+                *slot = Some(row.clone());
+                pending += 1;
+            }
+        }
+        Self { expect, pending, mismatches: 0, nodes_received: 0 }
+    }
+
+    /// Folds one received stage in. Duplicates and unexpected senders
+    /// are dropped — the plan is authoritative about who owes what.
+    fn accept(&mut self, from: usize, nodes: &[u32]) {
+        let Some(want) = self.expect.get_mut(from).and_then(Option::take) else { return };
+        self.pending -= 1;
+        self.nodes_received += nodes.len() as u64;
+        if want.as_slice() != nodes {
+            self.mismatches += 1;
+        }
+    }
+
+    /// Peers whose stage never arrived.
+    fn unaccounted(&self) -> Vec<u32> {
+        self.expect.iter().enumerate().filter(|(_, e)| e.is_some()).map(|(p, _)| p as u32).collect()
     }
 }
 
@@ -311,6 +374,7 @@ fn dispatch<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     chaos: &mut [Option<ChaosState>],
     recv: &mut [StepRecv],
     completed_peers: &mut [bool],
+    mig: &mut MigrateRecv,
     mb: &mut MB,
     serve_below: usize,
 ) {
@@ -403,6 +467,9 @@ fn dispatch<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
         Msg::Complete { from } => {
             completed_peers[from as usize] = true;
         }
+        Msg::Migrate { from, nodes, .. } => {
+            mig.accept(from as usize, &nodes);
+        }
     }
 }
 
@@ -415,6 +482,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     faults: &[FaultInjector],
     opts: &ExecOptions,
     lookahead: usize,
+    migrate: Option<&MigrationPlan>,
     mb: &mut MB,
 ) -> RankBatchOutcome {
     let me = r as u32;
@@ -435,6 +503,66 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     let mut next_send = 0usize;
     let mut killed: Option<usize> = None;
     let mut retries_left = opts.retries;
+
+    // ---- Migrate prologue (DESIGN.md §6f). ----------------------------
+    // An accepted repartition plan is spliced in front of the batch: the
+    // rank streams the node ids it surrenders under the already-flipped
+    // decomposition, then drains until every stage *it* is owed has
+    // arrived — and goes straight into its step-0 sends while stragglers
+    // are still migrating; there is no global join. The stage is
+    // control-plane: it bypasses fault injection and the payload
+    // sequence space, so the chaos fate stream stays bit-identical to
+    // the barrier oracle's.
+    let mut mig = match migrate {
+        Some(plan) if plan.k == k && !steps.is_empty() => {
+            let mut span = rec0.span("exec.migrate").attr("rank", me);
+            let mut sent = 0u64;
+            for dest in 0..k {
+                let row = &plan.moves[r * k + dest];
+                if dest == r || row.is_empty() {
+                    continue;
+                }
+                sent += row.len() as u64;
+                mb.send(dest, Msg::Migrate { from: me, step: 0, nodes: row.clone() });
+            }
+            rec0.add("exec.migrate.nodes_sent", sent);
+            let mut mig = MigrateRecv::arm(plan, r, k);
+            let mut patience = opts.retries;
+            while mig.pending > 0 {
+                match recv_or_idle(&rec0, mb, opts.timeout) {
+                    Ok(msg) => dispatch(
+                        msg,
+                        me,
+                        steps,
+                        &mut chaos,
+                        &mut recv,
+                        &mut completed_peers,
+                        &mut mig,
+                        mb,
+                        n,
+                    ),
+                    Err(RecvTimeoutError::Timeout) if patience > 0 => {
+                        patience -= 1;
+                        rec0.add("recovery.retries", 1);
+                    }
+                    Err(_) => {
+                        let dead = mig.unaccounted();
+                        span.set_attr("stalled_peers", dead.len());
+                        return RankBatchOutcome::Lost { done: results, partial: None, dead };
+                    }
+                }
+            }
+            rec0.add("exec.migrate.nodes_received", mig.nodes_received);
+            span.set_attr("mismatches", mig.mismatches);
+            mig
+        }
+        _ => MigrateRecv::idle(),
+    };
+    // A stage that disagreed with the plan poisons step 0 the same way a
+    // wrong ghost value would — the driver's commit assertion fires.
+    if let Some(first) = recv.first_mut() {
+        first.ghost_mismatches += mig.mismatches;
+    }
 
     loop {
         // ---- Send while inside the lookahead window. ------------------
@@ -516,6 +644,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
                             &mut chaos,
                             &mut recv,
                             &mut completed_peers,
+                            &mut mig,
                             mb,
                             n,
                         ),
@@ -553,6 +682,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
                         &mut chaos,
                         &mut recv,
                         &mut completed_peers,
+                        &mut mig,
                         mb,
                         completed,
                     ),
@@ -572,6 +702,7 @@ fn run_rank_pipelined<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
                 &mut chaos,
                 &mut recv,
                 &mut completed_peers,
+                &mut mig,
                 mb,
                 serve_below,
             ),
@@ -682,12 +813,15 @@ fn lose_step<F: GlobalFilter<3> + Sync>(
 /// no-injection and derives the lookahead from `opts.schedule`
 /// (a barrier schedule degrades to lookahead 1, which still orders by
 /// dependency — remote ranks have no global barrier to share).
+/// `migrate` is the overlapped-repartition stage spliced in front of
+/// the batch, if the driver accepted one (DESIGN.md §6f).
 pub fn execute_rank_steps<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
     r: usize,
     k: usize,
     steps: &[StepInput<'_, F>],
     faults: &[FaultInjector],
     opts: &ExecOptions,
+    migrate: Option<&MigrationPlan>,
     mb: &mut MB,
 ) -> RankBatchOutcome {
     let n = steps.len();
@@ -705,7 +839,7 @@ pub fn execute_rank_steps<F: GlobalFilter<3> + Sync, MB: Mailbox<Msg>>(
         Schedule::Pipelined { lookahead } => lookahead.max(1),
         Schedule::Barrier => 1,
     };
-    run_rank_pipelined(r, k, steps, faults, opts, lookahead, mb)
+    run_rank_pipelined(r, k, steps, faults, opts, lookahead, migrate, mb)
 }
 
 /// Executes a batch of steps with default options (pipelined schedule,
@@ -749,6 +883,28 @@ pub fn execute_steps_transport<F: GlobalFilter<3> + Sync, T: Transport>(
     opts: &ExecOptions,
     transport: &T,
 ) -> Result<Vec<StepOutput>, BatchError> {
+    execute_steps_overlapped(steps, faults, opts, None, transport)
+}
+
+/// [`execute_steps_transport`] with an optional overlapped-repartition
+/// migrate stage spliced in front of the batch (DESIGN.md §6f).
+///
+/// The driver has already flipped `node_parts` to the new decomposition
+/// when it hands the plan over, so the stage is *executed traffic*, not
+/// a state change: each rank streams the node ids it surrenders as
+/// [`Msg::Migrate`] messages and drains the stages it is owed before
+/// its step-0 sends — with no global join, so a rank whose stage
+/// arrives early pipelines straight into the batch. On the barrier
+/// fallback (barrier schedule, or steps disagreeing on `k`) the stage
+/// is skipped: the decomposition flip already happened driver-side, and
+/// a barrier batch has no schedule to splice into.
+pub fn execute_steps_overlapped<F: GlobalFilter<3> + Sync, T: Transport>(
+    steps: &[StepInput<'_, F>],
+    faults: &[FaultInjector],
+    opts: &ExecOptions,
+    migrate: Option<&MigrationPlan>,
+    transport: &T,
+) -> Result<Vec<StepOutput>, BatchError> {
     let n = steps.len();
     if n == 0 {
         return Ok(Vec::new());
@@ -790,7 +946,7 @@ pub fn execute_steps_transport<F: GlobalFilter<3> + Sync, T: Transport>(
         let mut handles = Vec::with_capacity(k);
         for (r, mut mb) in mailboxes.into_iter().enumerate() {
             handles.push(scope.spawn(move || {
-                run_rank_pipelined(r, k, steps, faults, opts, lookahead, &mut mb)
+                run_rank_pipelined(r, k, steps, faults, opts, lookahead, migrate, &mut mb)
             }));
         }
         handles.into_iter().map(|h| h.join()).collect()
@@ -1110,6 +1266,69 @@ mod tests {
         // Counters mirror the per-step traffic logs.
         let halo: u64 = out.iter().map(|o| o.traffic.total_halo()).sum();
         assert_eq!(rec.counter_value("traffic.halo_units"), halo);
+    }
+
+    #[test]
+    fn migrate_prologue_is_traffic_neutral_and_counted() {
+        let sc = chain_scenario(2, 3);
+        let quiet = Recorder::disabled();
+        let steps = inputs(&sc, &quiet);
+        let plain = execute_steps_with(&steps, &[], &opts_with(Schedule::pipelined()))
+            .expect("plain batch executes");
+        // Rank 0 surrenders nodes 3 and 4, rank 1 surrenders node 7: the
+        // stage is executed, counted — and invisible in the TrafficLog.
+        let plan = MigrationPlan { k: 2, moves: vec![vec![], vec![3, 4], vec![7], vec![]] };
+        let rec = Recorder::enabled();
+        let steps = inputs(&sc, &rec);
+        let spliced = execute_steps_overlapped(
+            &steps,
+            &[],
+            &opts_with(Schedule::pipelined()),
+            Some(&plan),
+            &InProcess,
+        )
+        .expect("spliced batch executes");
+        assert_eq!(spliced, plain, "the migrate stage must not perturb step outputs");
+        assert_eq!(rec.counter_value("exec.migrate.nodes_sent"), 3);
+        assert_eq!(rec.counter_value("exec.migrate.nodes_received"), 3);
+        let summary = rec.summary().expect("recorder is enabled");
+        let span = summary.span("exec.migrate").expect("migrate span recorded");
+        assert_eq!(span.count, 2, "one migrate span per rank");
+    }
+
+    #[test]
+    fn migrate_prologue_rides_chaos_batches_unchanged() {
+        let sc = chain_scenario(4, 3);
+        let fault = |seed: u64| {
+            FaultInjector::with_plan(FaultPlan {
+                drop_permille: 150,
+                dup_permille: 80,
+                delay_permille: 80,
+                reorder_permille: 80,
+                ..FaultPlan::quiet(seed)
+            })
+        };
+        let faults: Vec<FaultInjector> = (0..3).map(|s| fault(11 + s)).collect();
+        let quiet = Recorder::disabled();
+        let steps = inputs(&sc, &quiet);
+        let plain = execute_steps_with(&steps, &faults, &opts_with(Schedule::pipelined()))
+            .expect("chaotic batch converges");
+        // The stage bypasses injection entirely, so the fate stream — and
+        // with it every repaired payload — is unchanged.
+        let plan = MigrationPlan {
+            k: 4,
+            moves: (0..16).map(|i| if i == 1 { vec![2, 3] } else { vec![] }).collect(),
+        };
+        let steps = inputs(&sc, &quiet);
+        let spliced = execute_steps_overlapped(
+            &steps,
+            &faults,
+            &opts_with(Schedule::pipelined()),
+            Some(&plan),
+            &InProcess,
+        )
+        .expect("chaotic spliced batch converges");
+        assert_eq!(spliced, plain);
     }
 
     #[test]

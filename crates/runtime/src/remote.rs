@@ -53,7 +53,8 @@ impl<'a, MB: Mailbox<Msg>> SteppedMailbox<'a, MB> {
             Msg::Halo { step, .. }
             | Msg::Element { step, .. }
             | Msg::Done { step, .. }
-            | Msg::Resend { step, .. } => *step += self.base,
+            | Msg::Resend { step, .. }
+            | Msg::Migrate { step, .. } => *step += self.base,
             Msg::Complete { .. } => {}
         }
     }
@@ -65,7 +66,8 @@ impl<'a, MB: Mailbox<Msg>> SteppedMailbox<'a, MB> {
             Msg::Halo { step, .. }
             | Msg::Element { step, .. }
             | Msg::Done { step, .. }
-            | Msg::Resend { step, .. } => {
+            | Msg::Resend { step, .. }
+            | Msg::Migrate { step, .. } => {
                 if *step < self.base {
                     return None;
                 }
@@ -159,6 +161,24 @@ mod tests {
         assert_eq!(
             rx.recv_timeout(Duration::from_secs(5)),
             Ok(Msg::Done { from: 0, step: 7, sent: 2 })
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn migrate_stages_are_epoch_fenced_like_payload_steps() {
+        let mut mbs = mesh(2);
+        let (a, b) = mbs.split_at_mut(1);
+        let route = [0u32, 1];
+        // A migrate stage from a pre-recovery epoch must be dropped; the
+        // current epoch's stage passes and lowers to batch-local step 0.
+        a[0].send(1, Msg::Migrate { from: 0, step: 40, nodes: vec![7] });
+        let mut tx = SteppedMailbox::new(&mut a[0], 200, &route);
+        tx.send(1, Msg::Migrate { from: 0, step: 0, nodes: vec![8, 9] });
+        let mut rx = SteppedMailbox::new(&mut b[0], 200, &route);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(Msg::Migrate { from: 0, step: 0, nodes: vec![8, 9] })
         );
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
     }

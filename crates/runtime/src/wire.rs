@@ -11,6 +11,7 @@
 //! | `Done`     | 3   | `u64` sent |
 //! | `Resend`   | 4   | `u32` count, then count×`u64` seqs |
 //! | `Complete` | 5   | empty |
+//! | `Migrate`  | 6   | `u32` count, then count×`u32` node ids |
 //!
 //! All integers little-endian; `f64` as IEEE-754 bit patterns, so every
 //! position round-trips bit-exactly (signed zeros and NaNs included) and
@@ -32,6 +33,8 @@ pub const TAG_DONE: u8 = 3;
 pub const TAG_RESEND: u8 = 4;
 /// Frame tag of [`Msg::Complete`].
 pub const TAG_COMPLETE: u8 = 5;
+/// Frame tag of [`Msg::Migrate`].
+pub const TAG_MIGRATE: u8 = 6;
 
 /// Bytes of one halo value: node id + 3 coordinates.
 const HALO_VALUE_LEN: usize = 4 + 3 * 8;
@@ -44,6 +47,7 @@ impl Wire for Msg {
             Msg::Done { .. } => TAG_DONE,
             Msg::Resend { .. } => TAG_RESEND,
             Msg::Complete { .. } => TAG_COMPLETE,
+            Msg::Migrate { .. } => TAG_MIGRATE,
         }
     }
 
@@ -53,7 +57,8 @@ impl Wire for Msg {
             | Msg::Element { from, .. }
             | Msg::Done { from, .. }
             | Msg::Resend { from, .. }
-            | Msg::Complete { from } => *from,
+            | Msg::Complete { from }
+            | Msg::Migrate { from, .. } => *from,
         }
     }
 
@@ -62,7 +67,8 @@ impl Wire for Msg {
             Msg::Halo { step, .. }
             | Msg::Element { step, .. }
             | Msg::Done { step, .. }
-            | Msg::Resend { step, .. } => *step,
+            | Msg::Resend { step, .. }
+            | Msg::Migrate { step, .. } => *step,
             Msg::Complete { .. } => 0,
         }
     }
@@ -70,7 +76,7 @@ impl Wire for Msg {
     fn seq(&self) -> u64 {
         match self {
             Msg::Halo { seq, .. } | Msg::Element { seq, .. } => *seq,
-            Msg::Done { .. } | Msg::Resend { .. } | Msg::Complete { .. } => 0,
+            Msg::Done { .. } | Msg::Resend { .. } | Msg::Complete { .. } | Msg::Migrate { .. } => 0,
         }
     }
 
@@ -103,6 +109,12 @@ impl Wire for Msg {
                 }
             }
             Msg::Complete { .. } => {}
+            Msg::Migrate { nodes, .. } => {
+                w.u32(nodes.len() as u32);
+                for n in nodes {
+                    w.u32(*n);
+                }
+            }
         }
     }
 
@@ -159,6 +171,17 @@ impl Wire for Msg {
                 Ok(Msg::Resend { from, step, seqs })
             }
             TAG_COMPLETE => Ok(Msg::Complete { from }),
+            TAG_MIGRATE => {
+                let count = r.u32()? as usize;
+                if count * 4 > r.remaining() {
+                    return Err(WireError::Malformed { what: "migrate count exceeds payload" });
+                }
+                let mut nodes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    nodes.push(r.u32()?);
+                }
+                Ok(Msg::Migrate { from, step, nodes })
+            }
             got => Err(WireError::BadTag { got }),
         }
     }
@@ -202,6 +225,8 @@ mod tests {
         round_trip(&Msg::Resend { from: 1, step: 4, seqs: vec![0, 5, 1 << 40] });
         round_trip(&Msg::Resend { from: 1, step: 4, seqs: Vec::new() });
         round_trip(&Msg::Complete { from: 9 });
+        round_trip(&Msg::Migrate { from: 2, step: 0, nodes: vec![1, 9, u32::MAX] });
+        round_trip(&Msg::Migrate { from: 0, step: 3, nodes: Vec::new() });
     }
 
     #[test]
@@ -223,8 +248,12 @@ mod tests {
     #[test]
     fn nan_positions_survive_bit_exactly() {
         let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
-        let msg =
-            Msg::Halo { from: 0, step: 1, seq: 2, values: vec![(3, Point::new([weird, 0.0, 0.0]))] };
+        let msg = Msg::Halo {
+            from: 0,
+            step: 1,
+            seq: 2,
+            values: vec![(3, Point::new([weird, 0.0, 0.0]))],
+        };
         let mut buf = Vec::new();
         encode_frame(&msg, 1, &mut buf);
         let (back, _, _) = decode_frame::<Msg>(&buf).expect("frame decodes");

@@ -264,10 +264,7 @@ mod tests {
         for bit in 0..clean.len() * 8 {
             let mut buf = clean.clone();
             buf[bit / 8] ^= 1 << (bit % 8);
-            assert!(
-                decode_frame::<Blob>(&buf).is_err(),
-                "bit flip at {bit} went undetected"
-            );
+            assert!(decode_frame::<Blob>(&buf).is_err(), "bit flip at {bit} went undetected");
         }
     }
 
@@ -276,16 +273,10 @@ mod tests {
         let mut buf = Vec::new();
         encode_frame(&blob(), 2, &mut buf);
         for cut in 0..buf.len() {
-            assert!(matches!(
-                decode_frame::<Blob>(&buf[..cut]),
-                Err(WireError::Truncated { .. })
-            ));
+            assert!(matches!(decode_frame::<Blob>(&buf[..cut]), Err(WireError::Truncated { .. })));
         }
         buf[0] = WIRE_VERSION + 1;
-        assert!(matches!(
-            decode_frame::<Blob>(&buf),
-            Err(WireError::BadVersion { .. })
-        ));
+        assert!(matches!(decode_frame::<Blob>(&buf), Err(WireError::BadVersion { .. })));
     }
 
     #[test]
@@ -304,9 +295,6 @@ mod tests {
         ));
         let (m, to, _) = read_frame::<Blob>(&mut cursor, &mut scratch).unwrap();
         assert_eq!((m, to), (blob(), 4));
-        assert!(matches!(
-            read_frame::<Blob>(&mut cursor, &mut scratch),
-            Err(ReadError::Eof)
-        ));
+        assert!(matches!(read_frame::<Blob>(&mut cursor, &mut scratch), Err(ReadError::Eof)));
     }
 }

@@ -256,7 +256,8 @@ mod tests {
                         assert_eq!(p.n, 7);
                         // Stats are updated by I/O threads; wait for
                         // the send side to be flushed and counted.
-                        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_secs(10);
                         while mb.stats().frames_sent < 1 && std::time::Instant::now() < deadline {
                             std::thread::yield_now();
                         }

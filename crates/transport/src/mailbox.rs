@@ -229,8 +229,6 @@ pub(crate) fn in_process<M: Send>(k: usize, cfg: &MailboxConfig) -> Vec<ChannelM
     outs.into_iter()
         .zip(inboxes)
         .enumerate()
-        .map(|(rank, (lanes, inbox))| {
-            ChannelMailbox::new(rank, lanes, inbox, stats.clone(), None)
-        })
+        .map(|(rank, (lanes, inbox))| ChannelMailbox::new(rank, lanes, inbox, stats.clone(), None))
         .collect()
 }

@@ -132,7 +132,12 @@ fn writer_loop<M: Wire>(
     let _ = stream.shutdown(Shutdown::Write);
 }
 
-fn reader_loop<M: Wire>(mut stream: TcpStream, tx: Sender<M>, stats: Arc<StatCells>, rec: Recorder) {
+fn reader_loop<M: Wire>(
+    mut stream: TcpStream,
+    tx: Sender<M>,
+    stats: Arc<StatCells>,
+    rec: Recorder,
+) {
     let mut payload = Vec::new();
     loop {
         match read_frame::<M>(&mut stream, &mut payload) {

@@ -3,7 +3,9 @@
 # times the hot partitioner paths (k-way refinement sequential/parallel,
 # the multilevel drivers, 2-way FM, grid broad phase) and writes
 # results/BENCH_partition.json, then the `runtime_snapshot` harness,
-# which times barrier-vs-pipelined batch execution on a skewed load and
+# which times barrier-vs-pipelined batch execution on a skewed load plus
+# barrier-vs-overlapped repartitioning through the traced driver (the
+# trace_repart/* rows carry stall_ms/hidden_ms, DESIGN.md §6f) and
 # writes results/BENCH_runtime.json — both in the cip-results-v1
 # envelope. CI uploads the files as artifacts so successive runs can be
 # diffed.

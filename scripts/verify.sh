@@ -22,11 +22,13 @@ cargo fmt --check
 echo "==> no panics on the runtime step hot path"
 # The executors must fail with typed RuntimeError values, never panic:
 # scan the non-test portion (everything before #[cfg(test)]) of the
-# barrier executor, the pipelined batch executor, the whole transport
-# crate (corrupt frames and dead sockets are typed errors, DESIGN.md
-# §6e), and the worker-pool driver.
+# barrier executor, the pipelined batch executor, the background
+# repartition planner (a panicked planner must degrade to the
+# synchronous path, DESIGN.md §6f), the whole transport crate (corrupt
+# frames and dead sockets are typed errors, DESIGN.md §6e), and the
+# worker-pool driver.
 for hot_path in crates/runtime/src/exec.rs crates/runtime/src/pipeline.rs \
-    crates/transport/src/*.rs src/worker.rs; do
+    crates/runtime/src/replan.rs crates/transport/src/*.rs src/worker.rs; do
   if sed '/#\[cfg(test)\]/q' "$hot_path" \
       | grep -nE '\.unwrap\(\)|\.expect\(|panic!'; then
     echo "verify: FAIL — unwrap/expect/panic on the runtime step hot path ($hot_path)"

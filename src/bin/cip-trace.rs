@@ -19,14 +19,20 @@
 //! recovers by diffusion-repartitioning over the survivors (DESIGN.md
 //! §6c). The `fault.*` / `recovery.*` counters land in `summary.json`.
 //!
+//! Repartition boundaries are planned in the background by default
+//! (`--repartition-mode overlapped`, DESIGN.md §6f); `--repartition-mode
+//! barrier` restores the stop-the-world oracle with bit-identical
+//! totals.
+//!
 //! ```text
 //! cip-trace --scenario head_on --k 8 --snapshots 20 --out results
 //! cip-trace --scenario thick_plates --k 4 --no-repart
 //! cip-trace --scenario tiny --k 4 --chaos 7 --kill 3:2
+//! cip-trace --scenario head_on --k 8 --repartition-mode barrier --max-batch 4
 //! ```
 
 use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions, TransportKind};
-use cip_runtime::Schedule;
+use cip_runtime::{RepartitionMode, Schedule};
 
 struct Args {
     opts: TraceOptions,
@@ -87,6 +93,26 @@ fn parse_args() -> Args {
                 args.opts.schedule = parse_schedule(&argv[i + 1]);
                 i += 2;
             }
+            "--max-batch" if i + 1 < argv.len() => {
+                let n: usize = argv[i + 1].parse().unwrap_or(0);
+                if n < 1 {
+                    eprintln!("--max-batch takes an integer >= 1, got '{}'", argv[i + 1]);
+                    std::process::exit(2);
+                }
+                args.opts.max_batch = n;
+                i += 2;
+            }
+            "--repartition-mode" if i + 1 < argv.len() => {
+                args.opts.repartition_mode = match argv[i + 1].as_str() {
+                    "barrier" => RepartitionMode::Barrier,
+                    "overlapped" => RepartitionMode::Overlapped,
+                    other => {
+                        eprintln!("--repartition-mode takes barrier or overlapped, got '{other}'");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--transport" if i + 1 < argv.len() => {
                 args.opts.transport = parse_transport(&argv[i + 1]);
                 i += 2;
@@ -96,7 +122,8 @@ fn parse_args() -> Args {
                     "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
                      blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
                      [--period N | --no-repart] [--chaos SEED] [--kill STEP:RANK] \
-                     [--schedule barrier|pipelined[:LOOKAHEAD]] \
+                     [--schedule barrier|pipelined[:LOOKAHEAD]] [--max-batch N>=1] \
+                     [--repartition-mode barrier|overlapped] \
                      [--transport inproc|tcp-threads[:BIND]|tcp[:BIND]] [--out DIR]"
                 );
                 std::process::exit(0);

@@ -18,14 +18,16 @@ use cip_partition::{
     compact_parts_after_loss, diffusion_repartition, partition_kway, PartitionerConfig,
 };
 use cip_runtime::{
-    build_decomposition, build_migration_recorded, collect_batch, execute_steps_transport,
-    execute_steps_with, BatchError, Decomposition, ExecOptions, FaultInjector, FaultPlan, KillSpec,
-    RuntimeError, Schedule, StepInput,
+    build_decomposition, build_migration, build_migration_recorded, collect_batch,
+    execute_steps_overlapped, BatchError, Decomposition, ExecOptions, FaultInjector, FaultPlan,
+    KillSpec, MigrationPlan, RepartitionMode, Replanner, RuntimeError, Schedule, StepInput,
 };
-use cip_sim::{scenarios, SimConfig};
+use cip_sim::{scenarios, SimConfig, SimResult};
 use cip_telemetry::{export::Summary, Recorder};
 use cip_transport::tcp::Tcp;
+use cip_transport::InProcess;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Chaos-mode settings for a traced run: deterministic message faults,
@@ -116,6 +118,16 @@ pub struct TraceOptions {
     /// with cross-step overlap; [`Schedule::Barrier`] is the one-step-
     /// at-a-time oracle.
     pub schedule: Schedule,
+    /// Longest stretch of steps one batch may cover (clamped to at
+    /// least 1; repartition boundaries cut batches shorter).
+    pub max_batch: usize,
+    /// How repartition boundaries are handled:
+    /// [`RepartitionMode::Overlapped`] (the default) plans the next
+    /// boundary on a background thread during the preceding batch and
+    /// splices the node migration into the following batch as a
+    /// `Migrate` prologue; [`RepartitionMode::Barrier`] is the
+    /// stop-the-world oracle it must match bit for bit.
+    pub repartition_mode: RepartitionMode,
     /// Where the ranks live and what carries their messages.
     pub transport: TransportKind,
 }
@@ -130,6 +142,8 @@ impl Default for TraceOptions {
             repartition_period: Some(10),
             chaos: None,
             schedule: Schedule::pipelined(),
+            max_batch: 8,
+            repartition_mode: RepartitionMode::default(),
             transport: TransportKind::InProcess,
         }
     }
@@ -247,13 +261,15 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
     if let Some(s) = opts.snapshots {
         scfg.snapshots = s;
     }
-    let sim = cip_sim::run(&scfg);
+    let sim = Arc::new(cip_sim::run(&scfg));
     let k = opts.k;
 
     let rec = Recorder::enabled();
-    // Ranks own lanes 0..k; the driver thread sits above them.
+    // Ranks own lanes 0..k; the driver thread sits above them, and the
+    // background repartition planner above the driver.
     rec.set_lane(k as u32);
     rec.name_lane(k as u32, "driver");
+    rec.name_lane((k + 1) as u32, "planner");
 
     let mut pcfg = PartitionerConfig::with_seed(opts.seed);
     pcfg.recorder = rec.clone();
@@ -312,29 +328,56 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
     // re-execution runs clean (the injected fate stream of a step is
     // considered "spent" once its failure has been handled).
     let mut spent = vec![false; sim.len()];
-    // Guard so a repartition boundary fires once per step index even when
-    // a failed batch resumes exactly at that boundary.
-    let mut last_periodic = usize::MAX;
+    // Repartition boundaries fire once per period region even when a
+    // failed batch resumes exactly at a boundary step: the monotone
+    // region counter makes re-firing impossible by construction (the
+    // old guard keyed on the last boundary's step index).
+    let mut boundaries_done = 0usize;
+    // Overlapped-repartition state (DESIGN.md §6f): the background
+    // planner, the rank-space version its plans are keyed under (bumped
+    // on every recovery, so a plan computed over dead ranks can never
+    // be applied), and a plan accepted at the last boundary whose node
+    // migration still has to ride the next batch's Migrate prologue.
+    let mut planner: Replanner<(Vec<u32>, MigrationPlan)> = Replanner::new();
+    let mut plan_version = 0u64;
+    let mut pending_migrate: Option<MigrationPlan> = None;
+    let max_batch = opts.max_batch.max(1);
     let mut i = 0usize;
     while i < sim.len() {
         // §4.3 hybrid policy: periodic diffusion repartition + executed
-        // migration. Repartition boundaries are full barriers — batches
-        // never span one.
-        if let Some(period) = opts.repartition_period {
-            if i > 0 && i.is_multiple_of(period) && live_k >= 2 && last_periodic != i {
-                last_periodic = i;
-                let view = SnapshotView::build(&sim, i, 5);
-                let old: Vec<u32> =
-                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
-                let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
-                let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
-                let plan = build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
+        // migration. Boundaries still end every batch; in Overlapped
+        // mode the plan was computed in the background during the
+        // preceding batch and the driver only flips `node_parts` here —
+        // the migration itself rides the next batch as a prologue.
+        if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
+            let region = i / period;
+            if i > 0 && i.is_multiple_of(period) && region > boundaries_done && live_k >= 2 {
+                boundaries_done = region;
+                let planned = match opts.repartition_mode {
+                    RepartitionMode::Overlapped => planner.take(i, plan_version, &rec),
+                    RepartitionMode::Barrier => None,
+                };
+                let (new_node_parts, plan) = match planned {
+                    Some(p) => p,
+                    None => {
+                        // Synchronous fallback — and the Barrier
+                        // oracle: the whole plan is a stall, charged to
+                        // the same span `Replanner::take` uses for its
+                        // join wait so the modes compare directly.
+                        let _stall = rec.span("repartition.stall").attr("boundary", i as u64);
+                        plan_boundary(&sim, i, live_k, &node_parts, &pcfg)
+                    }
+                };
+                record_migration(&rec, &plan, node_parts.len());
                 report.migrated += plan.total_moved();
                 report.repartitions += 1;
                 for (n, &p) in new_node_parts.iter().enumerate() {
                     if p != u32::MAX {
                         node_parts[n] = p;
                     }
+                }
+                if opts.repartition_mode == RepartitionMode::Overlapped && !plan.is_empty() {
+                    pending_migrate = Some(plan);
                 }
                 // The decomposition changed: the old tree no longer
                 // matches the labels, so induce from scratch.
@@ -344,12 +387,33 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
         }
 
         // Batch every step up to the next repartition boundary (capped at
-        // MAX_BATCH so the per-batch state stays small), prepare their
+        // `max_batch` so the per-batch state stays small), prepare their
         // inputs, and hand the whole stretch to the batch executor.
-        let mut end = (i + MAX_BATCH).min(sim.len());
-        if let Some(period) = opts.repartition_period {
-            if let Some(cur) = i.checked_div(period) {
-                end = end.min((cur + 1) * period);
+        let mut end = (i + max_batch).min(sim.len());
+        if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
+            end = end.min((i / period + 1) * period);
+        }
+
+        // Overlapped mode: if this batch ends at the next repartition
+        // boundary, start planning it in the background now. The
+        // simulation snapshots are precomputed, so the planner reads
+        // exactly the inputs the boundary will read — the plan is
+        // bit-identical to the synchronous one by construction
+        // (DESIGN.md §6f, snapshot-staleness rule).
+        if opts.repartition_mode == RepartitionMode::Overlapped && live_k >= 2 {
+            if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
+                if end < sim.len() && end.is_multiple_of(period) && end / period > boundaries_done {
+                    let sim2 = Arc::clone(&sim);
+                    let parts = node_parts.clone();
+                    let pcfg2 = pcfg.clone();
+                    let (at, lk, lane) = (end, live_k, (k + 1) as u32);
+                    planner.submit(end, plan_version, &rec, move || {
+                        pcfg2.recorder.set_lane(lane);
+                        let _compute =
+                            pcfg2.recorder.span("replan.compute").attr("boundary", at as u64);
+                        plan_boundary(&sim2, at, lk, &parts, &pcfg2)
+                    });
+                }
             }
         }
 
@@ -363,7 +427,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                     }
                 })
                 .collect();
-        let exec_opts = exec_options(&opts.chaos, opts.schedule);
+        let exec_opts = exec_options(opts);
 
         // A serial survivor (live_k == 1) exchanges no messages, so the
         // pool adds nothing — run it in-process like the other modes.
@@ -388,6 +452,7 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 epoch,
                 node_parts: &node_parts,
                 plans,
+                migrate: pending_migrate.as_ref(),
                 timeout_ms: exec_opts.timeout.as_millis() as u64,
                 retries: exec_opts.retries,
                 lookahead,
@@ -446,13 +511,20 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 })
                 .collect();
             let result = match &opts.transport {
-                TransportKind::TcpThreads { bind } => execute_steps_transport(
+                TransportKind::TcpThreads { bind } => execute_steps_overlapped(
                     &inputs,
                     &faults,
                     &exec_opts,
+                    pending_migrate.as_ref(),
                     &Tcp { bind: bind.clone() },
                 ),
-                _ => execute_steps_with(&inputs, &faults, &exec_opts),
+                _ => execute_steps_overlapped(
+                    &inputs,
+                    &faults,
+                    &exec_opts,
+                    pending_migrate.as_ref(),
+                    &InProcess,
+                ),
             };
             drop(inputs);
             drop(filters);
@@ -464,6 +536,8 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 for (off, out) in outs.iter().enumerate() {
                     commit_step(&mut report, i + off, out);
                 }
+                // The Migrate prologue (if any) executed with the batch.
+                pending_migrate = None;
                 tree = carried_tree;
                 i = end;
             }
@@ -485,6 +559,15 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
                 let mut span = rec.span("recovery.repartition").attr("step", failed);
                 span.set_attr("dead", dead.len());
                 report.rank_losses += dead.len();
+                // The rank space is about to change: any in-flight
+                // background plan — including one landing exactly in
+                // this planning window — was computed over dead ranks.
+                // Discard it and bump the version so a plan the
+                // recovery races with can never be applied; the next
+                // boundary is recomputed over the survivors.
+                planner.discard(&rec);
+                plan_version += 1;
+                pending_migrate = None;
                 // Retire the dead ranks' worker processes and route the
                 // surviving live ranks onto the surviving workers, in
                 // the same order `compact_parts_after_loss` relabels.
@@ -540,9 +623,38 @@ pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
     Ok(report)
 }
 
-/// The longest stretch of steps one batch may cover (repartition
-/// boundaries cut batches shorter).
-const MAX_BATCH: usize = 8;
+/// Computes the boundary-`at` diffusion repartition: the new node
+/// assignment and the migration plan from the current one. The plan is
+/// deliberately **unrecorded** — a background plan may be discarded
+/// before it is applied, and a discarded plan must not pollute the
+/// traffic counters. [`record_migration`] charges telemetry on
+/// acceptance.
+fn plan_boundary(
+    sim: &SimResult,
+    at: usize,
+    live_k: usize,
+    node_parts: &[u32],
+    pcfg: &PartitionerConfig,
+) -> (Vec<u32>, MigrationPlan) {
+    let view = SnapshotView::build(sim, at, 5);
+    let old: Vec<u32> =
+        view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
+    let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, pcfg);
+    let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
+    let plan = build_migration(node_parts, &new_node_parts, live_k);
+    (new_node_parts, plan)
+}
+
+/// Charges an accepted migration plan to telemetry exactly like
+/// [`build_migration_recorded`] does — the `migrate.plan` span and the
+/// `traffic.migrated_units` counter — so Barrier and Overlapped runs
+/// produce identical counters and [`TraceReport::verify_totals`] stays
+/// an exact equality.
+fn record_migration(rec: &Recorder, plan: &MigrationPlan, nodes: usize) {
+    let mut span = rec.span("migrate.plan").attr("nodes", nodes).attr("k", plan.k);
+    span.set_attr("moved", plan.total_moved());
+    rec.add("traffic.migrated_units", plan.total_moved());
+}
 
 /// Owned per-step inputs staged for one batch.
 struct PreparedStep {
@@ -584,17 +696,22 @@ fn step_fault(chaos: &Option<ChaosOptions>, step: usize, live_k: usize) -> Fault
 }
 
 /// Executor options for one batch: chaos runs get the configured
-/// loss-detection budget, clean runs the defaults. Per-step injectors
-/// travel separately through [`execute_steps_with`]'s `faults` slice.
-fn exec_options(chaos: &Option<ChaosOptions>, schedule: Schedule) -> ExecOptions {
-    match chaos {
-        None => ExecOptions { schedule, ..ExecOptions::default() },
-        Some(c) => ExecOptions {
-            timeout: Duration::from_millis(c.timeout_ms),
-            retries: c.retries,
-            schedule,
-            ..ExecOptions::default()
-        },
+/// loss-detection budget, clean runs the defaults; the schedule,
+/// batching, and repartition-mode knobs come straight from the trace
+/// options. Per-step injectors travel separately through the batch
+/// executors' `faults` slice.
+fn exec_options(opts: &TraceOptions) -> ExecOptions {
+    let base = ExecOptions {
+        schedule: opts.schedule,
+        max_batch: opts.max_batch.max(1),
+        repartition_mode: opts.repartition_mode,
+        ..ExecOptions::default()
+    };
+    match &opts.chaos {
+        None => base,
+        Some(c) => {
+            ExecOptions { timeout: Duration::from_millis(c.timeout_ms), retries: c.retries, ..base }
+        }
     }
 }
 

@@ -35,7 +35,8 @@ use cip_core::SnapshotView;
 use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
 use cip_runtime::{
     build_decomposition, execute_rank_steps, Decomposition, ExecOptions, FaultInjector, FaultPlan,
-    KillSpec, Msg, RankBatchOutcome, RankResult, Schedule, StepInput, SteppedMailbox,
+    KillSpec, MigrationPlan, Msg, RankBatchOutcome, RankResult, Schedule, StepInput,
+    SteppedMailbox,
 };
 use cip_sim::SimResult;
 use cip_telemetry::Recorder;
@@ -84,6 +85,11 @@ pub struct RunSpec {
     /// Per-step fault plans (`None` = clean step); same length as the
     /// batch.
     pub plans: Vec<Option<FaultPlan>>,
+    /// Overlapped-repartition migrate stage riding this batch: the
+    /// accepted [`MigrationPlan`]'s `moves` matrix (`live_k * live_k`
+    /// rows, `moves[from * live_k + to]`), or `None` for no stage
+    /// (DESIGN.md §6f).
+    pub migrate: Option<Vec<Vec<u32>>>,
     /// Executor drain timeout, milliseconds.
     pub timeout_ms: u64,
     /// Executor repair rounds before declaring peers dead.
@@ -376,6 +382,16 @@ impl Wire for Ctrl {
                         }
                     }
                 }
+                match &spec.migrate {
+                    None => w.u8(0),
+                    Some(moves) => {
+                        w.u8(1);
+                        w.u32(moves.len() as u32);
+                        for row in moves {
+                            w_u32s(w, row);
+                        }
+                    }
+                }
             }
             Ctrl::Done { outcome, stats } => {
                 w_outcome(w, outcome);
@@ -432,6 +448,23 @@ impl Wire for Ctrl {
                         _ => Some(r_plan(r)?),
                     });
                 }
+                let migrate = match r.u8()? {
+                    0 => None,
+                    _ => {
+                        let rows = r.u32()? as usize;
+                        // Every row costs at least its 4-byte length.
+                        if rows * 4 > r.remaining() {
+                            return Err(WireError::Malformed {
+                                what: "migrate row count exceeds payload",
+                            });
+                        }
+                        let mut moves = Vec::with_capacity(rows);
+                        for _ in 0..rows {
+                            moves.push(r_u32s(r)?);
+                        }
+                        Some(moves)
+                    }
+                };
                 Ok(Ctrl::Run(RunSpec {
                     start,
                     end,
@@ -442,6 +475,7 @@ impl Wire for Ctrl {
                     node_parts,
                     route,
                     plans,
+                    migrate,
                     timeout_ms,
                     retries,
                     lookahead,
@@ -520,6 +554,8 @@ pub struct BatchSpec<'a> {
     pub node_parts: &'a [u32],
     /// Per-step fault plans.
     pub plans: Vec<Option<FaultPlan>>,
+    /// Overlapped-repartition migrate stage riding this batch.
+    pub migrate: Option<&'a MigrationPlan>,
     /// Executor drain timeout, milliseconds.
     pub timeout_ms: u64,
     /// Executor repair rounds.
@@ -650,6 +686,7 @@ impl WorkerPool {
                 node_parts: spec.node_parts.to_vec(),
                 route: route.to_vec(),
                 plans: spec.plans.clone(),
+                migrate: spec.migrate.map(|p| p.moves.clone()),
                 timeout_ms: spec.timeout_ms,
                 retries: spec.retries,
                 lookahead: spec.lookahead as u32,
@@ -931,8 +968,25 @@ fn run_batch(sim: &SimResult, spec: &RunSpec, mesh: &mut ChannelMailbox<Msg>) ->
         ..ExecOptions::default()
     };
 
+    // Rebuild the migrate stage's plan from the shipped moves matrix; a
+    // size mismatch (hostile or corrupt control data) degrades to no
+    // stage rather than an out-of-bounds index in the prologue.
+    let migrate = spec
+        .migrate
+        .as_ref()
+        .filter(|moves| moves.len() == live_k * live_k)
+        .map(|moves| MigrationPlan { k: live_k, moves: moves.clone() });
+
     let mut mb = SteppedMailbox::new(mesh, spec.epoch, &spec.route);
-    execute_rank_steps(spec.rank as usize, live_k, &inputs, &faults, &opts, &mut mb)
+    execute_rank_steps(
+        spec.rank as usize,
+        live_k,
+        &inputs,
+        &faults,
+        &opts,
+        migrate.as_ref(),
+        &mut mb,
+    )
 }
 
 #[cfg(test)]
@@ -984,9 +1038,26 @@ mod tests {
                     kill: Some(KillSpec { rank: 2, after_sends: 7 }),
                 }),
             ],
+            migrate: None,
             timeout_ms: 2000,
             retries: 3,
             lookahead: 2,
+        }));
+        // A 2x2 migrate stage rides the spec (empty diagonal rows).
+        round_trip(&Ctrl::Run(RunSpec {
+            start: 0,
+            end: 2,
+            chain_start: 0,
+            live_k: 2,
+            rank: 0,
+            epoch: 0,
+            node_parts: vec![0, 1],
+            route: vec![0, 1],
+            plans: vec![None, None],
+            migrate: Some(vec![vec![], vec![5, 6, 7], vec![9], vec![]]),
+            timeout_ms: 1000,
+            retries: 1,
+            lookahead: 1,
         }));
         round_trip(&Ctrl::Done {
             outcome: RankBatchOutcome::Completed(vec![sample_result(2), sample_result(0)]),

@@ -80,7 +80,12 @@ fn arb_msg(variant: u8, seed: u64, n: usize) -> Msg {
             step: mix(&mut s) as u32,
             seqs: (0..n).map(|_| mix(&mut s)).collect(),
         },
-        _ => Msg::Complete { from: mix(&mut s) as u32 },
+        4 => Msg::Complete { from: mix(&mut s) as u32 },
+        _ => Msg::Migrate {
+            from: mix(&mut s) as u32,
+            step: mix(&mut s) as u32,
+            nodes: (0..n).map(|_| mix(&mut s) as u32).collect(),
+        },
     }
 }
 
@@ -92,7 +97,7 @@ proptest! {
     /// and — unlike `PartialEq` on floats — also covers NaN payloads.
     #[test]
     fn every_msg_variant_round_trips_bit_exactly(
-        variant in 0u8..5,
+        variant in 0u8..6,
         seed in 0u64..u64::MAX,
         to in 0u32..64,
         n in 0usize..12,
@@ -115,7 +120,7 @@ proptest! {
     /// decoder never reads past the buffer and never panics.
     #[test]
     fn truncated_frames_are_rejected(
-        variant in 0u8..5,
+        variant in 0u8..6,
         seed in 0u64..u64::MAX,
         n in 0usize..8,
     ) {
