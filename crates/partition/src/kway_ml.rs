@@ -11,9 +11,9 @@
 //! `k` parts at once instead of being confined inside bisection
 //! boundaries.
 
-use crate::coarsen::{coarsen_recorded, CoarsenParams, CoarsenWorkspace};
+use crate::coarsen::{coarsen_recorded, CoarsenParams};
 use crate::config::PartitionerConfig;
-use crate::kway::{balance_kway_with, refine_kway_with, RefineWorkspace};
+use crate::kway::{balance_kway_with, refine_kway_with};
 use crate::rb;
 use cip_graph::Graph;
 
@@ -24,6 +24,21 @@ use cip_graph::Graph;
 /// `max(cfg.coarsen_to, 8k)` so the initial k-way partition has room to
 /// balance.
 pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> {
+    partition_kway_multilevel_with(g, k, cfg, &mut crate::workspace::PartitionWorkspace::new())
+}
+
+/// [`partition_kway_multilevel`] with caller-supplied scratch: the
+/// coarsening and refinement workspaces come from `ws` instead of being
+/// allocated per call, so a repeat caller (the job server's per-worker
+/// workspace pool) keeps its buffers warm across partitions.
+/// Bit-identical to [`partition_kway_multilevel`] for any workspace
+/// state.
+pub fn partition_kway_multilevel_with(
+    g: &Graph,
+    k: usize,
+    cfg: &PartitionerConfig,
+    ws: &mut crate::workspace::PartitionWorkspace,
+) -> Vec<u32> {
     assert!(k >= 1, "k must be positive");
     if k == 1 || g.nv() == 0 {
         return vec![0; g.nv()];
@@ -42,16 +57,17 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
     };
     let hierarchy = {
         let _span = rec.span("partition.coarsen").attr("nv", g.nv()).attr("ne", g.ne());
-        coarsen_recorded(g, &params, &mut CoarsenWorkspace::new(), rec)
+        coarsen_recorded(g, &params, &mut ws.coarsen, rec)
     };
 
     // Initial k-way partition of the coarsest graph via recursive
-    // bisection (the coarsest graph is small, so this is cheap).
+    // bisection (the coarsest graph is small, so this is cheap). It
+    // borrows the refinement workspace for its polish passes.
     let coarsest = hierarchy.coarsest().unwrap_or(g);
     let mut asg = {
         let _span =
             rec.span("partition.initial").attr("nv", coarsest.nv()).attr("levels", hierarchy.len());
-        rb::partition_kway(coarsest, k, cfg)
+        rb::partition_kway_with(coarsest, k, cfg, &mut ws.refine)
     };
 
     // Uncoarsen with direct k-way refinement at every level. One
@@ -59,7 +75,7 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
     // front), and projection ping-pongs between `asg` and the workspace's
     // projection buffer, so the whole loop runs without steady-state
     // allocation on the sequential paths.
-    let mut ws = RefineWorkspace::new();
+    let ws = &mut ws.refine;
     ws.reserve(g.nv());
     let mut fine_asg = Vec::with_capacity(g.nv());
     for lvl in (0..hierarchy.len()).rev() {
@@ -70,11 +86,11 @@ pub fn partition_kway_multilevel(g: &Graph, k: usize, cfg: &PartitionerConfig) -
             .attr("nv", fine_graph.nv())
             .attr("ne", fine_graph.ne());
         hierarchy.project_into(lvl, &asg, &mut fine_asg);
-        refine_kway_with(fine_graph, k, &mut fine_asg, cfg, &mut ws);
-        balance_kway_with(fine_graph, k, &mut fine_asg, cfg, &mut ws);
+        refine_kway_with(fine_graph, k, &mut fine_asg, cfg, ws);
+        balance_kway_with(fine_graph, k, &mut fine_asg, cfg, ws);
         std::mem::swap(&mut asg, &mut fine_asg);
     }
-    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
+    refine_kway_with(g, k, &mut asg, cfg, ws);
     asg
 }
 

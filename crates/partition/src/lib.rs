@@ -41,6 +41,7 @@ pub mod kway_ml;
 mod proptests;
 pub mod rb;
 pub mod repart;
+pub mod workspace;
 
 pub use coarsen::{
     coarsen, coarsen_recorded, coarsen_with, heavy_edge_matching, parallel_heavy_edge_matching,
@@ -51,8 +52,9 @@ pub use diffusion::diffusion_repartition;
 pub use fm::{fm_refine, fm_refine_with};
 pub use hungarian::max_weight_assignment;
 pub use kway::{balance_kway, balance_kway_with, refine_kway, refine_kway_with, RefineWorkspace};
-pub use kway_ml::partition_kway_multilevel;
-pub use rb::partition_kway;
+pub use kway_ml::{partition_kway_multilevel, partition_kway_multilevel_with};
+pub use rb::{partition_kway, partition_kway_with};
 pub use repart::{
     compact_parts_after_loss, remap_to_maximize_overlap, repartition, repartition_survivors,
 };
+pub use workspace::PartitionWorkspace;

@@ -47,6 +47,20 @@ const PARALLEL_THRESHOLD: usize = 8192;
 /// assert_eq!(cip_graph::edge_cut(&g, p.assignment()), 1);
 /// ```
 pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> {
+    partition_kway_with(g, k, cfg, &mut RefineWorkspace::new())
+}
+
+/// [`partition_kway`] with a caller-supplied refinement workspace for the
+/// full-graph polish passes — the `O(nv)` scratch a repeat caller (the
+/// job server's per-worker workspace pool) wants to keep warm across
+/// partitions. Bit-identical to [`partition_kway`] for any workspace
+/// state.
+pub fn partition_kway_with(
+    g: &Graph,
+    k: usize,
+    cfg: &PartitionerConfig,
+    ws: &mut RefineWorkspace,
+) -> Vec<u32> {
     assert!(k >= 1, "k must be positive");
     let mut asg = vec![0u32; g.nv()];
     if k == 1 || g.nv() == 0 {
@@ -75,10 +89,9 @@ pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionerConfig) -> Vec<u32> 
     // then enforce the user's balance tolerance. One workspace serves all
     // three passes.
     let _polish = cfg.recorder.span("partition.kway_polish").attr("nv", g.nv()).attr("k", k);
-    let mut ws = RefineWorkspace::new();
-    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
-    balance_kway_with(g, k, &mut asg, cfg, &mut ws);
-    refine_kway_with(g, k, &mut asg, cfg, &mut ws);
+    refine_kway_with(g, k, &mut asg, cfg, ws);
+    balance_kway_with(g, k, &mut asg, cfg, ws);
+    refine_kway_with(g, k, &mut asg, cfg, ws);
     asg
 }
 

@@ -1,0 +1,81 @@
+//! Bundled partitioner scratch for callers that partition repeatedly.
+//!
+//! A one-shot CLI run can afford to let [`partition_kway`] and
+//! [`partition_kway_multilevel`] allocate their coarsening and
+//! refinement workspaces internally. A long-lived service cannot: a job
+//! server partitioning on every submission wants the same warmed
+//! buffers back for every job, so steady-state execution stays off the
+//! allocator. [`PartitionWorkspace`] bundles the two reusable scratch
+//! structures behind one handle that the `_with` partitioner entry
+//! points ([`crate::rb::partition_kway_with`],
+//! [`crate::kway_ml::partition_kway_multilevel_with`]) accept.
+//!
+//! Reuse is behaviour-neutral: every workspace is reset by its consumer
+//! before use, so a warmed workspace produces bit-identical partitions
+//! to a fresh one (regression-tested here and in `bisect`).
+//!
+//! [`partition_kway`]: crate::rb::partition_kway
+//! [`partition_kway_multilevel`]: crate::kway_ml::partition_kway_multilevel
+
+use crate::coarsen::CoarsenWorkspace;
+use crate::kway::RefineWorkspace;
+
+/// Reusable scratch for repeated partitioning calls: the coarsening
+/// workspace (matching/contraction buffers) and the refinement
+/// workspace (degrees, boundary list, balance scratch).
+#[derive(Default)]
+pub struct PartitionWorkspace {
+    /// Matching + contraction scratch for multilevel coarsening.
+    pub coarsen: CoarsenWorkspace,
+    /// Refinement/balance scratch, reserved at the finest graph size.
+    pub refine: RefineWorkspace,
+}
+
+impl PartitionWorkspace {
+    /// A fresh (cold) workspace; it warms up over the first call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionerConfig;
+    use crate::kway_ml::{partition_kway_multilevel, partition_kway_multilevel_with};
+    use crate::rb::{partition_kway, partition_kway_with};
+    use cip_graph::GraphBuilder;
+
+    fn grid(nx: usize, ny: usize) -> cip_graph::Graph {
+        let mut b = GraphBuilder::new(nx * ny, 1);
+        let id = |i: usize, j: usize| (j * nx + i) as u32;
+        for j in 0..ny {
+            for i in 0..nx {
+                b.set_vwgt(id(i, j), &[1]);
+                if i + 1 < nx {
+                    b.add_edge(id(i, j), id(i + 1, j), 1);
+                }
+                if j + 1 < ny {
+                    b.add_edge(id(i, j), id(i, j + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn warmed_workspace_partitions_are_bit_identical_to_fresh() {
+        let g = grid(20, 20);
+        let cfg = PartitionerConfig::with_seed(11);
+        let mut ws = PartitionWorkspace::new();
+        for k in [2usize, 4, 6] {
+            let fresh_rb = partition_kway(&g, k, &cfg);
+            let fresh_ml = partition_kway_multilevel(&g, k, &cfg);
+            // Two pooled calls per k: the second runs fully warmed.
+            for _ in 0..2 {
+                assert_eq!(partition_kway_with(&g, k, &cfg, &mut ws.refine), fresh_rb, "k={k}");
+                assert_eq!(partition_kway_multilevel_with(&g, k, &cfg, &mut ws), fresh_ml, "k={k}");
+            }
+        }
+    }
+}

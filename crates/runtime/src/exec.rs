@@ -308,6 +308,98 @@ impl ExecOptions {
     pub(crate) fn mailbox_config(&self, rec: &Recorder) -> MailboxConfig {
         MailboxConfig { capacity: self.mailbox_capacity.max(1), recorder: rec.clone() }
     }
+
+    /// A validating builder over the defaults. Where the executors
+    /// silently clamp (`max_batch`, `mailbox_capacity`, lookahead are
+    /// all floored at 1 on the hot path), the builder **rejects** the
+    /// out-of-range value instead, so every front end — CLI flags, job
+    /// server submissions — shares one validation path and one error
+    /// message per mistake.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder { opts: Self::default() }
+    }
+}
+
+/// Builder for [`ExecOptions`]; see [`ExecOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Drain timeout before a repair round starts.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.opts.timeout = timeout;
+        self
+    }
+
+    /// Repair rounds before silent peers are declared dead.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.opts.retries = retries;
+        self
+    }
+
+    /// Fault injection plan.
+    pub fn fault(mut self, fault: FaultInjector) -> Self {
+        self.opts.fault = fault;
+        self
+    }
+
+    /// Batch schedule ([`Schedule::Barrier`] or [`Schedule::Pipelined`]).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.opts.schedule = schedule;
+        self
+    }
+
+    /// Bounded capacity of every transport lane.
+    pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.opts.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Largest step batch handed to the executor at once.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.opts.max_batch = max_batch;
+        self
+    }
+
+    /// Repartition-boundary handling.
+    pub fn repartition_mode(mut self, mode: RepartitionMode) -> Self {
+        self.opts.repartition_mode = mode;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<ExecOptions, crate::ConfigError> {
+        let o = &self.opts;
+        if o.timeout.is_zero() {
+            return Err(crate::ConfigError {
+                field: "timeout",
+                reason: "drain timeout must be positive".to_string(),
+            });
+        }
+        if o.mailbox_capacity < 1 {
+            return Err(crate::ConfigError {
+                field: "mailbox_capacity",
+                reason: "every transport lane needs capacity >= 1".to_string(),
+            });
+        }
+        if o.max_batch < 1 {
+            return Err(crate::ConfigError {
+                field: "max_batch",
+                reason: "a batch covers at least one step".to_string(),
+            });
+        }
+        if let Schedule::Pipelined { lookahead } = o.schedule {
+            if lookahead < 1 {
+                return Err(crate::ConfigError {
+                    field: "schedule",
+                    reason: "pipelined lookahead must be >= 1".to_string(),
+                });
+            }
+        }
+        Ok(self.opts)
+    }
 }
 
 /// Per-destination chaos bookkeeping on the send side. The barrier

@@ -52,8 +52,8 @@ pub mod replan;
 pub mod wire;
 
 pub use exec::{
-    execute_step, execute_step_transport, execute_step_with, ExecOptions, Msg, PhaseTraffic,
-    RankResult, RepartitionMode, Schedule, StepInput, StepOutput, TrafficLog,
+    execute_step, execute_step_transport, execute_step_with, ExecOptions, ExecOptionsBuilder, Msg,
+    PhaseTraffic, RankResult, RepartitionMode, Schedule, StepInput, StepOutput, TrafficLog,
 };
 pub use fault::{Fate, FaultInjector, FaultPlan, KillSpec};
 pub use migrate::{build_migration, build_migration_recorded, MigrationPlan};
@@ -119,6 +119,49 @@ impl std::error::Error for RuntimeError {
 impl From<cip_transport::TransportError> for RuntimeError {
     fn from(e: cip_transport::TransportError) -> Self {
         Self::Transport(e)
+    }
+}
+
+/// A rejected configuration value — what a validating builder
+/// ([`ExecOptions::builder`], `TraceOptions::builder` in the `cip`
+/// facade) returns instead of clamping silently or panicking later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The option that was rejected (builder-method name).
+    pub field: &'static str,
+    /// Why the value is invalid.
+    pub reason: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A shared cancellation flag with checkpoint semantics: the holder of a
+/// running [`crate`] step loop (a `cip::trace::Session`, a job-server
+/// worker) polls it at batch boundaries and winds down cleanly when it
+/// trips. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag; every clone observes it at its next checkpoint.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
     }
 }
 

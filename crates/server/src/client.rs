@@ -1,0 +1,109 @@
+//! Blocking request/response client for the job server.
+//!
+//! One [`Client`] owns one connection and speaks the strict
+//! request/response discipline the server enforces: every call writes
+//! one [`JobMsg`] request and reads exactly one reply. [`Client::result`]
+//! blocks server-side until the job finalizes, so callers get
+//! completion without polling.
+
+use crate::protocol::{CatalogEntry, JobMsg, JobOutcome, JobState, ServerStats};
+use crate::ServerError;
+use cip_transport::frame::{read_frame, write_frame, ReadError};
+use std::net::TcpStream;
+
+/// One connection to a job server.
+pub struct Client {
+    stream: TcpStream,
+    ticket: u32,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server at `addr` (e.g. `127.0.0.1:45123`).
+    pub fn connect(addr: &str) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io {
+            what: "connect to job server",
+            detail: e.to_string(),
+        })?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream, ticket: 0, wbuf: Vec::new(), rbuf: Vec::new() })
+    }
+
+    fn call(&mut self, msg: &JobMsg) -> Result<JobMsg, ServerError> {
+        write_frame(&mut self.stream, msg, 0, &mut self.wbuf)
+            .map_err(|e| ServerError::Io { what: "send request", detail: e.to_string() })?;
+        match read_frame::<JobMsg>(&mut self.stream, &mut self.rbuf) {
+            Ok((reply, _, _)) => Ok(reply),
+            Err(ReadError::Eof) => Err(ServerError::Protocol {
+                what: "server closed the connection mid-request".to_string(),
+            }),
+            Err(ReadError::Corrupt(e) | ReadError::Fatal(e)) => Err(ServerError::Wire(e)),
+            Err(ReadError::Io(e)) => {
+                Err(ServerError::Io { what: "read reply", detail: e.to_string() })
+            }
+        }
+    }
+
+    /// Submits a job payload; returns the server-assigned job id.
+    pub fn submit(&mut self, payload: &[u8]) -> Result<u64, ServerError> {
+        self.ticket = self.ticket.wrapping_add(1);
+        let ticket = self.ticket;
+        match self.call(&JobMsg::Submit { ticket, payload: payload.to_vec() })? {
+            JobMsg::Accepted { ticket: t, job_id } if t == ticket => Ok(job_id),
+            JobMsg::Rejected { ticket: t, reason } if t == ticket => {
+                Err(ServerError::Rejected { reason })
+            }
+            other => Err(unexpected("Accepted/Rejected", &other)),
+        }
+    }
+
+    /// The job's current state (non-blocking).
+    pub fn status(&mut self, job_id: u64) -> Result<JobState, ServerError> {
+        match self.call(&JobMsg::Status { job_id })? {
+            JobMsg::StatusIs { job_id: id, state } if id == job_id => Ok(state),
+            other => Err(unexpected("StatusIs", &other)),
+        }
+    }
+
+    /// Requests cancellation; returns the state after the request took
+    /// effect (a queued job reports `Cancelled` immediately, a running
+    /// one usually still reports `Running` until its next checkpoint).
+    pub fn cancel(&mut self, job_id: u64) -> Result<JobState, ServerError> {
+        match self.call(&JobMsg::Cancel { job_id })? {
+            JobMsg::StatusIs { job_id: id, state } if id == job_id => Ok(state),
+            other => Err(unexpected("StatusIs", &other)),
+        }
+    }
+
+    /// Blocks until the job finalizes; returns its outcome and whether
+    /// it was served from the content-hash cache.
+    pub fn result(&mut self, job_id: u64) -> Result<(JobOutcome, bool), ServerError> {
+        match self.call(&JobMsg::Result { job_id })? {
+            JobMsg::ResultIs { job_id: id, outcome, cached } if id == job_id => {
+                Ok((outcome, cached))
+            }
+            other => Err(unexpected("ResultIs", &other)),
+        }
+    }
+
+    /// Aggregate server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ServerError> {
+        match self.call(&JobMsg::Stats)? {
+            JobMsg::StatsIs(stats) => Ok(stats),
+            other => Err(unexpected("StatsIs", &other)),
+        }
+    }
+
+    /// The workloads the server's runner advertises.
+    pub fn catalog(&mut self) -> Result<Vec<CatalogEntry>, ServerError> {
+        match self.call(&JobMsg::Catalog)? {
+            JobMsg::CatalogIs { entries } => Ok(entries),
+            other => Err(unexpected("CatalogIs", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &JobMsg) -> ServerError {
+    ServerError::Protocol { what: format!("expected {wanted}, got {got:?}") }
+}

@@ -1,0 +1,730 @@
+//! Multi-tenant job server over the versioned binary wire format.
+//!
+//! `cip-server` turns the one-shot trace pipeline into a long-lived
+//! service: many concurrent clients submit jobs (opaque payloads a
+//! [`JobRunner`] knows how to execute), a bounded worker pool runs them,
+//! and a content-hash cache answers repeated submissions with the exact
+//! bytes of the first run — bit-identical by construction. The crate is
+//! deliberately partitioner-agnostic: it depends only on the transport,
+//! telemetry, and runtime layers, and the `cip` facade plugs the traced
+//! partition/execute pipeline in via its `JobRunner` implementation
+//! (`cip::service`), keeping the dependency graph acyclic.
+//!
+//! * [`protocol`] — the client/server control frames ([`JobMsg`]),
+//!   framed and CRC-checked exactly like mesh traffic,
+//! * [`Server`] — bounded queue, worker threads with per-worker reusable
+//!   workspaces, content-hash cache, `server.jobs.*` counters and
+//!   per-job telemetry spans,
+//! * [`Client`] — a blocking request/response client for one
+//!   connection.
+//!
+//! Cancellation is cooperative: [`JobMsg::Cancel`] trips the job's
+//! [`CancelToken`]; a queued job is finalized immediately, a running one
+//! winds down at the runner's next checkpoint (for traced sessions,
+//! a batch boundary). Either way the worker thread survives and picks
+//! up the next job — a cancelled job never poisons the pool.
+
+pub mod client;
+pub mod protocol;
+
+pub use client::Client;
+pub use protocol::{CatalogEntry, JobMsg, JobOutcome, JobState, ServerStats};
+
+use cip_runtime::CancelToken;
+use cip_telemetry::Recorder;
+use cip_transport::frame::{read_frame, write_frame, ReadError};
+use cip_transport::WireError;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// FNV-1a 64 over the submission payload — the content-hash cache key.
+/// Collisions are handled by byte-comparing the stored payload, so a
+/// hash collision degrades to a cache miss, never a wrong result.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a job runner gave up — the runner-side half of [`JobOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The payload failed validation before any work started.
+    Invalid {
+        /// Why.
+        reason: String,
+    },
+    /// Execution started but failed.
+    Failed {
+        /// Why.
+        reason: String,
+    },
+    /// The job's [`CancelToken`] tripped and the runner wound down.
+    Cancelled,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid { reason } => write!(f, "invalid job: {reason}"),
+            Self::Failed { reason } => write!(f, "job failed: {reason}"),
+            Self::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// What the server executes. Implementations decode the payload, run
+/// the work, and return result bytes; the server never interprets
+/// either side.
+///
+/// One [`JobRunner::Workspace`] is created per worker thread and handed
+/// back on every job that worker runs — the hook for allocation-free
+/// steady-state execution (partitioner scratch, session workspaces).
+pub trait JobRunner: Send + Sync + 'static {
+    /// Per-worker reusable scratch.
+    type Workspace: Send;
+
+    /// A fresh workspace for one worker thread.
+    fn workspace(&self) -> Self::Workspace;
+
+    /// Executes one job. `cancel` trips when the client cancels; the
+    /// runner should poll it at its checkpoints and return
+    /// [`JobError::Cancelled`]. Reuse of `ws` must not change results.
+    fn run(
+        &self,
+        payload: &[u8],
+        cancel: &CancelToken,
+        ws: &mut Self::Workspace,
+    ) -> Result<Vec<u8>, JobError>;
+
+    /// The workloads this runner advertises ([`JobMsg::Catalog`]).
+    fn catalog(&self) -> Vec<CatalogEntry> {
+        Vec::new()
+    }
+}
+
+/// A failed server/client operation.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io {
+        /// What was being attempted.
+        what: &'static str,
+        /// The OS error.
+        detail: String,
+    },
+    /// A malformed or unexpected frame on the control connection.
+    Wire(WireError),
+    /// The peer violated the request/response protocol.
+    Protocol {
+        /// What went wrong.
+        what: String,
+    },
+    /// The server refused a submission.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { what, detail } => write!(f, "{what}: {detail}"),
+            Self::Wire(e) => write!(f, "wire protocol violation: {e}"),
+            Self::Protocol { what } => write!(f, "protocol violation: {what}"),
+            Self::Rejected { reason } => write!(f, "submission rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listener bind address (`127.0.0.1:0` = OS-assigned port).
+    pub bind: String,
+    /// Worker threads (= jobs in flight); at least 1.
+    pub workers: usize,
+    /// Longest admission queue; submissions beyond it are rejected so a
+    /// flood degrades loudly instead of accumulating unbounded state.
+    pub queue_capacity: usize,
+    /// Telemetry sink for `server.jobs.*` counters and per-job spans.
+    pub recorder: Recorder,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// One tracked job.
+struct Job {
+    /// The submission payload; taken by the worker that runs it.
+    payload: Vec<u8>,
+    hash: u64,
+    state: JobState,
+    cancel: CancelToken,
+    outcome: Option<JobOutcome>,
+    cached: bool,
+}
+
+/// Mutex-guarded server state.
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    /// hash → (payload, result): the payload is kept to byte-verify
+    /// hits, so collisions degrade to misses.
+    cache: HashMap<u64, (Vec<u8>, Vec<u8>)>,
+    next_id: u64,
+}
+
+/// Lock-free counter block behind [`ServerStats`].
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    cache_hits: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared<R: JobRunner> {
+    runner: R,
+    inner: Mutex<Inner>,
+    /// Wakes workers when the queue grows (and on shutdown).
+    work_cv: Condvar,
+    /// Wakes result waiters when any job finalizes (and on shutdown).
+    done_cv: Condvar,
+    stats: StatCells,
+    rec: Recorder,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+}
+
+/// Poison-tolerant lock: a panicking connection handler must not take
+/// the whole server down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl<R: JobRunner> Shared<R> {
+    /// Finalizes `id` under the lock: state, outcome, stats, counters,
+    /// cache insertion for successes, and the completion broadcast.
+    fn finalize(&self, inner: &mut Inner, id: u64, result: Result<Vec<u8>, JobError>) {
+        let Some(job) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        match result {
+            Ok(bytes) => {
+                job.state = JobState::Done;
+                job.outcome = Some(JobOutcome::Done { payload: bytes.clone() });
+                let hash = job.hash;
+                let payload = std::mem::take(&mut job.payload);
+                inner.cache.entry(hash).or_insert((payload, bytes));
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                self.rec.add("server.jobs.completed", 1);
+            }
+            Err(JobError::Cancelled) => {
+                job.state = JobState::Cancelled;
+                job.outcome = Some(JobOutcome::Cancelled);
+                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.rec.add("server.jobs.cancelled", 1);
+            }
+            Err(JobError::Invalid { reason } | JobError::Failed { reason }) => {
+                job.state = JobState::Failed;
+                job.outcome = Some(JobOutcome::Failed { reason });
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.rec.add("server.jobs.failed", 1);
+            }
+        }
+        self.done_cv.notify_all();
+    }
+}
+
+/// A running job server: accept loop + worker pool. Bind with
+/// [`Server::start`], stop with [`Server::shutdown`] (also called on
+/// drop).
+pub struct Server<R: JobRunner> {
+    addr: SocketAddr,
+    shared: Arc<Shared<R>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<R: JobRunner> Server<R> {
+    /// Binds the listener, spawns the worker pool, and starts accepting
+    /// clients.
+    pub fn start(runner: R, cfg: &ServerConfig) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(&cfg.bind)
+            .map_err(|e| ServerError::Io { what: "bind job listener", detail: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServerError::Io { what: "job listener address", detail: e.to_string() })?;
+        let shared = Arc::new(Shared {
+            runner,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                cache: HashMap::new(),
+                next_id: 1,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            stats: StatCells::default(),
+            rec: cfg.recorder.clone(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: cfg.queue_capacity.max(1),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, wid))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                stream.set_nodelay(true).ok();
+                let shared = Arc::clone(&accept_shared);
+                // Handlers are detached: they exit on client EOF or
+                // corrupt frames, and the process teardown reaps any
+                // that are still blocked on an open client socket.
+                std::thread::spawn(move || serve_connection(&shared, stream));
+            }
+        });
+
+        Ok(Self { addr, shared, accept: Some(accept), workers })
+    }
+
+    /// The bound listener address (resolve `127.0.0.1:0` to the real
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregate job counters so far.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting, wakes every worker and waiter, and joins the
+    /// pool. Queued jobs that never ran are finalized as cancelled.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut inner = lock(&self.shared.inner);
+            let queued: Vec<u64> = inner.queue.drain(..).collect();
+            for id in queued {
+                if let Some(job) = inner.jobs.get(&id) {
+                    if job.state == JobState::Queued {
+                        self.shared.finalize(&mut inner, id, Err(JobError::Cancelled));
+                    }
+                }
+            }
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        // Unblock the accept loop with a dummy connection.
+        TcpStream::connect(self.addr).ok();
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+impl<R: JobRunner> Drop for Server<R> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker thread: owns a reusable workspace, drains the queue until
+/// shutdown.
+fn worker_loop<R: JobRunner>(shared: &Shared<R>, wid: usize) {
+    let mut ws = shared.runner.workspace();
+    loop {
+        let (id, payload, cancel) = {
+            let mut inner = lock(&shared.inner);
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Skip entries finalized while queued (client cancel).
+                let next = loop {
+                    match inner.queue.pop_front() {
+                        None => break None,
+                        Some(id) => {
+                            if inner.jobs.get(&id).is_some_and(|j| j.state == JobState::Queued) {
+                                break Some(id);
+                            }
+                        }
+                    }
+                };
+                if let Some(id) = next {
+                    let Some(job) = inner.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    job.state = JobState::Running;
+                    break (id, job.payload.clone(), job.cancel.clone());
+                }
+                inner = shared.work_cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+
+        let result = {
+            let mut span = shared.rec.span("server.job").attr("job", id).attr("worker", wid);
+            if cancel.is_cancelled() {
+                // Cancelled between dequeue and start: never run it.
+                Err(JobError::Cancelled)
+            } else {
+                let r = shared.runner.run(&payload, &cancel, &mut ws);
+                span.set_attr(
+                    "outcome",
+                    match &r {
+                        Ok(_) => "done",
+                        Err(JobError::Cancelled) => "cancelled",
+                        Err(_) => "failed",
+                    },
+                );
+                r
+            }
+        };
+        let mut inner = lock(&shared.inner);
+        shared.finalize(&mut inner, id, result);
+    }
+}
+
+/// One client connection: a strict request/response loop. EOF or a
+/// corrupt frame ends the connection; the jobs it submitted live on.
+fn serve_connection<R: JobRunner>(shared: &Shared<R>, mut stream: TcpStream) {
+    let mut payload = Vec::new();
+    let mut buf = Vec::new();
+    loop {
+        let msg = match read_frame::<JobMsg>(&mut stream, &mut payload) {
+            Ok((m, _, _)) => m,
+            Err(ReadError::Eof) => return,
+            Err(_) => return,
+        };
+        let reply = match msg {
+            JobMsg::Submit { ticket, payload } => submit(shared, ticket, payload),
+            JobMsg::Status { job_id } => {
+                let inner = lock(&shared.inner);
+                let state = inner.jobs.get(&job_id).map_or(JobState::Failed, |j| j.state);
+                JobMsg::StatusIs { job_id, state }
+            }
+            JobMsg::Cancel { job_id } => cancel(shared, job_id),
+            JobMsg::Result { job_id } => await_result(shared, job_id),
+            JobMsg::Stats => JobMsg::StatsIs(shared.stats.snapshot()),
+            JobMsg::Catalog => JobMsg::CatalogIs { entries: shared.runner.catalog() },
+            // A reply frame arriving as a request is a protocol
+            // violation; drop the connection.
+            _ => return,
+        };
+        if write_frame(&mut stream, &reply, 0, &mut buf).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission: cache lookup, bounded queue, accept/reject.
+fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> JobMsg {
+    if shared.shutdown.load(Ordering::Acquire) {
+        return JobMsg::Rejected { ticket, reason: "server shutting down".to_string() };
+    }
+    let hash = content_hash(&payload);
+    let mut inner = lock(&shared.inner);
+    let id = inner.next_id;
+
+    // Content-hash cache: a byte-identical resubmission is answered
+    // with the exact result bytes of the first run — no worker, no
+    // recomputation, bit-identical totals.
+    let hit = inner.cache.get(&hash).filter(|(first, _)| first == &payload).map(|(_, r)| r.clone());
+    if let Some(result) = hit {
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            Job {
+                payload: Vec::new(),
+                hash,
+                state: JobState::Done,
+                cancel: CancelToken::new(),
+                outcome: Some(JobOutcome::Done { payload: result }),
+                cached: true,
+            },
+        );
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.rec.add("server.jobs.submitted", 1);
+        shared.rec.add("server.jobs.cache_hits", 1);
+        shared.done_cv.notify_all();
+        return JobMsg::Accepted { ticket, job_id: id };
+    }
+
+    if inner.queue.len() >= shared.queue_capacity {
+        return JobMsg::Rejected { ticket, reason: "admission queue full".to_string() };
+    }
+    inner.next_id += 1;
+    inner.jobs.insert(
+        id,
+        Job {
+            payload,
+            hash,
+            state: JobState::Queued,
+            cancel: CancelToken::new(),
+            outcome: None,
+            cached: false,
+        },
+    );
+    inner.queue.push_back(id);
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.rec.add("server.jobs.submitted", 1);
+    shared.work_cv.notify_one();
+    JobMsg::Accepted { ticket, job_id: id }
+}
+
+/// Cancellation: a queued job finalizes immediately; a running one is
+/// asked to stop via its token and finalizes when the runner yields.
+fn cancel<R: JobRunner>(shared: &Shared<R>, job_id: u64) -> JobMsg {
+    let mut inner = lock(&shared.inner);
+    let Some(job) = inner.jobs.get(&job_id) else {
+        return JobMsg::StatusIs { job_id, state: JobState::Failed };
+    };
+    job.cancel.cancel();
+    if job.state == JobState::Queued {
+        shared.finalize(&mut inner, job_id, Err(JobError::Cancelled));
+    }
+    let state = inner.jobs.get(&job_id).map_or(JobState::Failed, |j| j.state);
+    JobMsg::StatusIs { job_id, state }
+}
+
+/// Blocks until the job finalizes (or the server shuts down).
+fn await_result<R: JobRunner>(shared: &Shared<R>, job_id: u64) -> JobMsg {
+    let mut inner = lock(&shared.inner);
+    loop {
+        match inner.jobs.get(&job_id) {
+            None => {
+                return JobMsg::ResultIs {
+                    job_id,
+                    outcome: JobOutcome::Failed { reason: "unknown job".to_string() },
+                    cached: false,
+                };
+            }
+            Some(job) => {
+                if let Some(outcome) = &job.outcome {
+                    return JobMsg::ResultIs {
+                        job_id,
+                        outcome: outcome.clone(),
+                        cached: job.cached,
+                    };
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return JobMsg::ResultIs {
+                job_id,
+                outcome: JobOutcome::Failed { reason: "server shutting down".to_string() },
+                cached: false,
+            };
+        }
+        inner = shared.done_cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Test runner: payload[0] selects the behavior. 0 = echo the rest
+    /// reversed, 1 = spin until cancelled (checkpoint every 1 ms),
+    /// 2 = fail.
+    struct TestRunner;
+
+    impl JobRunner for TestRunner {
+        type Workspace = Vec<u8>;
+
+        fn workspace(&self) -> Vec<u8> {
+            Vec::new()
+        }
+
+        fn run(
+            &self,
+            payload: &[u8],
+            cancel: &CancelToken,
+            ws: &mut Vec<u8>,
+        ) -> Result<Vec<u8>, JobError> {
+            match payload.first() {
+                Some(0) => {
+                    ws.clear();
+                    ws.extend(payload[1..].iter().rev());
+                    Ok(ws.clone())
+                }
+                Some(1) => loop {
+                    if cancel.is_cancelled() {
+                        return Err(JobError::Cancelled);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                },
+                Some(2) => Err(JobError::Failed { reason: "scripted failure".to_string() }),
+                _ => Err(JobError::Invalid { reason: "empty payload".to_string() }),
+            }
+        }
+
+        fn catalog(&self) -> Vec<CatalogEntry> {
+            vec![CatalogEntry { name: "echo".to_string(), summary: "reverses bytes".to_string() }]
+        }
+    }
+
+    fn start() -> (Server<TestRunner>, Client) {
+        let server =
+            Server::start(TestRunner, &ServerConfig { workers: 1, ..ServerConfig::default() })
+                .expect("server starts");
+        let client = Client::connect(&server.addr().to_string()).expect("client connects");
+        (server, client)
+    }
+
+    #[test]
+    fn echo_job_roundtrips_and_is_cached_on_resubmit() {
+        let (server, mut client) = start();
+        let job = client.submit(&[0, 1, 2, 3]).expect("submit");
+        let (outcome, cached) = client.result(job).expect("result");
+        assert_eq!(outcome, JobOutcome::Done { payload: vec![3, 2, 1] });
+        assert!(!cached);
+
+        let again = client.submit(&[0, 1, 2, 3]).expect("resubmit");
+        assert_ne!(again, job, "every submission is its own job");
+        let (outcome2, cached2) = client.result(again).expect("cached result");
+        assert_eq!(outcome2, JobOutcome::Done { payload: vec![3, 2, 1] });
+        assert!(cached2, "byte-identical resubmission must hit the cache");
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(server.stats(), stats);
+    }
+
+    #[test]
+    fn queued_cancel_is_deterministic_and_pool_stays_serviceable() {
+        let (_server, mut client) = start();
+        // One worker: occupy it, then cancel a job that is still queued.
+        let blocker = client.submit(&[1]).expect("submit blocker");
+        let queued = client.submit(&[0, 9]).expect("submit queued");
+        let state = client.cancel(queued).expect("cancel");
+        assert_eq!(state, JobState::Cancelled, "a queued job cancels synchronously");
+        let (outcome, _) = client.result(queued).expect("result");
+        assert_eq!(outcome, JobOutcome::Cancelled);
+
+        // Now cancel the running blocker; its token checkpoint fires.
+        client.cancel(blocker).expect("cancel blocker");
+        let (outcome, _) = client.result(blocker).expect("blocker result");
+        assert_eq!(outcome, JobOutcome::Cancelled);
+
+        // The single worker must still serve new jobs.
+        let after = client.submit(&[0, 7]).expect("submit after cancels");
+        let (outcome, _) = client.result(after).expect("post-cancel result");
+        assert_eq!(outcome, JobOutcome::Done { payload: vec![7] });
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.cancelled, 2);
+    }
+
+    #[test]
+    fn failures_and_unknown_jobs_are_reported_not_fatal() {
+        let (_server, mut client) = start();
+        let job = client.submit(&[2]).expect("submit");
+        let (outcome, _) = client.result(job).expect("result");
+        assert!(
+            matches!(outcome, JobOutcome::Failed { ref reason } if reason.contains("scripted"))
+        );
+        assert_eq!(client.status(99_999).expect("status"), JobState::Failed);
+        let (outcome, _) = client.result(99_999).expect("unknown result");
+        assert!(matches!(outcome, JobOutcome::Failed { .. }));
+        // Failed results are not cached.
+        let again = client.submit(&[2]).expect("resubmit failure");
+        let (outcome, cached) = client.result(again).expect("result");
+        assert!(matches!(outcome, JobOutcome::Failed { .. }));
+        assert!(!cached);
+    }
+
+    #[test]
+    fn catalog_is_advertised() {
+        let (_server, mut client) = start();
+        let entries = client.catalog().expect("catalog");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "echo");
+    }
+
+    #[test]
+    fn content_hash_is_fnv1a_and_order_sensitive() {
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(content_hash(b"ab"), content_hash(b"ba"));
+    }
+
+    #[test]
+    fn shutdown_finalizes_queued_jobs_and_joins() {
+        let (mut server, mut client) = start();
+        let blocker = client.submit(&[1]).expect("submit blocker");
+        let queued = client.submit(&[0, 1]).expect("submit queued");
+        // Cancel the blocker so the worker can exit, then shut down.
+        client.cancel(blocker).expect("cancel blocker");
+        let (outcome, _) = client.result(blocker).expect("blocker result");
+        assert_eq!(outcome, JobOutcome::Cancelled);
+        server.shutdown();
+        let stats = server.stats();
+        assert!(stats.cancelled >= 1, "shutdown cancels what never ran: {stats:?}");
+        let _ = queued;
+    }
+}

@@ -27,5 +27,5 @@ pub mod snapshot;
 
 pub use dynamics::run;
 pub use geometry::SimConfig;
-pub use scenarios::{blunt_impactor, head_on, offset_strike, thick_plates};
+pub use scenarios::{blunt_impactor, head_on, offset_strike, thick_plates, ScenarioDescriptor};
 pub use snapshot::{SimResult, Snapshot};

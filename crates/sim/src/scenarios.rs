@@ -1,11 +1,81 @@
-//! Named workload scenarios.
+//! Named workload scenarios and the enumerable scenario registry.
 //!
 //! The paper evaluates on a single EPIC run; a reusable library needs a
 //! family of related workloads to check that conclusions are not an
 //! artifact of one geometry. All scenarios are parameter presets of the
 //! same projectile/two-plate simulation.
+//!
+//! The registry ([`list`] / [`get`]) is the single source of truth for
+//! scenario names: the `cip-trace --list-scenarios` flag, the job
+//! server's workload catalog, and every name-to-config resolution go
+//! through it, so an unknown name is always a reportable error naming
+//! the valid alternatives rather than a silent `None`.
 
 use crate::geometry::SimConfig;
+
+/// One registered workload: a stable name, a one-line summary for
+/// catalogs, and the config preset it resolves to.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioDescriptor {
+    /// Stable registry name (what `--scenario` accepts).
+    pub name: &'static str,
+    /// One-line human summary, shown by catalogs and `--list-scenarios`.
+    pub summary: &'static str,
+    /// Preset constructor.
+    pub config: fn() -> SimConfig,
+}
+
+impl ScenarioDescriptor {
+    /// Builds the scenario's simulation config.
+    pub fn config(&self) -> SimConfig {
+        (self.config)()
+    }
+}
+
+/// The scenario registry, in presentation order.
+static REGISTRY: &[ScenarioDescriptor] = &[
+    ScenarioDescriptor {
+        name: "head_on",
+        summary: "default head-on projectile strike",
+        config: head_on,
+    },
+    ScenarioDescriptor {
+        name: "offset_strike",
+        summary: "off-center strike, every symmetry broken",
+        config: offset_strike,
+    },
+    ScenarioDescriptor {
+        name: "thick_plates",
+        summary: "thick plates, slow penetration, gradual contact growth",
+        config: thick_plates,
+    },
+    ScenarioDescriptor {
+        name: "blunt_impactor",
+        summary: "blunt wide projectile, crater-dominated surface growth",
+        config: blunt_impactor,
+    },
+    ScenarioDescriptor {
+        name: "tiny",
+        summary: "unit-test-sized strike (seconds, not minutes)",
+        config: SimConfig::tiny,
+    },
+];
+
+/// Every registered scenario, in presentation order.
+pub fn list() -> &'static [ScenarioDescriptor] {
+    REGISTRY
+}
+
+/// Looks up a scenario by name.
+pub fn get(name: &str) -> Option<&'static ScenarioDescriptor> {
+    REGISTRY.iter().find(|d| d.name == name)
+}
+
+/// The registered names, comma-separated — for error messages.
+pub fn known_names() -> String {
+    let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
+    names.join(", ")
+}
 
 /// The default head-on strike (alias of [`SimConfig::small`]).
 pub fn head_on() -> SimConfig {
@@ -48,6 +118,20 @@ pub fn blunt_impactor() -> SimConfig {
 mod tests {
     use super::*;
     use crate::run;
+
+    #[test]
+    fn registry_is_enumerable_and_errors_on_unknown_names() {
+        assert!(list().len() >= 5);
+        for d in list() {
+            assert!(!d.summary.is_empty(), "{} has no summary", d.name);
+            let found = get(d.name).expect("every listed scenario resolves");
+            assert_eq!(found.name, d.name);
+        }
+        assert_eq!(get("tiny").map(|d| d.name), Some("tiny"));
+        assert!(get("bogus").is_none());
+        assert!(known_names().contains("head_on"));
+        assert!(known_names().contains("tiny"));
+    }
 
     #[test]
     fn all_scenarios_simulate_and_produce_contact() {

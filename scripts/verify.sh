@@ -28,12 +28,21 @@ echo "==> no panics on the runtime step hot path"
 # frames and dead sockets are typed errors, DESIGN.md §6e), and the
 # worker-pool driver.
 for hot_path in crates/runtime/src/exec.rs crates/runtime/src/pipeline.rs \
-    crates/runtime/src/replan.rs crates/transport/src/*.rs src/worker.rs; do
+    crates/runtime/src/replan.rs crates/transport/src/*.rs src/worker.rs \
+    crates/server/src/*.rs src/service.rs src/bin/cip-serve.rs; do
   if sed '/#\[cfg(test)\]/q' "$hot_path" \
       | grep -nE '\.unwrap\(\)|\.expect\(|panic!'; then
     echo "verify: FAIL — unwrap/expect/panic on the runtime step hot path ($hot_path)"
     exit 1
   fi
 done
+
+echo "==> no stringly-typed errors on public cip entry points"
+# Fallible cip APIs carry typed errors (TraceError, ServerError, ...):
+# Result<_, String> is banned from the facade crate and the job server.
+if grep -rnE 'Result<[^>]*,[[:space:]]*String[[:space:]]*>' src crates/server/src; then
+  echo "verify: FAIL — Result<_, String> on a public cip entry point"
+  exit 1
+fi
 
 echo "verify: OK"

@@ -29,18 +29,32 @@
 //! cip-trace --scenario thick_plates --k 4 --no-repart
 //! cip-trace --scenario tiny --k 4 --chaos 7 --kill 3:2
 //! cip-trace --scenario head_on --k 8 --repartition-mode barrier --max-batch 4
+//! cip-trace --list-scenarios
+//! cip-trace --scenario head_on --k 4 --server 127.0.0.1:PORT   # job client
 //! ```
+//!
+//! With `--server ADDR`, the run is submitted as a job to a running
+//! `cip-serve` instead of executing in-process; the deterministic totals
+//! come back over the wire (bit-identical to a local run) and land in
+//! `totals.json`.
 
-use cip::trace::{run_traced, scenario_config, ChaosOptions, TraceOptions, TransportKind};
+use cip::service::{JobRequest, TraceTotals};
+use cip::trace::{run_traced, ChaosOptions, TraceOptions, TransportKind};
 use cip_runtime::{RepartitionMode, Schedule};
+use cip_server::{Client, JobOutcome};
+use cip_sim::scenarios;
 
 struct Args {
     opts: TraceOptions,
     out_dir: String,
+    /// Submit to a running `cip-serve` at this address instead of
+    /// executing in-process.
+    server: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { opts: TraceOptions::default(), out_dir: "results".to_string() };
+    let mut args =
+        Args { opts: TraceOptions::default(), out_dir: "results".to_string(), server: None };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -117,14 +131,25 @@ fn parse_args() -> Args {
                 args.opts.transport = parse_transport(&argv[i + 1]);
                 i += 2;
             }
+            "--server" if i + 1 < argv.len() => {
+                args.server = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--list-scenarios" => {
+                for d in scenarios::list() {
+                    println!("{:<16} {}", d.name, d.summary);
+                }
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: cip-trace [--scenario head_on|offset_strike|thick_plates|\
-                     blunt_impactor|tiny] [--k K] [--snapshots N] [--seed N] \
+                    "usage: cip-trace [--scenario NAME] [--list-scenarios] [--k K] \
+                     [--snapshots N] [--seed N] \
                      [--period N | --no-repart] [--chaos SEED] [--kill STEP:RANK] \
                      [--schedule barrier|pipelined[:LOOKAHEAD]] [--max-batch N>=1] \
                      [--repartition-mode barrier|overlapped] \
-                     [--transport inproc|tcp-threads[:BIND]|tcp[:BIND]] [--out DIR]"
+                     [--transport inproc|tcp-threads[:BIND]|tcp[:BIND]] \
+                     [--server ADDR:PORT] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -177,14 +202,72 @@ fn parse_schedule(spec: &str) -> Schedule {
     }
 }
 
+/// Client mode: submit the run as a job to a `cip-serve` instance, wait
+/// for the result, and write `totals.json` (the deterministic totals —
+/// byte-identical to what the in-process oracle reports).
+fn run_remote(addr: &str, args: &Args) {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cip-trace: {e}");
+        std::process::exit(1);
+    });
+    let payload = JobRequest::new(args.opts.clone()).encode();
+    let job = client.submit(&payload).unwrap_or_else(|e| {
+        eprintln!("cip-trace: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("submitted job {job} to {addr}, waiting...");
+    let (outcome, cached) = client.result(job).unwrap_or_else(|e| {
+        eprintln!("cip-trace: {e}");
+        std::process::exit(1);
+    });
+    match outcome {
+        JobOutcome::Done { payload } => {
+            let totals = TraceTotals::decode(&payload).unwrap_or_else(|e| {
+                eprintln!("cip-trace: bad result payload: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "job {job} done{}: {} steps, halo {}, shipments {}, migrated {}, pairs {}",
+                if cached { " (cache hit)" } else { "" },
+                totals.steps,
+                totals.halo,
+                totals.shipments,
+                totals.migrated,
+                totals.contact_pairs
+            );
+            println!("{}", totals.to_json());
+            let dir = std::path::Path::new(&args.out_dir);
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let path = dir.join("totals.json");
+            std::fs::write(&path, totals.to_json()).expect("write totals.json");
+            eprintln!("wrote {}", path.display());
+        }
+        JobOutcome::Failed { reason } => {
+            eprintln!("cip-trace: job {job} failed: {reason}");
+            std::process::exit(1);
+        }
+        JobOutcome::Cancelled => {
+            eprintln!("cip-trace: job {job} was cancelled");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    if scenario_config(&args.opts.scenario).is_none() {
-        eprintln!("unknown scenario '{}' (try --help)", args.opts.scenario);
+    if let Err(e) = args.opts.validate() {
+        eprintln!("cip-trace: {e}");
         std::process::exit(2);
     }
+    if let Some(addr) = args.server.clone() {
+        run_remote(&addr, &args);
+        return;
+    }
     eprintln!("tracing scenario '{}' across {} rank threads...", args.opts.scenario, args.opts.k);
-    let report = run_traced(&args.opts).expect("scenario was validated above");
+    let report = run_traced(&args.opts).unwrap_or_else(|e| {
+        eprintln!("cip-trace: {e}");
+        std::process::exit(1);
+    });
     report.verify_totals().expect("telemetry counters must equal the executed TrafficLog totals");
 
     eprintln!(

@@ -10,8 +10,11 @@ pub use cip_graph as graph;
 pub use cip_mesh as mesh;
 pub use cip_partition as partition;
 pub use cip_runtime as runtime;
+pub use cip_server as server;
 pub use cip_sim as sim;
 pub use cip_telemetry as telemetry;
+pub use cip_transport as transport;
 
+pub mod service;
 pub mod trace;
 pub mod worker;

@@ -15,25 +15,117 @@ use cip_contact::DtreeFilter;
 use cip_core::{dt_friendly_correct, DtFriendlyConfig, SnapshotView};
 use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
 use cip_partition::{
-    compact_parts_after_loss, diffusion_repartition, partition_kway, PartitionerConfig,
+    compact_parts_after_loss, diffusion_repartition, partition_kway_with, PartitionWorkspace,
+    PartitionerConfig,
 };
 use cip_runtime::{
     build_decomposition, build_migration, build_migration_recorded, collect_batch,
-    execute_steps_overlapped, BatchError, Decomposition, ExecOptions, FaultInjector, FaultPlan,
-    KillSpec, MigrationPlan, RepartitionMode, Replanner, RuntimeError, Schedule, StepInput,
+    execute_steps_overlapped, BatchError, CancelToken, ConfigError, Decomposition, ExecOptions,
+    FaultInjector, FaultPlan, KillSpec, MigrationPlan, RepartitionMode, Replanner, RuntimeError,
+    Schedule, StepInput,
 };
 use cip_sim::{scenarios, SimConfig, SimResult};
 use cip_telemetry::{export::Summary, Recorder};
 use cip_transport::tcp::Tcp;
-use cip_transport::InProcess;
+use cip_transport::{InProcess, TransportError, WireError};
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A failed traced run — every way [`run_traced`] / [`Session`] can go
+/// wrong, as a typed error instead of a formatted string, so callers
+/// (the CLI, the job server, tests) can match on the cause.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The scenario name is not in the registry
+    /// ([`cip_sim::scenarios::list`]).
+    UnknownScenario {
+        /// The rejected name.
+        name: String,
+    },
+    /// A trace/executor option failed builder validation.
+    Config(ConfigError),
+    /// Step execution failed beyond recovery (transport breakdown; rank
+    /// deaths are recovered internally and never surface here).
+    Runtime(RuntimeError),
+    /// A wire-format violation outside the executor (worker control
+    /// protocol).
+    Wire(WireError),
+    /// The worker pool could not be brought up or driven (spawn,
+    /// handshake, control socket).
+    Worker {
+        /// What failed.
+        what: String,
+    },
+    /// [`TraceReport::verify_totals`] found a telemetry counter that
+    /// disagrees with the executed total.
+    TotalsMismatch {
+        /// The counter name.
+        counter: &'static str,
+        /// The counter's value.
+        got: u64,
+        /// The executed total it must equal.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownScenario { name } => {
+                write!(f, "unknown scenario '{name}' (known: {})", scenarios::known_names())
+            }
+            Self::Config(e) => write!(f, "{e}"),
+            Self::Runtime(e) => write!(f, "execution failed: {e}"),
+            Self::Wire(e) => write!(f, "wire protocol violation: {e}"),
+            Self::Worker { what } => write!(f, "worker pool: {what}"),
+            Self::TotalsMismatch { counter, got, expected } => {
+                write!(f, "counter {counter} = {got}, executed total = {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Runtime(e) => Some(e),
+            Self::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TraceError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<RuntimeError> for TraceError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+impl From<TransportError> for TraceError {
+    fn from(e: TransportError) -> Self {
+        Self::Runtime(RuntimeError::Transport(e))
+    }
+}
+
+impl From<WireError> for TraceError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
 
 /// Chaos-mode settings for a traced run: deterministic message faults,
 /// an optional scripted rank kill, and the executor's loss-detection
 /// budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosOptions {
     /// Base seed; each step derives an independent fate stream.
     pub seed: u64,
@@ -74,7 +166,7 @@ impl Default for ChaosOptions {
 /// All three execute the identical protocol and produce bit-identical
 /// `TrafficLog` totals; they differ only in where the ranks live and
 /// what the bytes travel through (DESIGN.md §6e).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum TransportKind {
     /// Rank threads exchanging in-memory messages — the default and
     /// the oracle every other backend is measured against.
@@ -99,7 +191,7 @@ pub enum TransportKind {
 }
 
 /// What to run and how.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceOptions {
     /// Scenario name (see [`scenario_config`] for the accepted names).
     pub scenario: String,
@@ -149,18 +241,137 @@ impl Default for TraceOptions {
     }
 }
 
-/// Resolves a scenario name to its simulation config. Accepted names:
-/// `head_on`, `offset_strike`, `thick_plates`, `blunt_impactor`, and the
-/// unit-test-sized `tiny`.
-pub fn scenario_config(name: &str) -> Option<SimConfig> {
-    match name {
-        "head_on" => Some(scenarios::head_on()),
-        "offset_strike" => Some(scenarios::offset_strike()),
-        "thick_plates" => Some(scenarios::thick_plates()),
-        "blunt_impactor" => Some(scenarios::blunt_impactor()),
-        "tiny" => Some(SimConfig::tiny()),
-        _ => None,
+impl TraceOptions {
+    /// A validating builder over the defaults — the one construction
+    /// path the CLI and the job server share, so every flag is checked
+    /// by the same rules.
+    pub fn builder() -> TraceOptionsBuilder {
+        TraceOptionsBuilder { opts: Self::default() }
     }
+
+    /// Checks every option against the rules [`TraceOptionsBuilder::build`]
+    /// enforces — for options constructed literally (struct syntax) or
+    /// deserialized from a job payload. [`Session::build`] calls this, so
+    /// no invalid configuration reaches execution by any path.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        scenario_config(&self.scenario)?;
+        let reject = |field: &'static str, reason: &str| {
+            Err(TraceError::Config(ConfigError { field, reason: reason.to_string() }))
+        };
+        if self.k < 1 {
+            return reject("k", "need at least one rank");
+        }
+        if self.snapshots == Some(0) {
+            return reject("snapshots", "need at least one snapshot");
+        }
+        if self.max_batch < 1 {
+            return reject("max_batch", "a batch must cover at least one step");
+        }
+        if let Schedule::Pipelined { lookahead } = self.schedule {
+            if lookahead < 1 {
+                return reject("schedule", "pipelined lookahead must be at least 1");
+            }
+        }
+        if let Some(c) = &self.chaos {
+            if c.timeout_ms == 0 {
+                return reject("chaos", "drain timeout must be non-zero");
+            }
+            for (name, permille) in [
+                ("drop_permille", c.drop_permille),
+                ("dup_permille", c.dup_permille),
+                ("delay_permille", c.delay_permille),
+                ("reorder_permille", c.reorder_permille),
+            ] {
+                if permille > 1000 {
+                    return reject("chaos", &format!("{name} exceeds 1000"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`TraceOptions`] — see [`TraceOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct TraceOptionsBuilder {
+    opts: TraceOptions,
+}
+
+impl TraceOptionsBuilder {
+    /// Scenario name (checked against the registry at [`Self::build`]).
+    pub fn scenario(mut self, name: impl Into<String>) -> Self {
+        self.opts.scenario = name.into();
+        self
+    }
+
+    /// Number of logical ranks (≥ 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.opts.k = k;
+        self
+    }
+
+    /// Snapshot-count override (≥ 1).
+    pub fn snapshots(mut self, n: usize) -> Self {
+        self.opts.snapshots = Some(n);
+        self
+    }
+
+    /// Partitioner seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Diffusion-repartition period (`None` = fixed decomposition).
+    pub fn repartition_period(mut self, period: Option<usize>) -> Self {
+        self.opts.repartition_period = period;
+        self
+    }
+
+    /// Fault injection (`None` = clean run).
+    pub fn chaos(mut self, chaos: Option<ChaosOptions>) -> Self {
+        self.opts.chaos = chaos;
+        self
+    }
+
+    /// Step schedule (pipelined lookahead must be ≥ 1).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.opts.schedule = schedule;
+        self
+    }
+
+    /// Longest stretch of steps one batch may cover (≥ 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.opts.max_batch = max_batch;
+        self
+    }
+
+    /// How repartition boundaries are handled.
+    pub fn repartition_mode(mut self, mode: RepartitionMode) -> Self {
+        self.opts.repartition_mode = mode;
+        self
+    }
+
+    /// Where the ranks live and what carries their messages.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.opts.transport = transport;
+        self
+    }
+
+    /// Validates every option and returns the finished [`TraceOptions`].
+    pub fn build(self) -> Result<TraceOptions, TraceError> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
+/// Resolves a scenario name through the registry
+/// ([`cip_sim::scenarios::get`]). An unknown name is a
+/// [`TraceError::UnknownScenario`] listing the valid alternatives.
+pub fn scenario_config(name: &str) -> Result<SimConfig, TraceError> {
+    scenarios::get(name)
+        .map(|d| d.config())
+        .ok_or_else(|| TraceError::UnknownScenario { name: name.to_string() })
 }
 
 /// A completed traced run: the recorder (still holding every event) plus
@@ -233,9 +444,9 @@ impl TraceReport {
     }
 
     /// Verifies the acceptance invariant: the summary's traffic counters
-    /// equal the executed totals exactly. Returns an error message
-    /// naming the first mismatch.
-    pub fn verify_totals(&self) -> Result<(), String> {
+    /// equal the executed totals exactly. Returns a
+    /// [`TraceError::TotalsMismatch`] naming the first mismatch.
+    pub fn verify_totals(&self) -> Result<(), TraceError> {
         let checks = [
             ("traffic.halo_units", self.halo),
             ("traffic.shipment_units", self.shipments),
@@ -244,383 +455,607 @@ impl TraceReport {
         for (name, expect) in checks {
             let got = self.recorder.counter_value(name);
             if got != expect {
-                return Err(format!("counter {name} = {got}, executed total = {expect}"));
+                return Err(TraceError::TotalsMismatch { counter: name, got, expected: expect });
             }
         }
         Ok(())
     }
 }
 
-/// Runs `opts` end to end with telemetry enabled.
+/// Cancellation and budget for one [`Session::advance`] call.
 ///
-/// Returns `Err` for an unknown scenario name or a transport that
-/// could not be brought up (worker spawn, mesh construction).
-pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, String> {
-    let mut scfg = scenario_config(&opts.scenario)
-        .ok_or_else(|| format!("unknown scenario '{}'", opts.scenario))?;
-    if let Some(s) = opts.snapshots {
-        scfg.snapshots = s;
+/// The default control never cancels and never exhausts — `advance`
+/// runs to completion, which is exactly what [`run_traced`] does.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Checked at every batch boundary; when tripped, `advance` winds
+    /// down cleanly and returns [`Advance::Cancelled`]. Committed steps
+    /// stay committed — the session can still report what it executed.
+    pub cancel: CancelToken,
+    /// Step/time budget for this `advance` call.
+    pub budget: RunBudget,
+}
+
+/// A step/time budget for one [`Session::advance`] call — the unit a
+/// job scheduler hands out per quantum. Either bound may be `None`
+/// (unlimited); both are checked at batch boundaries, so a budget never
+/// tears a batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Commit at most this many steps in this call.
+    pub max_steps: Option<usize>,
+    /// Stop starting new batches after this much wall time.
+    pub max_time: Option<Duration>,
+}
+
+impl RunBudget {
+    /// A budget of at most `n` committed steps.
+    pub fn steps(n: usize) -> Self {
+        Self { max_steps: Some(n), max_time: None }
     }
-    let sim = Arc::new(cip_sim::run(&scfg));
-    let k = opts.k;
+}
 
-    let rec = Recorder::enabled();
-    // Ranks own lanes 0..k; the driver thread sits above them, and the
-    // background repartition planner above the driver.
-    rec.set_lane(k as u32);
-    rec.name_lane(k as u32, "driver");
-    rec.name_lane((k + 1) as u32, "planner");
+/// Why [`Session::advance`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// Every step has been executed; [`Session::into_report`] is ready.
+    Finished,
+    /// The step/time budget ran out at a batch boundary; call `advance`
+    /// again to continue.
+    BudgetExhausted,
+    /// The cancel token tripped; the session stops scheduling batches.
+    Cancelled,
+}
 
-    let mut pcfg = PartitionerConfig::with_seed(opts.seed);
-    pcfg.recorder = rec.clone();
+/// Reusable scratch for repeated [`Session`] builds — what a job-server
+/// worker keeps warm across the jobs it runs ([`Session::build_with`]).
+#[derive(Default)]
+pub struct SessionWorkspace {
+    /// Partitioner scratch for the initial MCML+DT decomposition.
+    pub partition: PartitionWorkspace,
+}
 
-    // Initial MCML+DT decomposition on snapshot 0.
-    let view0 = SnapshotView::build(&sim, 0, 5);
-    let mut asg = partition_kway(&view0.graph2.graph, k, &pcfg);
-    let positions: Vec<_> =
-        view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
-    dt_friendly_correct(&view0.graph2.graph, &positions, k, &mut asg, &DtFriendlyConfig::default());
-    let mut node_parts = view0.graph2.assignment_on_nodes(&asg);
+impl SessionWorkspace {
+    /// A fresh (cold) workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
-    // Multi-process mode: spawn the worker pool once; it outlives every
-    // batch, repartition, and recovery (dead workers are retired).
-    let mut pool: Option<WorkerPool> = match &opts.transport {
-        TransportKind::Workers { bind, worker_bin } => Some(
-            WorkerPool::spawn(&PoolConfig {
+/// A resumable traced run: `build → advance … → into_report`.
+///
+/// [`Session::build`] resolves the scenario, runs the simulation, and
+/// computes the initial MCML+DT decomposition (spawning the worker pool
+/// in multi-process mode). [`Session::advance`] then executes batches of
+/// steps until it finishes — or until the [`RunControl`]'s cancel token
+/// trips or its budget runs out, both checked at batch boundaries so
+/// in-flight batches always commit or recover whole. A budget-exhausted
+/// session resumes exactly where it stopped on the next `advance`.
+/// [`run_traced`] is the one-shot wrapper; the job server drives
+/// sessions directly so it can cancel and time-slice them.
+pub struct Session {
+    opts: TraceOptions,
+    sim: Arc<SimResult>,
+    rec: Recorder,
+    pcfg: PartitionerConfig,
+    node_parts: Vec<u32>,
+    pool: Option<WorkerPool>,
+    route: Vec<u32>,
+    epoch: u32,
+    chain_start: usize,
+    dcfg: DtreeConfig,
+    tree: Option<DecisionTree<3>>,
+    live_k: usize,
+    report: TraceReport,
+    spent: Vec<bool>,
+    boundaries_done: usize,
+    planner: Replanner<(Vec<u32>, MigrationPlan)>,
+    plan_version: u64,
+    pending_migrate: Option<MigrationPlan>,
+    next_step: usize,
+}
+
+impl Session {
+    /// Builds a session with its own (cold) workspace.
+    pub fn build(opts: &TraceOptions) -> Result<Self, TraceError> {
+        Self::build_with(opts, &mut SessionWorkspace::new())
+    }
+
+    /// Builds a session reusing caller-supplied scratch. Bit-identical
+    /// to [`Session::build`] for any workspace state.
+    pub fn build_with(opts: &TraceOptions, ws: &mut SessionWorkspace) -> Result<Self, TraceError> {
+        opts.validate()?;
+        let mut scfg = scenario_config(&opts.scenario)?;
+        if let Some(s) = opts.snapshots {
+            scfg.snapshots = s;
+        }
+        let sim = Arc::new(cip_sim::run(&scfg));
+        let k = opts.k;
+
+        let rec = Recorder::enabled();
+        // Ranks own lanes 0..k; the driver thread sits above them, and
+        // the background repartition planner above the driver.
+        rec.set_lane(k as u32);
+        rec.name_lane(k as u32, "driver");
+        rec.name_lane((k + 1) as u32, "planner");
+
+        let mut pcfg = PartitionerConfig::with_seed(opts.seed);
+        pcfg.recorder = rec.clone();
+
+        // Initial MCML+DT decomposition on snapshot 0.
+        let view0 = SnapshotView::build(&sim, 0, 5);
+        let mut asg = partition_kway_with(&view0.graph2.graph, k, &pcfg, &mut ws.partition.refine);
+        let positions: Vec<_> =
+            view0.graph2.node_of_vertex.iter().map(|&n| view0.mesh.points[n as usize]).collect();
+        dt_friendly_correct(
+            &view0.graph2.graph,
+            &positions,
+            k,
+            &mut asg,
+            &DtFriendlyConfig::default(),
+        );
+        let node_parts = view0.graph2.assignment_on_nodes(&asg);
+
+        // Multi-process mode: spawn the worker pool once; it outlives
+        // every batch, repartition, and recovery (dead workers are
+        // retired).
+        let pool: Option<WorkerPool> = match &opts.transport {
+            TransportKind::Workers { bind, worker_bin } => Some(WorkerPool::spawn(&PoolConfig {
                 k,
                 scenario: opts.scenario.clone(),
                 snapshots: scfg.snapshots,
                 capacity: ExecOptions::default().mailbox_capacity,
                 bind: bind.clone(),
                 worker_bin: worker_bin.clone(),
-            })
-            .map_err(|e| format!("worker pool: {e}"))?,
-        ),
-        _ => None,
-    };
-    // Pool bookkeeping: `route[live]` = worker id playing live rank
-    // `live`; `epoch` grows by every *attempted* batch so stale frames
-    // of aborted batches can never alias into a live step; and
-    // `chain_start` is the snapshot where the current search-tree chain
-    // was induced, which workers replay to reproduce the driver's
-    // incrementally refreshed tree (the assignment is constant within a
-    // chain — it only changes where the chain resets).
-    let mut route: Vec<u32> = (0..k as u32).collect();
-    let mut epoch: u32 = 0;
-    let mut chain_start = 0usize;
-
-    let dcfg = DtreeConfig::search_tree();
-    let mut tree: Option<DecisionTree<3>> = None;
-    let mut live_k = k;
-    let mut report = TraceReport {
-        recorder: rec.clone(),
-        k,
-        steps: sim.len(),
-        halo: 0,
-        shipments: 0,
-        migrated: 0,
-        contact_pairs: 0,
-        repartitions: 0,
-        rank_losses: 0,
-    };
-
-    // Faults apply to the first attempt of a step only — the recovery
-    // re-execution runs clean (the injected fate stream of a step is
-    // considered "spent" once its failure has been handled).
-    let mut spent = vec![false; sim.len()];
-    // Repartition boundaries fire once per period region even when a
-    // failed batch resumes exactly at a boundary step: the monotone
-    // region counter makes re-firing impossible by construction (the
-    // old guard keyed on the last boundary's step index).
-    let mut boundaries_done = 0usize;
-    // Overlapped-repartition state (DESIGN.md §6f): the background
-    // planner, the rank-space version its plans are keyed under (bumped
-    // on every recovery, so a plan computed over dead ranks can never
-    // be applied), and a plan accepted at the last boundary whose node
-    // migration still has to ride the next batch's Migrate prologue.
-    let mut planner: Replanner<(Vec<u32>, MigrationPlan)> = Replanner::new();
-    let mut plan_version = 0u64;
-    let mut pending_migrate: Option<MigrationPlan> = None;
-    let max_batch = opts.max_batch.max(1);
-    let mut i = 0usize;
-    while i < sim.len() {
-        // §4.3 hybrid policy: periodic diffusion repartition + executed
-        // migration. Boundaries still end every batch; in Overlapped
-        // mode the plan was computed in the background during the
-        // preceding batch and the driver only flips `node_parts` here —
-        // the migration itself rides the next batch as a prologue.
-        if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
-            let region = i / period;
-            if i > 0 && i.is_multiple_of(period) && region > boundaries_done && live_k >= 2 {
-                boundaries_done = region;
-                let planned = match opts.repartition_mode {
-                    RepartitionMode::Overlapped => planner.take(i, plan_version, &rec),
-                    RepartitionMode::Barrier => None,
-                };
-                let (new_node_parts, plan) = match planned {
-                    Some(p) => p,
-                    None => {
-                        // Synchronous fallback — and the Barrier
-                        // oracle: the whole plan is a stall, charged to
-                        // the same span `Replanner::take` uses for its
-                        // join wait so the modes compare directly.
-                        let _stall = rec.span("repartition.stall").attr("boundary", i as u64);
-                        plan_boundary(&sim, i, live_k, &node_parts, &pcfg)
-                    }
-                };
-                record_migration(&rec, &plan, node_parts.len());
-                report.migrated += plan.total_moved();
-                report.repartitions += 1;
-                for (n, &p) in new_node_parts.iter().enumerate() {
-                    if p != u32::MAX {
-                        node_parts[n] = p;
-                    }
-                }
-                if opts.repartition_mode == RepartitionMode::Overlapped && !plan.is_empty() {
-                    pending_migrate = Some(plan);
-                }
-                // The decomposition changed: the old tree no longer
-                // matches the labels, so induce from scratch.
-                tree = None;
-                chain_start = i;
-            }
-        }
-
-        // Batch every step up to the next repartition boundary (capped at
-        // `max_batch` so the per-batch state stays small), prepare their
-        // inputs, and hand the whole stretch to the batch executor.
-        let mut end = (i + max_batch).min(sim.len());
-        if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
-            end = end.min((i / period + 1) * period);
-        }
-
-        // Overlapped mode: if this batch ends at the next repartition
-        // boundary, start planning it in the background now. The
-        // simulation snapshots are precomputed, so the planner reads
-        // exactly the inputs the boundary will read — the plan is
-        // bit-identical to the synchronous one by construction
-        // (DESIGN.md §6f, snapshot-staleness rule).
-        if opts.repartition_mode == RepartitionMode::Overlapped && live_k >= 2 {
-            if let Some(period) = opts.repartition_period.filter(|&p| p > 0) {
-                if end < sim.len() && end.is_multiple_of(period) && end / period > boundaries_done {
-                    let sim2 = Arc::clone(&sim);
-                    let parts = node_parts.clone();
-                    let pcfg2 = pcfg.clone();
-                    let (at, lk, lane) = (end, live_k, (k + 1) as u32);
-                    planner.submit(end, plan_version, &rec, move || {
-                        pcfg2.recorder.set_lane(lane);
-                        let _compute =
-                            pcfg2.recorder.span("replan.compute").attr("boundary", at as u64);
-                        plan_boundary(&sim2, at, lk, &parts, &pcfg2)
-                    });
-                }
-            }
-        }
-
-        let faults: Vec<FaultInjector> =
-            (i..end)
-                .map(|j| {
-                    if spent[j] {
-                        FaultInjector::none()
-                    } else {
-                        step_fault(&opts.chaos, j, live_k)
-                    }
-                })
-                .collect();
-        let exec_opts = exec_options(opts);
-
-        // A serial survivor (live_k == 1) exchanges no messages, so the
-        // pool adds nothing — run it in-process like the other modes.
-        let use_pool = live_k >= 2 && pool.is_some();
-        let (result, carried_tree) = if use_pool {
-            // Pool path: the workers rebuild the step inputs themselves
-            // (tree-chain replay from `chain_start`), so the driver only
-            // ships its mutable state and folds the reported outcomes —
-            // the same fold the in-process executor applies to its
-            // joined threads.
-            let p = pool.as_mut().expect("use_pool checked pool.is_some()");
-            let plans: Vec<Option<FaultPlan>> = faults.iter().map(|f| f.plan().cloned()).collect();
-            let lookahead = match opts.schedule {
-                Schedule::Pipelined { lookahead } => lookahead.max(1),
-                Schedule::Barrier => 1,
-            };
-            let spec = BatchSpec {
-                start: i,
-                end,
-                chain_start,
-                live_k,
-                epoch,
-                node_parts: &node_parts,
-                plans,
-                migrate: pending_migrate.as_ref(),
-                timeout_ms: exec_opts.timeout.as_millis() as u64,
-                retries: exec_opts.retries,
-                lookahead,
-            };
-            let outcomes = p.execute_batch(&spec, &route, &rec);
-            epoch += (end - i) as u32;
-            let recorders = vec![rec.clone(); end - i];
-            (collect_batch(live_k, &recorders, outcomes), None)
-        } else {
-            // Per-step prep: decomposition views and the search-tree
-            // chain (fresh induction when no tree carries over,
-            // incremental refresh otherwise). All of this is
-            // executor-independent, so it can be staged for the whole
-            // batch before any rank thread starts.
-            let mut prepped: Vec<PreparedStep> = Vec::with_capacity(end - i);
-            let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - i);
-            for j in i..end {
-                let _step_span = rec.span("trace.step").attr("step", j);
-                let view = SnapshotView::build(&sim, j, 5);
-                let asg_now: Vec<u32> =
-                    view.graph2.node_of_vertex.iter().map(|&n| node_parts[n as usize]).collect();
-                let elements = view.surface_elements(&node_parts);
-                let bodies = view.face_bodies();
-                let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
-                let decomposition = build_decomposition(
-                    &view.graph2.graph,
-                    &view.graph2.node_of_vertex,
-                    &asg_now,
-                    &owners,
-                    live_k,
-                );
-                let labels = view.contact.labels_from_node_parts(&node_parts);
-                let new_tree = match trees.last().or(tree.as_ref()) {
-                    None => induce_recorded(&view.contact.positions, &labels, live_k, &dcfg, &rec),
-                    Some(t) => {
-                        refresh_recorded(t, &view.contact.positions, &labels, live_k, &dcfg, &rec).0
-                    }
-                };
-                trees.push(new_tree);
-                prepped.push(PreparedStep { view, elements, bodies, decomposition });
-            }
-
-            let filters: Vec<DtreeFilter<'_, 3>> =
-                trees.iter().map(|t| DtreeFilter::new(t, live_k)).collect();
-            let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
-                .iter()
-                .zip(filters.iter())
-                .map(|(p, filter)| StepInput {
-                    decomposition: &p.decomposition,
-                    positions: &p.view.mesh.points,
-                    elements: &p.elements,
-                    bodies: &p.bodies,
-                    filter,
-                    tolerance: 0.4,
-                    recorder: rec.clone(),
-                })
-                .collect();
-            let result = match &opts.transport {
-                TransportKind::TcpThreads { bind } => execute_steps_overlapped(
-                    &inputs,
-                    &faults,
-                    &exec_opts,
-                    pending_migrate.as_ref(),
-                    &Tcp { bind: bind.clone() },
-                ),
-                _ => execute_steps_overlapped(
-                    &inputs,
-                    &faults,
-                    &exec_opts,
-                    pending_migrate.as_ref(),
-                    &InProcess,
-                ),
-            };
-            drop(inputs);
-            drop(filters);
-            (result, trees.pop())
+            })?),
+            _ => None,
         };
 
-        match result {
-            Ok(outs) => {
-                for (off, out) in outs.iter().enumerate() {
-                    commit_step(&mut report, i + off, out);
-                }
-                // The Migrate prologue (if any) executed with the batch.
-                pending_migrate = None;
-                tree = carried_tree;
-                i = end;
+        let steps = sim.len();
+        Ok(Self {
+            opts: opts.clone(),
+            sim,
+            rec: rec.clone(),
+            pcfg,
+            node_parts,
+            pool,
+            // Pool bookkeeping: `route[live]` = worker id playing live
+            // rank `live`; `epoch` grows by every *attempted* batch so
+            // stale frames of aborted batches can never alias into a
+            // live step; and `chain_start` is the snapshot where the
+            // current search-tree chain was induced, which workers
+            // replay to reproduce the driver's incrementally refreshed
+            // tree (the assignment is constant within a chain — it only
+            // changes where the chain resets).
+            route: (0..k as u32).collect(),
+            epoch: 0,
+            chain_start: 0,
+            dcfg: DtreeConfig::search_tree(),
+            tree: None,
+            live_k: k,
+            report: TraceReport {
+                recorder: rec,
+                k,
+                steps: 0,
+                halo: 0,
+                shipments: 0,
+                migrated: 0,
+                contact_pairs: 0,
+                repartitions: 0,
+                rank_losses: 0,
+            },
+            // Faults apply to the first attempt of a step only — the
+            // recovery re-execution runs clean (the injected fate stream
+            // of a step is considered "spent" once its failure has been
+            // handled).
+            spent: vec![false; steps],
+            // Repartition boundaries fire once per period region even
+            // when a failed batch resumes exactly at a boundary step:
+            // the monotone region counter makes re-firing impossible by
+            // construction.
+            boundaries_done: 0,
+            // Overlapped-repartition state (DESIGN.md §6f): the
+            // background planner, the rank-space version its plans are
+            // keyed under (bumped on every recovery, so a plan computed
+            // over dead ranks can never be applied), and a plan accepted
+            // at the last boundary whose node migration still has to
+            // ride the next batch's Migrate prologue.
+            planner: Replanner::new(),
+            plan_version: 0,
+            pending_migrate: None,
+            next_step: 0,
+        })
+    }
+
+    /// Steps committed so far.
+    pub fn executed(&self) -> usize {
+        self.next_step
+    }
+
+    /// Total steps the scenario will execute.
+    pub fn total_steps(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Whether every step has been committed.
+    pub fn is_finished(&self) -> bool {
+        self.next_step >= self.sim.len()
+    }
+
+    /// Finishes the session: the report of everything committed so far.
+    /// `steps` is the *executed* count — equal to the scenario length
+    /// for a finished session, smaller for a cancelled one.
+    pub fn into_report(mut self) -> TraceReport {
+        self.report.steps = self.next_step;
+        self.report
+    }
+
+    /// Executes batches until the run finishes, the control's budget
+    /// runs out, or its cancel token trips — all checked at batch
+    /// boundaries, so batches always commit (or recover) whole.
+    pub fn advance(&mut self, ctrl: &RunControl) -> Result<Advance, TraceError> {
+        let start_step = self.next_step;
+        let t0 = Instant::now();
+        let rec = self.rec.clone();
+        let k = self.opts.k;
+        let max_batch = self.opts.max_batch.max(1);
+        while self.next_step < self.sim.len() {
+            // Checkpoint: cancellation and budget, between batches only.
+            if ctrl.cancel.is_cancelled() {
+                rec.add("session.cancelled", 1);
+                return Ok(Advance::Cancelled);
             }
-            Err(BatchError { completed, failed_step, error }) => {
-                for (off, out) in completed.iter().enumerate() {
-                    commit_step(&mut report, i + off, out);
+            if let Some(max) = ctrl.budget.max_steps {
+                if self.next_step - start_step >= max {
+                    return Ok(Advance::BudgetExhausted);
                 }
-                let failed = i + failed_step;
-                let dead = match error {
-                    RuntimeError::RankLost { dead, .. } => dead,
-                    RuntimeError::RankPanicked { rank } => vec![rank],
-                    // Not a rank death: the transport itself is broken
-                    // (mesh construction, fatal socket failure) — there
-                    // is nothing to recover over.
-                    RuntimeError::Transport(e) => {
-                        return Err(format!("transport failed: {e}"));
+            }
+            if let Some(limit) = ctrl.budget.max_time {
+                if t0.elapsed() >= limit {
+                    return Ok(Advance::BudgetExhausted);
+                }
+            }
+            let i = self.next_step;
+            // §4.3 hybrid policy: periodic diffusion repartition +
+            // executed migration. Boundaries still end every batch; in
+            // Overlapped mode the plan was computed in the background
+            // during the preceding batch and the driver only flips
+            // `node_parts` here — the migration itself rides the next
+            // batch as a prologue.
+            if let Some(period) = self.opts.repartition_period.filter(|&p| p > 0) {
+                let region = i / period;
+                if i > 0
+                    && i.is_multiple_of(period)
+                    && region > self.boundaries_done
+                    && self.live_k >= 2
+                {
+                    self.boundaries_done = region;
+                    let planned = match self.opts.repartition_mode {
+                        RepartitionMode::Overlapped => {
+                            self.planner.take(i, self.plan_version, &rec)
+                        }
+                        RepartitionMode::Barrier => None,
+                    };
+                    let (new_node_parts, plan) = match planned {
+                        Some(p) => p,
+                        None => {
+                            // Synchronous fallback — and the Barrier
+                            // oracle: the whole plan is a stall, charged
+                            // to the same span `Replanner::take` uses for
+                            // its join wait so the modes compare
+                            // directly.
+                            let _stall = rec.span("repartition.stall").attr("boundary", i as u64);
+                            plan_boundary(&self.sim, i, self.live_k, &self.node_parts, &self.pcfg)
+                        }
+                    };
+                    record_migration(&rec, &plan, self.node_parts.len());
+                    self.report.migrated += plan.total_moved();
+                    self.report.repartitions += 1;
+                    for (n, &p) in new_node_parts.iter().enumerate() {
+                        if p != u32::MAX {
+                            self.node_parts[n] = p;
+                        }
                     }
-                };
-                let mut span = rec.span("recovery.repartition").attr("step", failed);
-                span.set_attr("dead", dead.len());
-                report.rank_losses += dead.len();
-                // The rank space is about to change: any in-flight
-                // background plan — including one landing exactly in
-                // this planning window — was computed over dead ranks.
-                // Discard it and bump the version so a plan the
-                // recovery races with can never be applied; the next
-                // boundary is recomputed over the survivors.
-                planner.discard(&rec);
-                plan_version += 1;
-                pending_migrate = None;
-                // Retire the dead ranks' worker processes and route the
-                // surviving live ranks onto the surviving workers, in
-                // the same order `compact_parts_after_loss` relabels.
-                if let Some(p) = pool.as_mut() {
-                    let dead_workers: Vec<u32> =
-                        dead.iter().filter_map(|&d| route.get(d as usize).copied()).collect();
-                    p.retire(&dead_workers);
-                    route = route
-                        .iter()
-                        .enumerate()
-                        .filter(|&(live, _)| !dead.contains(&(live as u32)))
-                        .map(|(_, &w)| w)
-                        .collect();
+                    if self.opts.repartition_mode == RepartitionMode::Overlapped && !plan.is_empty()
+                    {
+                        self.pending_migrate = Some(plan);
+                    }
+                    // The decomposition changed: the old tree no longer
+                    // matches the labels, so induce from scratch.
+                    self.tree = None;
+                    self.chain_start = i;
                 }
-                live_k = compact_parts_after_loss(&mut node_parts, live_k, &dead);
-                let view = SnapshotView::build(&sim, failed, 5);
-                if live_k >= 2 {
-                    let old: Vec<u32> = view
+            }
+
+            // Batch every step up to the next repartition boundary
+            // (capped at `max_batch` so the per-batch state stays
+            // small), prepare their inputs, and hand the whole stretch
+            // to the batch executor.
+            let mut end = (i + max_batch).min(self.sim.len());
+            if let Some(period) = self.opts.repartition_period.filter(|&p| p > 0) {
+                end = end.min((i / period + 1) * period);
+            }
+
+            // Overlapped mode: if this batch ends at the next
+            // repartition boundary, start planning it in the background
+            // now. The simulation snapshots are precomputed, so the
+            // planner reads exactly the inputs the boundary will read —
+            // the plan is bit-identical to the synchronous one by
+            // construction (DESIGN.md §6f, snapshot-staleness rule).
+            if self.opts.repartition_mode == RepartitionMode::Overlapped && self.live_k >= 2 {
+                if let Some(period) = self.opts.repartition_period.filter(|&p| p > 0) {
+                    if end < self.sim.len()
+                        && end.is_multiple_of(period)
+                        && end / period > self.boundaries_done
+                    {
+                        let sim2 = Arc::clone(&self.sim);
+                        let parts = self.node_parts.clone();
+                        let pcfg2 = self.pcfg.clone();
+                        let (at, lk, lane) = (end, self.live_k, (k + 1) as u32);
+                        self.planner.submit(end, self.plan_version, &rec, move || {
+                            pcfg2.recorder.set_lane(lane);
+                            let _compute =
+                                pcfg2.recorder.span("replan.compute").attr("boundary", at as u64);
+                            plan_boundary(&sim2, at, lk, &parts, &pcfg2)
+                        });
+                    }
+                }
+            }
+
+            let faults: Vec<FaultInjector> = (i..end)
+                .map(|j| {
+                    if self.spent[j] {
+                        FaultInjector::none()
+                    } else {
+                        step_fault(&self.opts.chaos, j, self.live_k)
+                    }
+                })
+                .collect();
+            let exec_opts = exec_options(&self.opts);
+
+            // A serial survivor (live_k == 1) exchanges no messages, so
+            // the pool adds nothing — run it in-process like the other
+            // modes.
+            let use_pool = self.live_k >= 2 && self.pool.is_some();
+            let (result, carried_tree) = if use_pool {
+                // Pool path: the workers rebuild the step inputs
+                // themselves (tree-chain replay from `chain_start`), so
+                // the driver only ships its mutable state and folds the
+                // reported outcomes — the same fold the in-process
+                // executor applies to its joined threads.
+                let p = self.pool.as_mut().expect("use_pool checked pool.is_some()");
+                let plans: Vec<Option<FaultPlan>> =
+                    faults.iter().map(|f| f.plan().cloned()).collect();
+                let lookahead = match self.opts.schedule {
+                    Schedule::Pipelined { lookahead } => lookahead.max(1),
+                    Schedule::Barrier => 1,
+                };
+                let spec = BatchSpec {
+                    start: i,
+                    end,
+                    chain_start: self.chain_start,
+                    live_k: self.live_k,
+                    epoch: self.epoch,
+                    node_parts: &self.node_parts,
+                    plans,
+                    migrate: self.pending_migrate.as_ref(),
+                    timeout_ms: exec_opts.timeout.as_millis() as u64,
+                    retries: exec_opts.retries,
+                    lookahead,
+                };
+                let outcomes = p.execute_batch(&spec, &self.route, &rec);
+                self.epoch += (end - i) as u32;
+                let recorders = vec![rec.clone(); end - i];
+                (collect_batch(self.live_k, &recorders, outcomes), None)
+            } else {
+                // Per-step prep: decomposition views and the search-tree
+                // chain (fresh induction when no tree carries over,
+                // incremental refresh otherwise). All of this is
+                // executor-independent, so it can be staged for the
+                // whole batch before any rank thread starts.
+                let mut prepped: Vec<PreparedStep> = Vec::with_capacity(end - i);
+                let mut trees: Vec<DecisionTree<3>> = Vec::with_capacity(end - i);
+                for j in i..end {
+                    let _step_span = rec.span("trace.step").attr("step", j);
+                    let view = SnapshotView::build(&self.sim, j, 5);
+                    let asg_now: Vec<u32> = view
                         .graph2
                         .node_of_vertex
                         .iter()
-                        .map(|&n| node_parts[n as usize])
+                        .map(|&n| self.node_parts[n as usize])
                         .collect();
-                    let fresh = diffusion_repartition(&view.graph2.graph, live_k, &old, &pcfg);
-                    let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
-                    let plan = build_migration_recorded(&node_parts, &new_node_parts, live_k, &rec);
-                    report.migrated += plan.total_moved();
-                    report.repartitions += 1;
-                    for (n, &p) in new_node_parts.iter().enumerate() {
-                        if p != u32::MAX {
-                            node_parts[n] = p;
+                    let elements = view.surface_elements(&self.node_parts);
+                    let bodies = view.face_bodies();
+                    let owners: Vec<u32> = elements.iter().map(|e| e.owner).collect();
+                    let decomposition = build_decomposition(
+                        &view.graph2.graph,
+                        &view.graph2.node_of_vertex,
+                        &asg_now,
+                        &owners,
+                        self.live_k,
+                    );
+                    let labels = view.contact.labels_from_node_parts(&self.node_parts);
+                    let new_tree = match trees.last().or(self.tree.as_ref()) {
+                        None => induce_recorded(
+                            &view.contact.positions,
+                            &labels,
+                            self.live_k,
+                            &self.dcfg,
+                            &rec,
+                        ),
+                        Some(t) => {
+                            refresh_recorded(
+                                t,
+                                &view.contact.positions,
+                                &labels,
+                                self.live_k,
+                                &self.dcfg,
+                                &rec,
+                            )
+                            .0
                         }
-                    }
-                } else {
-                    // Fewer than two survivors: collapse to a single
-                    // rank — the executor degenerates to the serial
-                    // contact search with no messages.
-                    live_k = 1;
-                    for p in node_parts.iter_mut() {
-                        if *p != u32::MAX {
-                            *p = 0;
-                        }
-                    }
-                    rec.add("recovery.serial_fallback", 1);
+                    };
+                    trees.push(new_tree);
+                    prepped.push(PreparedStep { view, elements, bodies, decomposition });
                 }
-                tree = None;
-                chain_start = failed;
-                spent[failed] = true;
-                i = failed;
+
+                let filters: Vec<DtreeFilter<'_, 3>> =
+                    trees.iter().map(|t| DtreeFilter::new(t, self.live_k)).collect();
+                let inputs: Vec<StepInput<'_, DtreeFilter<'_, 3>>> = prepped
+                    .iter()
+                    .zip(filters.iter())
+                    .map(|(p, filter)| StepInput {
+                        decomposition: &p.decomposition,
+                        positions: &p.view.mesh.points,
+                        elements: &p.elements,
+                        bodies: &p.bodies,
+                        filter,
+                        tolerance: 0.4,
+                        recorder: rec.clone(),
+                    })
+                    .collect();
+                let result = match &self.opts.transport {
+                    TransportKind::TcpThreads { bind } => execute_steps_overlapped(
+                        &inputs,
+                        &faults,
+                        &exec_opts,
+                        self.pending_migrate.as_ref(),
+                        &Tcp { bind: bind.clone() },
+                    ),
+                    _ => execute_steps_overlapped(
+                        &inputs,
+                        &faults,
+                        &exec_opts,
+                        self.pending_migrate.as_ref(),
+                        &InProcess,
+                    ),
+                };
+                drop(inputs);
+                drop(filters);
+                (result, trees.pop())
+            };
+
+            match result {
+                Ok(outs) => {
+                    for (off, out) in outs.iter().enumerate() {
+                        commit_step(&mut self.report, i + off, out);
+                    }
+                    // The Migrate prologue (if any) executed with the
+                    // batch.
+                    self.pending_migrate = None;
+                    self.tree = carried_tree;
+                    self.next_step = end;
+                }
+                Err(BatchError { completed, failed_step, error }) => {
+                    for (off, out) in completed.iter().enumerate() {
+                        commit_step(&mut self.report, i + off, out);
+                    }
+                    let failed = i + failed_step;
+                    let dead = match error {
+                        RuntimeError::RankLost { dead, .. } => dead,
+                        RuntimeError::RankPanicked { rank } => vec![rank],
+                        // Not a rank death: the transport itself is
+                        // broken (mesh construction, fatal socket
+                        // failure) — there is nothing to recover over.
+                        RuntimeError::Transport(e) => {
+                            return Err(RuntimeError::Transport(e).into());
+                        }
+                    };
+                    let mut span = rec.span("recovery.repartition").attr("step", failed);
+                    span.set_attr("dead", dead.len());
+                    self.report.rank_losses += dead.len();
+                    // The rank space is about to change: any in-flight
+                    // background plan — including one landing exactly in
+                    // this planning window — was computed over dead
+                    // ranks. Discard it and bump the version so a plan
+                    // the recovery races with can never be applied; the
+                    // next boundary is recomputed over the survivors.
+                    self.planner.discard(&rec);
+                    self.plan_version += 1;
+                    self.pending_migrate = None;
+                    // Retire the dead ranks' worker processes and route
+                    // the surviving live ranks onto the surviving
+                    // workers, in the same order
+                    // `compact_parts_after_loss` relabels.
+                    if let Some(p) = self.pool.as_mut() {
+                        let dead_workers: Vec<u32> = dead
+                            .iter()
+                            .filter_map(|&d| self.route.get(d as usize).copied())
+                            .collect();
+                        p.retire(&dead_workers);
+                        self.route = self
+                            .route
+                            .iter()
+                            .enumerate()
+                            .filter(|&(live, _)| !dead.contains(&(live as u32)))
+                            .map(|(_, &w)| w)
+                            .collect();
+                    }
+                    self.live_k =
+                        compact_parts_after_loss(&mut self.node_parts, self.live_k, &dead);
+                    let view = SnapshotView::build(&self.sim, failed, 5);
+                    if self.live_k >= 2 {
+                        let old: Vec<u32> = view
+                            .graph2
+                            .node_of_vertex
+                            .iter()
+                            .map(|&n| self.node_parts[n as usize])
+                            .collect();
+                        let fresh = diffusion_repartition(
+                            &view.graph2.graph,
+                            self.live_k,
+                            &old,
+                            &self.pcfg,
+                        );
+                        let new_node_parts = view.graph2.assignment_on_nodes(&fresh);
+                        let plan = build_migration_recorded(
+                            &self.node_parts,
+                            &new_node_parts,
+                            self.live_k,
+                            &rec,
+                        );
+                        self.report.migrated += plan.total_moved();
+                        self.report.repartitions += 1;
+                        for (n, &p) in new_node_parts.iter().enumerate() {
+                            if p != u32::MAX {
+                                self.node_parts[n] = p;
+                            }
+                        }
+                    } else {
+                        // Fewer than two survivors: collapse to a single
+                        // rank — the executor degenerates to the serial
+                        // contact search with no messages.
+                        self.live_k = 1;
+                        for p in self.node_parts.iter_mut() {
+                            if *p != u32::MAX {
+                                *p = 0;
+                            }
+                        }
+                        rec.add("recovery.serial_fallback", 1);
+                    }
+                    self.tree = None;
+                    self.chain_start = failed;
+                    self.spent[failed] = true;
+                    self.next_step = failed;
+                }
             }
         }
+        Ok(Advance::Finished)
     }
-    Ok(report)
+}
+
+/// Runs `opts` end to end with telemetry enabled — the one-shot wrapper
+/// over [`Session`]: build, advance to completion (no cancellation, no
+/// budget), report.
+///
+/// Returns `Err` for an invalid configuration, an unknown scenario
+/// name, or a transport that could not be brought up (worker spawn,
+/// mesh construction).
+pub fn run_traced(opts: &TraceOptions) -> Result<TraceReport, TraceError> {
+    let mut session = Session::build(opts)?;
+    let advance = session.advance(&RunControl::default())?;
+    debug_assert_eq!(advance, Advance::Finished, "default control cannot stop early");
+    Ok(session.into_report())
 }
 
 /// Computes the boundary-`at` diffusion repartition: the new node
@@ -737,9 +1172,109 @@ mod tests {
     fn unknown_scenario_is_an_error() {
         let err =
             run_traced(&TraceOptions { scenario: "bogus".to_string(), ..TraceOptions::default() });
-        assert!(err.is_err());
-        assert!(scenario_config("head_on").is_some());
-        assert!(scenario_config("bogus").is_none());
+        assert!(matches!(err, Err(TraceError::UnknownScenario { ref name }) if name == "bogus"));
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("bogus") && msg.contains("head_on"), "{msg}");
+        assert!(scenario_config("head_on").is_ok());
+        assert!(scenario_config("bogus").is_err());
+    }
+
+    #[test]
+    fn builder_validates_and_rejects_bad_options() {
+        let opts = TraceOptions::builder()
+            .scenario("tiny")
+            .k(2)
+            .snapshots(3)
+            .seed(7)
+            .schedule(Schedule::Barrier)
+            .build()
+            .expect("valid options build");
+        assert_eq!(opts.scenario, "tiny");
+        assert_eq!(opts.k, 2);
+        assert_eq!(opts.snapshots, Some(3));
+
+        let err = TraceOptions::builder().scenario("nope").build();
+        assert!(matches!(err, Err(TraceError::UnknownScenario { .. })));
+        let err = TraceOptions::builder().k(0).build();
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "k"));
+        let err = TraceOptions::builder().max_batch(0).build();
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "max_batch"));
+        let err = TraceOptions::builder().snapshots(0).build();
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "snapshots"));
+        let err = TraceOptions::builder().schedule(Schedule::Pipelined { lookahead: 0 }).build();
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "schedule"));
+        let err = TraceOptions::builder()
+            .chaos(Some(ChaosOptions { timeout_ms: 0, ..ChaosOptions::default() }))
+            .build();
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "chaos"));
+        // Session::build enforces the same rules on literal structs.
+        let err = Session::build(&TraceOptions { max_batch: 0, ..TraceOptions::default() });
+        assert!(matches!(err, Err(TraceError::Config(ref c)) if c.field == "max_batch"));
+        // The error type is a real std error with a source chain.
+        let e = TraceOptions::builder().k(0).build().unwrap_err();
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+
+    #[test]
+    fn session_resumes_across_step_budgets_bit_identically() {
+        let opts = TraceOptions::builder()
+            .scenario("tiny")
+            .k(2)
+            .snapshots(4)
+            .seed(7)
+            .repartition_period(Some(2))
+            // One step per batch so the 1-step budget bites every round
+            // (budgets never tear a batch, they stop at its boundary).
+            .max_batch(1)
+            .build()
+            .expect("valid options");
+        let oneshot = run_traced(&opts).expect("one-shot run");
+
+        let mut session = Session::build(&opts).expect("session builds");
+        let budgeted = RunControl { budget: RunBudget::steps(1), ..RunControl::default() };
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            match session.advance(&budgeted).expect("advance") {
+                Advance::Finished => break,
+                Advance::BudgetExhausted => continue,
+                Advance::Cancelled => panic!("nothing cancelled this session"),
+            }
+        }
+        assert!(rounds >= 4, "a 1-step budget over 4 snapshots takes >= 4 rounds, got {rounds}");
+        assert!(session.is_finished());
+        let resumed = session.into_report();
+        assert_eq!(resumed.steps, oneshot.steps);
+        assert_eq!(resumed.halo, oneshot.halo);
+        assert_eq!(resumed.shipments, oneshot.shipments);
+        assert_eq!(resumed.contact_pairs, oneshot.contact_pairs);
+        assert_eq!(resumed.migrated, oneshot.migrated);
+        assert_eq!(resumed.repartitions, oneshot.repartitions);
+        resumed.verify_totals().expect("budgeted counters stay exact");
+    }
+
+    #[test]
+    fn cancelled_session_stops_at_a_batch_boundary() {
+        let opts = TraceOptions::builder()
+            .scenario("tiny")
+            .k(2)
+            .snapshots(4)
+            .seed(7)
+            .max_batch(1)
+            .build()
+            .expect("valid options");
+        let mut session = Session::build(&opts).expect("session builds");
+        let ctrl = RunControl::default();
+        ctrl.cancel.cancel();
+        assert_eq!(session.advance(&ctrl).expect("advance"), Advance::Cancelled);
+        assert_eq!(session.executed(), 0, "pre-tripped token cancels before the first batch");
+        assert!(!session.is_finished());
+        // A fresh control resumes the same session to completion.
+        assert_eq!(session.advance(&RunControl::default()).expect("advance"), Advance::Finished);
+        let report = session.into_report();
+        assert_eq!(report.steps, 4);
+        report.verify_totals().expect("resumed-after-cancel counters stay exact");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! [`cip_runtime::RuntimeError::RankLost`] and drives the same
 //! recovery path.
 
-use crate::trace::scenario_config;
+use crate::trace::{scenario_config, TraceError};
 use cip_contact::DtreeFilter;
 use cip_core::SnapshotView;
 use cip_dtree::{induce_recorded, refresh_recorded, DecisionTree, DtreeConfig};
@@ -564,6 +564,11 @@ pub struct BatchSpec<'a> {
     pub lookahead: usize,
 }
 
+/// Shorthand for the worker-protocol error variant.
+fn werr(what: String) -> TraceError {
+    TraceError::Worker { what }
+}
+
 fn resolve_worker_bin(explicit: Option<&Path>) -> PathBuf {
     if let Some(p) = explicit {
         return p.to_path_buf();
@@ -580,10 +585,11 @@ fn resolve_worker_bin(explicit: Option<&Path>) -> PathBuf {
 impl WorkerPool {
     /// Spawn `cfg.k` worker processes and run the hello/peers
     /// handshake until the mesh is ready for batches.
-    pub fn spawn(cfg: &PoolConfig) -> Result<Self, String> {
+    pub fn spawn(cfg: &PoolConfig) -> Result<Self, TraceError> {
         let listener = TcpListener::bind(&cfg.bind)
-            .map_err(|e| format!("bind control listener on {}: {e}", cfg.bind))?;
-        let addr = listener.local_addr().map_err(|e| format!("control listener address: {e}"))?;
+            .map_err(|e| werr(format!("bind control listener on {}: {e}", cfg.bind)))?;
+        let addr =
+            listener.local_addr().map_err(|e| werr(format!("control listener address: {e}")))?;
         let bin = resolve_worker_bin(cfg.worker_bin.as_deref());
         let mut children: Vec<Option<Child>> = Vec::with_capacity(cfg.k);
         for r in 0..cfg.k {
@@ -602,7 +608,7 @@ impl WorkerPool {
                 .arg(cfg.capacity.to_string())
                 .stdin(Stdio::null())
                 .spawn()
-                .map_err(|e| format!("spawn worker '{}': {e}", bin.display()))?;
+                .map_err(|e| werr(format!("spawn worker '{}': {e}", bin.display())))?;
             children.push(Some(child));
         }
 
@@ -611,7 +617,7 @@ impl WorkerPool {
         // the spawn, not hang it.
         listener
             .set_nonblocking(true)
-            .map_err(|e| format!("control listener non-blocking: {e}"))?;
+            .map_err(|e| werr(format!("control listener non-blocking: {e}")))?;
         let handshake_deadline = Instant::now() + Duration::from_secs(120);
         let mut workers: Vec<Option<Worker>> = (0..cfg.k).map(|_| None).collect();
         let mut mesh_addrs = vec![String::new(); cfg.k];
@@ -622,14 +628,14 @@ impl WorkerPool {
                     Ok(pair) => break pair,
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         if Instant::now() >= handshake_deadline {
-                            return Err(
+                            return Err(werr(
                                 "worker handshake timed out (did a worker die before connecting?)"
                                     .to_string(),
-                            );
+                            ));
                         }
                         std::thread::sleep(Duration::from_millis(20));
                     }
-                    Err(e) => return Err(format!("accept worker: {e}")),
+                    Err(e) => return Err(werr(format!("accept worker: {e}"))),
                 }
             };
             s.set_nonblocking(false).ok();
@@ -637,17 +643,17 @@ impl WorkerPool {
             s.set_read_timeout(Some(Duration::from_secs(120))).ok();
             let msg = match read_frame::<Ctrl>(&mut s, &mut payload) {
                 Ok((m, _, _)) => m,
-                Err(e) => return Err(format!("worker hello failed: {e:?}")),
+                Err(e) => return Err(werr(format!("worker hello failed: {e:?}"))),
             };
             let Ctrl::Hello { rank, mesh_addr } = msg else {
-                return Err("worker spoke out of turn during the handshake".to_string());
+                return Err(werr("worker spoke out of turn during the handshake".to_string()));
             };
             let r = rank as usize;
             if r >= cfg.k || workers[r].is_some() {
-                return Err(format!("unexpected hello from rank {rank}"));
+                return Err(werr(format!("unexpected hello from rank {rank}")));
             }
             let Some(child) = children[r].take() else {
-                return Err(format!("duplicate hello from rank {rank}"));
+                return Err(werr(format!("duplicate hello from rank {rank}")));
             };
             mesh_addrs[r] = mesh_addr;
             workers[r] = Some(Worker { child, ctrl: s });
@@ -657,7 +663,7 @@ impl WorkerPool {
         let mut buf = Vec::new();
         for w in workers.iter_mut().flatten() {
             write_frame(&mut w.ctrl, &peers, 0, &mut buf)
-                .map_err(|e| format!("send peer list: {e}"))?;
+                .map_err(|e| werr(format!("send peer list: {e}")))?;
         }
         Ok(Self { workers, last_stats: vec![TransportStats::default(); cfg.k] })
     }
@@ -812,20 +818,19 @@ struct Prepared {
 /// shutdown — including after this rank was killed by its fault plan,
 /// in which case the outcome has already been reported and the caller
 /// should simply exit (the process death *is* the simulated death).
-pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
+pub fn run_worker(args: &WorkerArgs) -> Result<(), TraceError> {
     // Handshake before the (potentially slow) simulation rebuild, so a
     // worker that dies during setup is an ordinary mid-protocol EOF for
     // the driver rather than a never-connected hole in the handshake.
-    let lst = bind_mesh("127.0.0.1:0").map_err(|e| format!("bind mesh listener: {e}"))?;
+    let lst = bind_mesh("127.0.0.1:0").map_err(|e| werr(format!("bind mesh listener: {e}")))?;
     let mut ctrl = TcpStream::connect(&args.connect)
-        .map_err(|e| format!("dial driver at {}: {e}", args.connect))?;
+        .map_err(|e| werr(format!("dial driver at {}: {e}", args.connect)))?;
     ctrl.set_nodelay(true).ok();
     let mut buf = Vec::new();
     let hello = Ctrl::Hello { rank: args.rank as u32, mesh_addr: lst.addr.to_string() };
-    write_frame(&mut ctrl, &hello, 0, &mut buf).map_err(|e| format!("send hello: {e}"))?;
+    write_frame(&mut ctrl, &hello, 0, &mut buf).map_err(|e| werr(format!("send hello: {e}")))?;
 
-    let mut scfg = scenario_config(&args.scenario)
-        .ok_or_else(|| format!("unknown scenario '{}'", args.scenario))?;
+    let mut scfg = scenario_config(&args.scenario)?;
     if let Some(s) = args.snapshots {
         scfg.snapshots = s;
     }
@@ -834,25 +839,26 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
     let mut payload = Vec::new();
     let msg = match read_frame::<Ctrl>(&mut ctrl, &mut payload) {
         Ok((m, _, _)) => m,
-        Err(e) => return Err(format!("read peer list: {e:?}")),
+        Err(e) => return Err(werr(format!("read peer list: {e:?}"))),
     };
     let Ctrl::Peers { mesh_addrs } = msg else {
-        return Err("expected the peer list after hello".to_string());
+        return Err(werr("expected the peer list after hello".to_string()));
     };
     let addrs: Vec<SocketAddr> = mesh_addrs
         .iter()
-        .map(|a| a.parse().map_err(|e| format!("bad mesh address '{a}': {e}")))
+        .map(|a| a.parse().map_err(|e| werr(format!("bad mesh address '{a}': {e}"))))
         .collect::<Result<_, _>>()?;
     let node = connect_mesh(args.rank, args.ranks, lst, &addrs)
-        .map_err(|e| format!("connect mesh: {e}"))?;
+        .map_err(|e| werr(format!("connect mesh: {e}")))?;
     let cfg = MailboxConfig { capacity: args.capacity.max(1), recorder: Recorder::disabled() };
-    let mut mesh = mesh_mailbox::<Msg>(node, &cfg).map_err(|e| format!("mesh mailbox: {e}"))?;
+    let mut mesh =
+        mesh_mailbox::<Msg>(node, &cfg).map_err(|e| werr(format!("mesh mailbox: {e}")))?;
 
     loop {
         let msg = match read_frame::<Ctrl>(&mut ctrl, &mut payload) {
             Ok((m, _, _)) => m,
             Err(ReadError::Eof) => break, // driver gone: clean exit
-            Err(e) => return Err(format!("control channel failed: {e:?}")),
+            Err(e) => return Err(werr(format!("control channel failed: {e:?}"))),
         };
         match msg {
             Ctrl::Run(spec) => {
@@ -867,7 +873,7 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
                 let died = matches!(outcome, RankBatchOutcome::Dead { .. });
                 let done = Ctrl::Done { outcome, stats: mesh.stats() };
                 write_frame(&mut ctrl, &done, 0, &mut buf)
-                    .map_err(|e| format!("report outcome: {e}"))?;
+                    .map_err(|e| werr(format!("report outcome: {e}")))?;
                 if died {
                     // The logical kill becomes a real process death —
                     // in-flight mesh frames from this zombie are stale
@@ -876,7 +882,7 @@ pub fn run_worker(args: &WorkerArgs) -> Result<(), String> {
                 }
             }
             Ctrl::Exit => break,
-            other => return Err(format!("unexpected control message: {other:?}")),
+            other => return Err(werr(format!("unexpected control message: {other:?}"))),
         }
     }
     Ok(())

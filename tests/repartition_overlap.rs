@@ -191,10 +191,15 @@ fn period_equal_to_max_batch_fires_once_per_boundary() {
 #[test]
 fn max_batch_depth_does_not_change_the_answer() {
     let oracle = run_traced(&opts(3, RepartitionMode::Overlapped)).expect("default max_batch");
-    // max_batch 0 is clamped to 1, not a panic.
-    for max_batch in [0usize, 1, 2, 8] {
+    for max_batch in [1usize, 2, 8] {
         let r = run_traced(&TraceOptions { max_batch, ..opts(3, RepartitionMode::Overlapped) })
             .expect("max_batch run");
         assert_eq!(totals(&r), totals(&oracle), "max_batch={max_batch}");
     }
+    // max_batch 0 is a typed configuration error, not a clamp or panic.
+    let err = run_traced(&TraceOptions { max_batch: 0, ..opts(3, RepartitionMode::Overlapped) });
+    assert!(
+        matches!(err, Err(cip::trace::TraceError::Config(ref c)) if c.field == "max_batch"),
+        "got {err:?}"
+    );
 }

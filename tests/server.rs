@@ -1,0 +1,227 @@
+//! Job-server suite: the multi-tenant partition/trace service against
+//! the in-process oracle.
+//!
+//! The service's correctness contract is bit-identity: totals fetched
+//! through submit → queue → worker → wire must equal, byte for byte,
+//! the totals of a direct [`run_traced`] call with the same options —
+//! under client concurrency, from the content-hash cache, after
+//! cancellations, and with chaos-mode fault injection in the job.
+
+use cip::server::{Client, JobOutcome, JobState, Server, ServerConfig};
+use cip::service::{JobRequest, TraceJobRunner, TraceTotals};
+use cip::trace::{run_traced, ChaosOptions, TraceOptions};
+use cip_telemetry::Recorder;
+use std::sync::Arc;
+use std::thread;
+
+fn start_server(workers: usize) -> (Server<TraceJobRunner>, String, Recorder) {
+    let rec = Recorder::enabled();
+    let cfg = ServerConfig { workers, recorder: rec.clone(), ..ServerConfig::default() };
+    let server = Server::start(TraceJobRunner, &cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr, rec)
+}
+
+fn oracle_totals(opts: &TraceOptions) -> TraceTotals {
+    let report = run_traced(opts).expect("oracle run succeeds");
+    report.verify_totals().expect("oracle totals are conserved");
+    TraceTotals::from_report(&report)
+}
+
+fn submit_and_fetch(client: &mut Client, opts: &TraceOptions) -> (TraceTotals, bool) {
+    let job = client.submit(&JobRequest::new(opts.clone()).encode()).expect("submit");
+    let (outcome, cached) = client.result(job).expect("result");
+    match outcome {
+        JobOutcome::Done { payload } => {
+            (TraceTotals::decode(&payload).expect("totals decode"), cached)
+        }
+        other => panic!("job did not finish: {other:?}"),
+    }
+}
+
+fn tiny_opts(k: usize, seed: u64) -> TraceOptions {
+    TraceOptions::builder()
+        .scenario("tiny")
+        .k(k)
+        .seed(seed)
+        .repartition_period(Some(2))
+        .build()
+        .expect("valid options")
+}
+
+/// ≥4 concurrent clients with a mix of scenarios, ranks, schedules, and
+/// repartition modes: every reply must be byte-identical to the direct
+/// in-process run of the same options.
+#[test]
+fn concurrent_clients_get_bit_identical_totals() {
+    let mixes: Vec<TraceOptions> = vec![
+        tiny_opts(2, 5),
+        tiny_opts(4, 7),
+        TraceOptions::builder()
+            .scenario("head_on")
+            .k(3)
+            .snapshots(4)
+            .seed(11)
+            .repartition_period(Some(2))
+            .build()
+            .expect("valid options"),
+        TraceOptions::builder()
+            .scenario("tiny")
+            .k(3)
+            .seed(9)
+            .repartition_period(None)
+            .build()
+            .expect("valid options"),
+        tiny_opts(2, 42),
+    ];
+    let oracles: Vec<TraceTotals> = mixes.iter().map(oracle_totals).collect();
+
+    let (server, addr, _rec) = start_server(3);
+    let mixes = Arc::new(mixes);
+    let handles: Vec<_> = (0..mixes.len())
+        .map(|i| {
+            let addr = addr.clone();
+            let mixes = Arc::clone(&mixes);
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("client connects");
+                submit_and_fetch(&mut client, &mixes[i]).0
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let totals = h.join().expect("client thread");
+        assert_eq!(
+            totals, oracles[i],
+            "client {i} got totals that differ from the in-process oracle"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 0);
+}
+
+/// A byte-identical resubmission is served from the content-hash cache:
+/// no recomputation, `cached = true`, and the exact bytes of the first
+/// run — including across distinct client connections.
+#[test]
+fn repeat_submissions_hit_the_cache_bit_identically() {
+    let opts = tiny_opts(3, 13);
+    let (server, addr, rec) = start_server(2);
+
+    let mut first_client = Client::connect(&addr).expect("client 1");
+    let (first, cached_first) = submit_and_fetch(&mut first_client, &opts);
+    assert!(!cached_first, "first submission must compute");
+
+    let mut second_client = Client::connect(&addr).expect("client 2");
+    let (second, cached_second) = submit_and_fetch(&mut second_client, &opts);
+    assert!(cached_second, "identical resubmission must hit the cache");
+    assert_eq!(second, first, "cached totals must be bit-identical");
+    assert_eq!(second.encode(), first.encode());
+
+    // A different seed is a different payload — cache miss.
+    let (third, cached_third) = submit_and_fetch(&mut second_client, &tiny_opts(3, 14));
+    assert!(!cached_third);
+    let _ = third;
+
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.completed, 2, "the cached reply must not recompute");
+    assert_eq!(rec.counter_value("server.jobs.cache_hits"), 1);
+    assert_eq!(rec.counter_value("server.jobs.submitted"), 3);
+}
+
+/// Cancelling jobs — one mid-flight, one straight after submission —
+/// must leave the worker pool fully serviceable: a subsequent job on the
+/// same server completes with oracle-identical totals.
+#[test]
+fn cancel_leaves_the_pool_serviceable() {
+    let (server, addr, _rec) = start_server(1);
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    // Occupy the single worker, then pile up and cancel a second job.
+    let blocker_opts = TraceOptions::builder()
+        .scenario("head_on")
+        .k(4)
+        .snapshots(8)
+        .seed(3)
+        .repartition_period(Some(2))
+        .build()
+        .expect("valid options");
+    let blocker = client.submit(&JobRequest::new(blocker_opts).encode()).expect("submit blocker");
+    let queued = client.submit(&JobRequest::new(tiny_opts(2, 77)).encode()).expect("submit queued");
+
+    let state = client.cancel(queued).expect("cancel queued");
+    assert!(
+        matches!(state, JobState::Cancelled | JobState::Running | JobState::Done),
+        "unexpected state after cancel: {state:?}"
+    );
+    let (outcome, _) = client.result(queued).expect("queued outcome");
+    assert!(
+        matches!(outcome, JobOutcome::Cancelled | JobOutcome::Done { .. }),
+        "cancel must yield a clean outcome, got {outcome:?}"
+    );
+
+    // Cancel the blocker mid-run; the session winds down at a batch
+    // boundary (or finishes if it already passed the last one).
+    client.cancel(blocker).expect("cancel blocker");
+    let (outcome, _) = client.result(blocker).expect("blocker outcome");
+    assert!(
+        matches!(outcome, JobOutcome::Cancelled | JobOutcome::Done { .. }),
+        "mid-job cancel must yield a clean outcome, got {outcome:?}"
+    );
+
+    // The pool must still serve fresh work, bit-identically.
+    let opts = tiny_opts(2, 21);
+    let expected = oracle_totals(&opts);
+    let (totals, _) = submit_and_fetch(&mut client, &opts);
+    assert_eq!(totals, expected, "post-cancel job must match the oracle");
+    assert!(server.stats().completed >= 1);
+}
+
+/// A chaos-seeded job (deterministic message faults + a scripted rank
+/// kill) through the job API produces the same totals as the direct
+/// chaos run: fault recovery happens inside the job, invisibly to the
+/// service layer.
+#[test]
+fn chaos_job_through_the_job_api_matches_the_oracle() {
+    let opts = TraceOptions::builder()
+        .scenario("tiny")
+        .k(3)
+        .seed(5)
+        .repartition_period(Some(2))
+        .chaos(Some(ChaosOptions { seed: 7, kill: Some((2, 1)), ..ChaosOptions::default() }))
+        .build()
+        .expect("valid options");
+    let expected = oracle_totals(&opts);
+    assert!(expected.rank_losses >= 1, "the kill must actually cost a rank");
+
+    let (_server, addr, _rec) = start_server(2);
+    let mut client = Client::connect(&addr).expect("client connects");
+    let (totals, _) = submit_and_fetch(&mut client, &opts);
+    assert_eq!(totals, expected, "chaos job must match the direct chaos run");
+}
+
+/// The wire catalog mirrors the scenario registry, and a garbage
+/// payload is rejected as a failed job — not a dead server.
+#[test]
+fn catalog_and_invalid_payloads() {
+    let (_server, addr, _rec) = start_server(1);
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    let entries = client.catalog().expect("catalog");
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(entries.len(), cip::sim::scenarios::list().len());
+    assert!(names.contains(&"head_on") && names.contains(&"tiny"), "{names:?}");
+
+    let job = client.submit(&[0xFF, 0xEE]).expect("garbage submits fine");
+    let (outcome, _) = client.result(job).expect("result");
+    assert!(matches!(outcome, JobOutcome::Failed { .. }), "got {outcome:?}");
+
+    // The server survives: a real job still works.
+    let opts = tiny_opts(2, 1);
+    let expected = oracle_totals(&opts);
+    let (totals, _) = submit_and_fetch(&mut client, &opts);
+    assert_eq!(totals, expected);
+}
