@@ -25,14 +25,19 @@ use std::sync::Arc;
 
 /// SplitMix64 step — the same deterministic mixer the partitioner uses
 /// for child seeds (`cip_partition::config::child_seed`), duplicated here
-/// so the runtime crate stays free of a partitioner dependency.
+/// so the runtime crate stays free of a partitioner dependency. Public
+/// because every seeded fault source in the tree (fault plans, the chaos
+/// proxy, client retry jitter) draws from this one mixer, keeping the
+/// seeding discipline uniform.
 #[inline]
-fn splitmix(seed: u64, salt: u64) -> u64 {
+pub fn splitmix64(seed: u64, salt: u64) -> u64 {
     let mut z = seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
 }
+
+use splitmix64 as splitmix;
 
 /// The fate of one first-transmission payload message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,44 +5,173 @@
 //! one [`JobMsg`] request and reads exactly one reply. [`Client::result`]
 //! blocks server-side until the job finalizes, so callers get
 //! completion without polling.
+//!
+//! # Timeouts and retries
+//!
+//! [`ClientConfig`] adds the resilience half: a connect timeout, an
+//! optional socket read timeout (so a dead server surfaces as a typed
+//! error instead of an eternal block), and a seeded deterministic retry
+//! policy used by [`Client::run_job`] — exponential backoff with
+//! SplitMix64 jitter, the same PRNG discipline as the executor's
+//! `FaultPlan`. On a transient failure (connection refused/reset, a
+//! read timeout, a corrupt reply) the client reconnects and resubmits
+//! the same payload. Resubmission is idempotent by construction: jobs
+//! are deterministic functions of their payload bytes, and the server's
+//! content-hash cache replays an already-completed result bit-for-bit,
+//! so a retry can duplicate *work* at worst, never *results*.
+//! [`ServerError::Rejected`] is permanent and never retried.
+//!
+//! Sizing note: `read_timeout` bounds every reply, including the
+//! server-side-blocking [`Client::result`] wait — set it comfortably
+//! above the server's job deadline (plus expected queueing) or leave it
+//! `None` and rely on the server's own deadline watchdog to unblock
+//! waiters.
 
-use crate::protocol::{CatalogEntry, JobMsg, JobOutcome, JobState, ServerStats};
+use crate::protocol::{CatalogInfo, JobMsg, JobOutcome, JobState, ServerStats};
 use crate::ServerError;
+use cip_runtime::fault::splitmix64;
 use cip_transport::frame::{read_frame, write_frame, ReadError};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// One connection to a job server.
+/// Client-side resilience knobs. The default is the legacy behavior
+/// plus a 5-second connect timeout: no read timeout, no retries.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long a dial may take before it fails typed.
+    pub connect_timeout: Duration,
+    /// Socket read timeout for every reply; `None` blocks indefinitely
+    /// (the server's job deadline then bounds `result` waits).
+    pub read_timeout: Option<Duration>,
+    /// Extra attempts [`Client::run_job`] makes after the first one
+    /// fails transiently. 0 = fail fast.
+    pub retries: u32,
+    /// Backoff before retry `n` is `min(backoff_max, backoff_base·2ⁿ)`
+    /// plus deterministic jitter in `[0, backoff_base)`.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff term.
+    pub backoff_max: Duration,
+    /// Jitter seed: retry schedules are a pure function of
+    /// `(seed, attempt)`, so chaos runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: None,
+            retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The deterministic pause before retry attempt `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.backoff_max);
+        let base_ms = self.backoff_base.as_millis() as u64;
+        let jitter_ms =
+            if base_ms == 0 { 0 } else { splitmix64(self.seed, u64::from(attempt)) % base_ms };
+        exp + Duration::from_millis(jitter_ms)
+    }
+}
+
+/// One connection to a job server (re-dialed transparently by
+/// [`Client::run_job`] after transient failures).
 pub struct Client {
-    stream: TcpStream,
+    addr: String,
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
     ticket: u32,
     wbuf: Vec<u8>,
     rbuf: Vec<u8>,
 }
 
 impl Client {
-    /// Connects to a server at `addr` (e.g. `127.0.0.1:45123`).
+    /// Connects to a server at `addr` (e.g. `127.0.0.1:45123`) with the
+    /// default [`ClientConfig`].
     pub fn connect(addr: &str) -> Result<Self, ServerError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ServerError::Io {
-            what: "connect to job server",
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts and retry policy. The first dial
+    /// happens eagerly so an unreachable server fails here, not on the
+    /// first call.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> Result<Self, ServerError> {
+        let mut client = Self {
+            addr: addr.to_string(),
+            cfg,
+            stream: None,
+            ticket: 0,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Dials the server if no live connection is held.
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut addrs = self.addr.to_socket_addrs().map_err(|e| ServerError::Io {
+            what: "resolve job server address",
             detail: e.to_string(),
         })?;
+        let Some(sock_addr) = addrs.next() else {
+            return Err(ServerError::Io {
+                what: "resolve job server address",
+                detail: format!("'{}' resolved to no address", self.addr),
+            });
+        };
+        let stream =
+            TcpStream::connect_timeout(&sock_addr, self.cfg.connect_timeout).map_err(|e| {
+                ServerError::Io { what: "connect to job server", detail: e.to_string() }
+            })?;
         stream.set_nodelay(true).ok();
-        Ok(Self { stream, ticket: 0, wbuf: Vec::new(), rbuf: Vec::new() })
+        stream.set_read_timeout(self.cfg.read_timeout).ok();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Drops the connection so the next call re-dials.
+    fn disconnect(&mut self) {
+        self.stream = None;
     }
 
     fn call(&mut self, msg: &JobMsg) -> Result<JobMsg, ServerError> {
-        write_frame(&mut self.stream, msg, 0, &mut self.wbuf)
-            .map_err(|e| ServerError::Io { what: "send request", detail: e.to_string() })?;
-        match read_frame::<JobMsg>(&mut self.stream, &mut self.rbuf) {
-            Ok((reply, _, _)) => Ok(reply),
-            Err(ReadError::Eof) => Err(ServerError::Protocol {
-                what: "server closed the connection mid-request".to_string(),
-            }),
-            Err(ReadError::Corrupt(e) | ReadError::Fatal(e)) => Err(ServerError::Wire(e)),
-            Err(ReadError::Io(e)) => {
-                Err(ServerError::Io { what: "read reply", detail: e.to_string() })
+        self.ensure_connected()?;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ServerError::Protocol { what: "no connection after dial".to_string() });
+        };
+        let result = (|| {
+            write_frame(stream, msg, 0, &mut self.wbuf)
+                .map_err(|e| ServerError::Io { what: "send request", detail: e.to_string() })?;
+            match read_frame::<JobMsg>(stream, &mut self.rbuf) {
+                Ok((reply, _, _)) => Ok(reply),
+                Err(ReadError::Eof) => Err(ServerError::Protocol {
+                    what: "server closed the connection mid-request".to_string(),
+                }),
+                Err(ReadError::Corrupt(e) | ReadError::Fatal(e)) => Err(ServerError::Wire(e)),
+                Err(ReadError::Io(e)) => {
+                    Err(ServerError::Io { what: "read reply", detail: e.to_string() })
+                }
             }
+        })();
+        // Any failed exchange poisons the request/response framing on
+        // this connection: drop it so the next call starts clean.
+        if result.is_err() {
+            self.disconnect();
         }
+        result
     }
 
     /// Submits a job payload; returns the server-assigned job id.
@@ -95,15 +224,86 @@ impl Client {
         }
     }
 
-    /// The workloads the server's runner advertises.
-    pub fn catalog(&mut self) -> Result<Vec<CatalogEntry>, ServerError> {
+    /// The workloads the server's runner advertises, plus its admission
+    /// limits.
+    pub fn catalog(&mut self) -> Result<CatalogInfo, ServerError> {
         match self.call(&JobMsg::Catalog)? {
-            JobMsg::CatalogIs { entries } => Ok(entries),
+            JobMsg::CatalogIs { entries, max_payload } => Ok(CatalogInfo { entries, max_payload }),
             other => Err(unexpected("CatalogIs", &other)),
+        }
+    }
+
+    /// Submits `payload` and waits for its outcome, retrying the whole
+    /// exchange (reconnect, resubmit, re-await) up to
+    /// [`ClientConfig::retries`] times on transient failures. Safe to
+    /// retry because job execution is a deterministic function of the
+    /// payload and completed results replay from the content-hash cache
+    /// bit-identically; a [`ServerError::Rejected`] is returned
+    /// immediately — admission refusals are policy, not weather.
+    pub fn run_job(&mut self, payload: &[u8]) -> Result<(JobOutcome, bool), ServerError> {
+        let attempts = self.cfg.retries.saturating_add(1);
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.ensure_connected().and_then(|()| {
+                let job_id = self.submit(payload)?;
+                self.result(job_id)
+            });
+            match outcome {
+                Ok(r) => return Ok(r),
+                Err(e @ (ServerError::Rejected { .. } | ServerError::RetriesExhausted { .. })) => {
+                    return Err(e);
+                }
+                Err(e) => {
+                    self.disconnect();
+                    if attempt + 1 >= attempts {
+                        return Err(if attempt == 0 {
+                            e
+                        } else {
+                            ServerError::RetriesExhausted { attempts, last: Box::new(e) }
+                        });
+                    }
+                    std::thread::sleep(self.cfg.backoff(attempt));
+                    attempt += 1;
+                }
+            }
         }
     }
 }
 
 fn unexpected(wanted: &str, got: &JobMsg) -> ServerError {
     ServerError::Protocol { what: format!("expected {wanted}, got {got:?}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(400),
+            seed: 7,
+            ..ClientConfig::default()
+        };
+        let again = cfg.clone();
+        let a: Vec<Duration> = (0..8).map(|n| cfg.backoff(n)).collect();
+        let b: Vec<Duration> = (0..8).map(|n| again.backoff(n)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        // Exponential up to the cap, jitter bounded by the base.
+        for (n, d) in a.iter().enumerate() {
+            let exp = Duration::from_millis(50u64 << n.min(3)).min(Duration::from_millis(400));
+            assert!(*d >= exp, "attempt {n}: {d:?} < {exp:?}");
+            assert!(*d < exp + Duration::from_millis(50), "attempt {n}: {d:?} jitter too big");
+        }
+        let other = ClientConfig { seed: 8, ..cfg };
+        let c: Vec<Duration> = (0..8).map(|n| other.backoff(n)).collect();
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow_the_backoff() {
+        let cfg = ClientConfig::default();
+        assert_eq!(cfg.backoff(200).min(cfg.backoff_max), cfg.backoff_max);
+    }
 }

@@ -16,7 +16,33 @@
 //!   workspaces, content-hash cache, `server.jobs.*` counters and
 //!   per-job telemetry spans,
 //! * [`Client`] — a blocking request/response client for one
-//!   connection.
+//!   connection, with optional connect/read timeouts and a seeded
+//!   deterministic retry policy ([`ClientConfig`]).
+//!
+//! # Resilience model (DESIGN.md §6h)
+//!
+//! The service degrades gracefully under component failure instead of
+//! hanging or leaking:
+//!
+//! * **Panics are jobs failing, not workers dying.** Runner execution is
+//!   wrapped in `catch_unwind`: a panicking job finalizes as a typed
+//!   [`JobError::Panicked`] and its client is unblocked. The worker
+//!   thread then retires itself — its workspace may be arbitrarily
+//!   corrupted by the unwind — and the supervisor respawns a fresh one
+//!   (`server.workers.respawned`), so pool capacity is invariant.
+//! * **Deadlines bound every job.** [`ServerConfig::job_deadline`] is
+//!   threaded into the runner via [`JobContext::deadline`] (the traced
+//!   runner turns it into a `RunControl` time budget) and enforced by a
+//!   watchdog: an overrunning job is cancelled and force-finalized as a
+//!   typed deadline failure, so a wedged runner can never hold a
+//!   `Result` waiter hostage.
+//! * **The result cache is bounded** by entry count and byte budget
+//!   with least-recently-used eviction (`server.cache.evictions`,
+//!   `cache_bytes` in [`ServerStats`]).
+//! * **Shutdown is a graceful drain**: admission stops immediately,
+//!   in-flight jobs get [`ServerConfig::drain_timeout`] to finish, then
+//!   stragglers are cancelled and worker threads joined (with a bounded
+//!   grace so a wedged runner cannot hang the join).
 //!
 //! Cancellation is cooperative: [`JobMsg::Cancel`] trips the job's
 //! [`CancelToken`]; a queued job is finalized immediately, a running one
@@ -27,8 +53,8 @@
 pub mod client;
 pub mod protocol;
 
-pub use client::Client;
-pub use protocol::{CatalogEntry, JobMsg, JobOutcome, JobState, ServerStats};
+pub use client::{Client, ClientConfig};
+pub use protocol::{CatalogEntry, CatalogInfo, JobMsg, JobOutcome, JobState, ServerStats};
 
 use cip_runtime::CancelToken;
 use cip_telemetry::Recorder;
@@ -36,10 +62,12 @@ use cip_transport::frame::{read_frame, write_frame, ReadError};
 use cip_transport::WireError;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// FNV-1a 64 over the submission payload — the content-hash cache key.
 /// Collisions are handled by byte-comparing the stored payload, so a
@@ -68,6 +96,18 @@ pub enum JobError {
     },
     /// The job's [`CancelToken`] tripped and the runner wound down.
     Cancelled,
+    /// The runner panicked; `catch_unwind` captured the payload and the
+    /// job finalized instead of killing its worker silently.
+    Panicked {
+        /// The panic message.
+        reason: String,
+    },
+    /// The job overran its [`ServerConfig::job_deadline`]; the watchdog
+    /// (or the runner's own budget checkpoint) stopped it.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -76,11 +116,29 @@ impl fmt::Display for JobError {
             Self::Invalid { reason } => write!(f, "invalid job: {reason}"),
             Self::Failed { reason } => write!(f, "job failed: {reason}"),
             Self::Cancelled => write!(f, "job cancelled"),
+            Self::Panicked { reason } => write!(f, "job panicked: {reason}"),
+            Self::DeadlineExceeded { limit_ms } => {
+                write!(f, "job deadline exceeded ({limit_ms} ms)")
+            }
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// Per-job execution context the server hands to [`JobRunner::run`].
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// Trips when the client cancels the job, on shutdown drain
+    /// timeout, or when the deadline watchdog fires. Runners should
+    /// poll it at their checkpoints and return [`JobError::Cancelled`].
+    pub cancel: CancelToken,
+    /// The per-job wall-clock deadline, if the server enforces one.
+    /// Runners with internal budget support (the traced session) should
+    /// thread it into their own budget so they stop cooperatively at a
+    /// clean boundary before the watchdog has to force the issue.
+    pub deadline: Option<Duration>,
+}
 
 /// What the server executes. Implementations decode the payload, run
 /// the work, and return result bytes; the server never interprets
@@ -96,13 +154,14 @@ pub trait JobRunner: Send + Sync + 'static {
     /// A fresh workspace for one worker thread.
     fn workspace(&self) -> Self::Workspace;
 
-    /// Executes one job. `cancel` trips when the client cancels; the
-    /// runner should poll it at its checkpoints and return
-    /// [`JobError::Cancelled`]. Reuse of `ws` must not change results.
+    /// Executes one job. `ctx.cancel` trips when the client cancels (or
+    /// the deadline watchdog fires); the runner should poll it at its
+    /// checkpoints and return [`JobError::Cancelled`]. Reuse of `ws`
+    /// must not change results.
     fn run(
         &self,
         payload: &[u8],
-        cancel: &CancelToken,
+        ctx: &JobContext,
         ws: &mut Self::Workspace,
     ) -> Result<Vec<u8>, JobError>;
 
@@ -134,6 +193,13 @@ pub enum ServerError {
         /// Why.
         reason: String,
     },
+    /// Every retry attempt failed; `last` is the final error.
+    RetriesExhausted {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<ServerError>,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -143,6 +209,9 @@ impl fmt::Display for ServerError {
             Self::Wire(e) => write!(f, "wire protocol violation: {e}"),
             Self::Protocol { what } => write!(f, "protocol violation: {what}"),
             Self::Rejected { reason } => write!(f, "submission rejected: {reason}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -151,6 +220,7 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Wire(e) => Some(e),
+            Self::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -172,6 +242,22 @@ pub struct ServerConfig {
     /// Longest admission queue; submissions beyond it are rejected so a
     /// flood degrades loudly instead of accumulating unbounded state.
     pub queue_capacity: usize,
+    /// Largest accepted `Submit` payload in bytes. Checked at admission
+    /// — before the payload is queued or hashed into the cache — and
+    /// surfaced to clients via [`CatalogInfo`] and [`ServerStats`].
+    /// Independent of (and at most) the wire-level frame ceiling.
+    pub max_payload: usize,
+    /// Per-job wall-clock deadline, measured from the moment a worker
+    /// starts the job. `None` = unbounded (trusted runners only).
+    pub job_deadline: Option<Duration>,
+    /// How long [`Server::shutdown`] lets in-flight jobs finish before
+    /// cancelling them. Zero restores immediate-cancel shutdown.
+    pub drain_timeout: Duration,
+    /// Result-cache entry ceiling (LRU-evicted past it); at least 1.
+    pub cache_max_entries: usize,
+    /// Result-cache byte budget over stored payload + result bytes;
+    /// entries larger than the whole budget are never cached.
+    pub cache_max_bytes: usize,
     /// Telemetry sink for `server.jobs.*` counters and per-job spans.
     pub recorder: Recorder,
 }
@@ -182,6 +268,11 @@ impl Default for ServerConfig {
             bind: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 64,
+            max_payload: 16 << 20,
+            job_deadline: None,
+            drain_timeout: Duration::from_secs(5),
+            cache_max_entries: 256,
+            cache_max_bytes: 64 << 20,
             recorder: Recorder::disabled(),
         }
     }
@@ -196,15 +287,34 @@ struct Job {
     cancel: CancelToken,
     outcome: Option<JobOutcome>,
     cached: bool,
+    /// When a worker must finish this job (armed when it starts).
+    deadline_at: Option<Instant>,
+}
+
+/// One cached result: the submission payload (kept to byte-verify hits,
+/// so hash collisions degrade to misses), the result bytes replayed on a
+/// hit, and the LRU stamp of the last touch.
+struct CacheEntry {
+    payload: Vec<u8>,
+    result: Vec<u8>,
+    stamp: u64,
+}
+
+impl CacheEntry {
+    fn bytes(&self) -> usize {
+        self.payload.len() + self.result.len()
+    }
 }
 
 /// Mutex-guarded server state.
 struct Inner {
     queue: VecDeque<u64>,
     jobs: HashMap<u64, Job>,
-    /// hash → (payload, result): the payload is kept to byte-verify
-    /// hits, so collisions degrade to misses.
-    cache: HashMap<u64, (Vec<u8>, Vec<u8>)>,
+    cache: HashMap<u64, CacheEntry>,
+    /// Sum of `CacheEntry::bytes` over `cache` — the eviction budget.
+    cache_bytes: usize,
+    /// Monotone LRU clock; bumped on every cache touch.
+    cache_clock: u64,
     next_id: u64,
 }
 
@@ -216,16 +326,29 @@ struct StatCells {
     cancelled: AtomicU64,
     cache_hits: AtomicU64,
     failed: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_bytes: AtomicU64,
+    workers_respawned: AtomicU64,
 }
 
 impl StatCells {
-    fn snapshot(&self) -> ServerStats {
+    fn snapshot(&self, max_payload: usize) -> ServerStats {
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_bytes: self.cache_bytes.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            max_payload: max_payload as u64,
         }
     }
 }
@@ -239,8 +362,19 @@ struct Shared<R: JobRunner> {
     done_cv: Condvar,
     stats: StatCells,
     rec: Recorder,
+    /// Admission closed; in-flight jobs may still drain.
+    draining: AtomicBool,
+    /// Hard stop: workers and the supervisor exit at their next
+    /// checkpoint.
     shutdown: AtomicBool,
     queue_capacity: usize,
+    max_payload: usize,
+    job_deadline: Option<Duration>,
+    cache_max_entries: usize,
+    cache_max_bytes: usize,
+    /// Worker slot table the supervisor watches: `slots[wid]` holds the
+    /// join handle of the thread currently playing worker `wid`.
+    slots: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 /// Poison-tolerant lock: a panicking connection handler must not take
@@ -249,22 +383,39 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Renders a caught panic payload for [`JobError::Panicked`].
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl<R: JobRunner> Shared<R> {
     /// Finalizes `id` under the lock: state, outcome, stats, counters,
     /// cache insertion for successes, and the completion broadcast.
+    /// A job that already has an outcome is left untouched — the
+    /// deadline watchdog and the worker may both report the same job,
+    /// and the first result wins.
     fn finalize(&self, inner: &mut Inner, id: u64, result: Result<Vec<u8>, JobError>) {
         let Some(job) = inner.jobs.get_mut(&id) else {
             return;
         };
+        if job.outcome.is_some() {
+            return;
+        }
         match result {
             Ok(bytes) => {
                 job.state = JobState::Done;
                 job.outcome = Some(JobOutcome::Done { payload: bytes.clone() });
                 let hash = job.hash;
                 let payload = std::mem::take(&mut job.payload);
-                inner.cache.entry(hash).or_insert((payload, bytes));
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 self.rec.add("server.jobs.completed", 1);
+                self.cache_insert(inner, hash, payload, bytes);
             }
             Err(JobError::Cancelled) => {
                 job.state = JobState::Cancelled;
@@ -272,76 +423,145 @@ impl<R: JobRunner> Shared<R> {
                 self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
                 self.rec.add("server.jobs.cancelled", 1);
             }
-            Err(JobError::Invalid { reason } | JobError::Failed { reason }) => {
+            Err(e @ (JobError::Invalid { .. } | JobError::Failed { .. })) => {
                 job.state = JobState::Failed;
-                job.outcome = Some(JobOutcome::Failed { reason });
+                job.outcome = Some(JobOutcome::Failed { reason: e.to_string() });
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
                 self.rec.add("server.jobs.failed", 1);
+            }
+            Err(e @ JobError::Panicked { .. }) => {
+                job.state = JobState::Failed;
+                job.outcome = Some(JobOutcome::Failed { reason: e.to_string() });
+                self.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                self.rec.add("server.jobs.panicked", 1);
+            }
+            Err(e @ JobError::DeadlineExceeded { .. }) => {
+                job.state = JobState::Failed;
+                job.outcome = Some(JobOutcome::Failed { reason: e.to_string() });
+                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.rec.add("server.jobs.deadline_exceeded", 1);
             }
         }
         self.done_cv.notify_all();
     }
+
+    /// Inserts a successful result into the bounded cache, evicting
+    /// least-recently-used entries until both the entry-count and the
+    /// byte budget hold. An entry larger than the whole byte budget is
+    /// simply not cached.
+    fn cache_insert(&self, inner: &mut Inner, hash: u64, payload: Vec<u8>, result: Vec<u8>) {
+        let entry_bytes = payload.len() + result.len();
+        if entry_bytes > self.cache_max_bytes || inner.cache.contains_key(&hash) {
+            return;
+        }
+        while !inner.cache.is_empty()
+            && (inner.cache.len() >= self.cache_max_entries
+                || inner.cache_bytes + entry_bytes > self.cache_max_bytes)
+        {
+            let Some((&victim, _)) = inner.cache.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            if let Some(evicted) = inner.cache.remove(&victim) {
+                inner.cache_bytes -= evicted.bytes();
+            }
+            self.stats.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            self.rec.add("server.cache.evictions", 1);
+        }
+        inner.cache_clock += 1;
+        let stamp = inner.cache_clock;
+        inner.cache.insert(hash, CacheEntry { payload, result, stamp });
+        inner.cache_bytes += entry_bytes;
+        self.stats.cache_bytes.store(inner.cache_bytes as u64, Ordering::Relaxed);
+        // Histogram sample: the byte occupancy over time (counters are
+        // monotone, so the gauge lives in ServerStats and this
+        // distribution backs `server.cache.bytes` in the summary).
+        self.rec.record("server.cache.bytes", inner.cache_bytes as u64);
+    }
+
+    /// Counts and rejects one refused submission.
+    fn reject(&self, ticket: u32, reason: String) -> JobMsg {
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rec.add("server.jobs.rejected", 1);
+        JobMsg::Rejected { ticket, reason }
+    }
 }
 
-/// A running job server: accept loop + worker pool. Bind with
-/// [`Server::start`], stop with [`Server::shutdown`] (also called on
-/// drop).
+/// A running job server: accept loop + supervised worker pool. Bind
+/// with [`Server::start`], stop with [`Server::shutdown`] (also called
+/// on drop).
 pub struct Server<R: JobRunner> {
     addr: SocketAddr,
+    /// Kept so shutdown can flip the listener nonblocking — the
+    /// belt-and-braces half of unblocking an accept loop that is parked
+    /// in `accept()` (the nudge connection is the other half).
+    listener: TcpListener,
+    drain_timeout: Duration,
     shared: Arc<Shared<R>>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl<R: JobRunner> Server<R> {
-    /// Binds the listener, spawns the worker pool, and starts accepting
-    /// clients.
+    /// Binds the listener, spawns the supervised worker pool, and
+    /// starts accepting clients.
     pub fn start(runner: R, cfg: &ServerConfig) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(&cfg.bind)
             .map_err(|e| ServerError::Io { what: "bind job listener", detail: e.to_string() })?;
         let addr = listener
             .local_addr()
             .map_err(|e| ServerError::Io { what: "job listener address", detail: e.to_string() })?;
+        let accept_listener = listener
+            .try_clone()
+            .map_err(|e| ServerError::Io { what: "clone job listener", detail: e.to_string() })?;
+        let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             runner,
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 cache: HashMap::new(),
+                cache_bytes: 0,
+                cache_clock: 0,
                 next_id: 1,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             stats: StatCells::default(),
             rec: cfg.recorder.clone(),
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             queue_capacity: cfg.queue_capacity.max(1),
+            max_payload: cfg.max_payload,
+            job_deadline: cfg.job_deadline,
+            cache_max_entries: cfg.cache_max_entries.max(1),
+            cache_max_bytes: cfg.cache_max_bytes,
+            slots: Mutex::new(Vec::new()),
         });
 
-        let workers = (0..cfg.workers.max(1))
-            .map(|wid| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, wid))
-            })
-            .collect();
+        {
+            let mut slots = lock(&shared.slots);
+            for wid in 0..workers {
+                slots.push(Some(spawn_worker(&shared, wid)));
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&shared))
+        };
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                stream.set_nodelay(true).ok();
-                let shared = Arc::clone(&accept_shared);
-                // Handlers are detached: they exit on client EOF or
-                // corrupt frames, and the process teardown reaps any
-                // that are still blocked on an open client socket.
-                std::thread::spawn(move || serve_connection(&shared, stream));
-            }
+            accept_loop(&accept_listener, &accept_shared);
         });
 
-        Ok(Self { addr, shared, accept: Some(accept), workers })
+        Ok(Self {
+            addr,
+            listener,
+            drain_timeout: cfg.drain_timeout,
+            shared,
+            accept: Some(accept),
+            supervisor: Some(supervisor),
+        })
     }
 
     /// The bound listener address (resolve `127.0.0.1:0` to the real
@@ -352,35 +572,102 @@ impl<R: JobRunner> Server<R> {
 
     /// Aggregate job counters so far.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats.snapshot(self.shared.max_payload)
     }
 
-    /// Stops accepting, wakes every worker and waiter, and joins the
-    /// pool. Queued jobs that never ran are finalized as cancelled.
+    /// Graceful drain shutdown: stop admitting immediately, let
+    /// in-flight jobs finish within [`ServerConfig::drain_timeout`],
+    /// cancel whatever remains, then join the pool (abandoning — but
+    /// never waiting forever on — a worker wedged in a runner that
+    /// ignores cancellation).
     pub fn shutdown(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+        if self.shared.draining.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Wake idle workers: with admission closed they drain the queue
+        // and exit once it is empty.
+        self.shared.work_cv.notify_all();
+
+        // Drain phase: wait for every job to finalize, up to the
+        // configured drain budget.
+        let deadline = Instant::now() + self.drain_timeout;
         {
             let mut inner = lock(&self.shared.inner);
-            let queued: Vec<u64> = inner.queue.drain(..).collect();
-            for id in queued {
-                if let Some(job) = inner.jobs.get(&id) {
-                    if job.state == JobState::Queued {
-                        self.shared.finalize(&mut inner, id, Err(JobError::Cancelled));
+            while inner.jobs.values().any(|j| j.outcome.is_none()) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                inner = guard;
+            }
+            // Whatever is still pending gets cancelled: queued jobs
+            // finalize here, running ones at their runner's next
+            // cancellation checkpoint.
+            let pending: Vec<u64> =
+                inner.jobs.iter().filter(|(_, j)| j.outcome.is_none()).map(|(&id, _)| id).collect();
+            for id in pending {
+                let queued = match inner.jobs.get(&id) {
+                    Some(job) => {
+                        job.cancel.cancel();
+                        job.state == JobState::Queued
                     }
+                    None => false,
+                };
+                if queued {
+                    self.shared.finalize(&mut inner, id, Err(JobError::Cancelled));
                 }
             }
+            inner.queue.clear();
         }
+
+        self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_cv.notify_all();
         self.shared.done_cv.notify_all();
-        // Unblock the accept loop with a dummy connection.
-        TcpStream::connect(self.addr).ok();
+
+        // Unblock the accept loop: flip the listener nonblocking (so a
+        // racing `accept()` that misses the nudge still returns
+        // `WouldBlock` next time) and poke it with a loopback
+        // connection. An unspecified bind address (0.0.0.0/[::]) is not
+        // connectable, so the nudge targets the loopback of the same
+        // family.
+        self.listener.set_nonblocking(true).ok();
+        let mut nudge = self.addr;
+        if nudge.ip().is_unspecified() {
+            nudge.set_ip(match nudge.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        TcpStream::connect_timeout(&nudge, Duration::from_millis(250)).ok();
         if let Some(h) = self.accept.take() {
             h.join().ok();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             h.join().ok();
+        }
+
+        // Join the workers, but never forever: a runner that ignores
+        // its cancel token would otherwise hang shutdown, so after a
+        // bounded grace the wedged thread is abandoned (the process
+        // teardown reaps it) and counted.
+        let grace = Instant::now() + self.drain_timeout.max(Duration::from_millis(200));
+        let mut slots = lock(&self.shared.slots);
+        while Instant::now() < grace && slots.iter().flatten().any(|handle| !handle.is_finished()) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for slot in slots.iter_mut() {
+            if let Some(handle) = slot.take() {
+                if handle.is_finished() {
+                    handle.join().ok();
+                } else {
+                    self.shared.rec.add("server.workers.abandoned", 1);
+                }
+            }
         }
     }
 }
@@ -391,12 +678,73 @@ impl<R: JobRunner> Drop for Server<R> {
     }
 }
 
+/// Spawns one worker thread into slot `wid`.
+fn spawn_worker<R: JobRunner>(shared: &Arc<Shared<R>>, wid: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || worker_loop(&shared, wid))
+}
+
+/// The supervisor: respawns worker threads that died (a panicking job
+/// retires its worker so the unwound workspace is never reused) and
+/// enforces per-job deadlines. One thread, checkpointed every few
+/// milliseconds, exits on shutdown.
+fn supervisor_loop<R: JobRunner>(shared: &Arc<Shared<R>>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Respawn dead workers — but not while winding down, when
+        // worker exit is the expected end state.
+        if !shared.draining.load(Ordering::Acquire) {
+            let mut slots = lock(&shared.slots);
+            for wid in 0..slots.len() {
+                let died = slots[wid].as_ref().is_some_and(|h| h.is_finished());
+                if died {
+                    if let Some(h) = slots[wid].take() {
+                        h.join().ok();
+                    }
+                    slots[wid] = Some(spawn_worker(shared, wid));
+                    shared.stats.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                    shared.rec.add("server.workers.respawned", 1);
+                }
+            }
+        }
+        // Deadline watchdog: an overrunning job is cancelled and
+        // force-finalized as a typed deadline failure, unblocking its
+        // `Result` waiters immediately. If the runner later returns
+        // anyway, `finalize` ignores the stale result.
+        if let Some(deadline) = shared.job_deadline {
+            let limit_ms = deadline.as_millis() as u64;
+            let now = Instant::now();
+            let mut inner = lock(&shared.inner);
+            let overdue: Vec<u64> = inner
+                .jobs
+                .iter()
+                .filter(|(_, j)| {
+                    j.outcome.is_none()
+                        && j.state == JobState::Running
+                        && j.deadline_at.is_some_and(|at| now >= at)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in overdue {
+                if let Some(job) = inner.jobs.get(&id) {
+                    job.cancel.cancel();
+                }
+                shared.finalize(&mut inner, id, Err(JobError::DeadlineExceeded { limit_ms }));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 /// One worker thread: owns a reusable workspace, drains the queue until
-/// shutdown.
+/// shutdown. A caught panic finalizes the job and retires the thread
+/// (its workspace may be corrupt); the supervisor respawns the slot.
 fn worker_loop<R: JobRunner>(shared: &Shared<R>, wid: usize) {
     let mut ws = shared.runner.workspace();
     loop {
-        let (id, payload, cancel) = {
+        let (id, payload, ctx) = {
             let mut inner = lock(&shared.inner);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -418,19 +766,27 @@ fn worker_loop<R: JobRunner>(shared: &Shared<R>, wid: usize) {
                         continue;
                     };
                     job.state = JobState::Running;
-                    break (id, job.payload.clone(), job.cancel.clone());
+                    job.deadline_at = shared.job_deadline.map(|d| Instant::now() + d);
+                    let ctx =
+                        JobContext { cancel: job.cancel.clone(), deadline: shared.job_deadline };
+                    break (id, job.payload.clone(), ctx);
+                }
+                // Admission is closed and the queue is dry: this worker
+                // is done.
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
                 }
                 inner = shared.work_cv.wait(inner).unwrap_or_else(|p| p.into_inner());
             }
         };
 
-        let result = {
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut span = shared.rec.span("server.job").attr("job", id).attr("worker", wid);
-            if cancel.is_cancelled() {
+            if ctx.cancel.is_cancelled() {
                 // Cancelled between dequeue and start: never run it.
                 Err(JobError::Cancelled)
             } else {
-                let r = shared.runner.run(&payload, &cancel, &mut ws);
+                let r = shared.runner.run(&payload, &ctx, &mut ws);
                 span.set_attr(
                     "outcome",
                     match &r {
@@ -441,14 +797,64 @@ fn worker_loop<R: JobRunner>(shared: &Shared<R>, wid: usize) {
                 );
                 r
             }
-        };
-        let mut inner = lock(&shared.inner);
-        shared.finalize(&mut inner, id, result);
+        }));
+        match run {
+            Ok(result) => {
+                let mut inner = lock(&shared.inner);
+                shared.finalize(&mut inner, id, result);
+            }
+            Err(panic) => {
+                let reason = panic_reason(panic.as_ref());
+                {
+                    let mut inner = lock(&shared.inner);
+                    shared.finalize(&mut inner, id, Err(JobError::Panicked { reason }));
+                }
+                // The unwound workspace cannot be trusted: retire this
+                // thread and let the supervisor respawn the slot with a
+                // fresh one.
+                return;
+            }
+        }
+    }
+}
+
+/// The accept loop: hands each connection to a detached handler. Exits
+/// when shutdown is flagged — woken by the nudge connection, or by the
+/// listener having been flipped nonblocking.
+fn accept_loop<R: JobRunner>(listener: &TcpListener, shared: &Arc<Shared<R>>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                stream.set_nodelay(true).ok();
+                let shared = Arc::clone(shared);
+                // Handlers are detached: they exit on client EOF or
+                // corrupt frames, and the process teardown reaps any
+                // that are still blocked on an open client socket.
+                std::thread::spawn(move || serve_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Nonblocking only happens on the way down; be gentle.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
     }
 }
 
 /// One client connection: a strict request/response loop. EOF or a
 /// corrupt frame ends the connection; the jobs it submitted live on.
+/// Corrupt frames are counted (`server.recv_corrupt`) and dropped —
+/// never a panic, never a dead server.
 fn serve_connection<R: JobRunner>(shared: &Shared<R>, mut stream: TcpStream) {
     let mut payload = Vec::new();
     let mut buf = Vec::new();
@@ -456,7 +862,11 @@ fn serve_connection<R: JobRunner>(shared: &Shared<R>, mut stream: TcpStream) {
         let msg = match read_frame::<JobMsg>(&mut stream, &mut payload) {
             Ok((m, _, _)) => m,
             Err(ReadError::Eof) => return,
-            Err(_) => return,
+            Err(ReadError::Corrupt(_) | ReadError::Fatal(_)) => {
+                shared.rec.add("server.recv_corrupt", 1);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
         };
         let reply = match msg {
             JobMsg::Submit { ticket, payload } => submit(shared, ticket, payload),
@@ -467,8 +877,11 @@ fn serve_connection<R: JobRunner>(shared: &Shared<R>, mut stream: TcpStream) {
             }
             JobMsg::Cancel { job_id } => cancel(shared, job_id),
             JobMsg::Result { job_id } => await_result(shared, job_id),
-            JobMsg::Stats => JobMsg::StatsIs(shared.stats.snapshot()),
-            JobMsg::Catalog => JobMsg::CatalogIs { entries: shared.runner.catalog() },
+            JobMsg::Stats => JobMsg::StatsIs(shared.stats.snapshot(shared.max_payload)),
+            JobMsg::Catalog => JobMsg::CatalogIs {
+                entries: shared.runner.catalog(),
+                max_payload: shared.max_payload as u64,
+            },
             // A reply frame arriving as a request is a protocol
             // violation; drop the connection.
             _ => return,
@@ -479,10 +892,23 @@ fn serve_connection<R: JobRunner>(shared: &Shared<R>, mut stream: TcpStream) {
     }
 }
 
-/// Admission: cache lookup, bounded queue, accept/reject.
+/// Admission: size check, cache lookup, bounded queue, accept/reject.
 fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> JobMsg {
-    if shared.shutdown.load(Ordering::Acquire) {
-        return JobMsg::Rejected { ticket, reason: "server shutting down".to_string() };
+    if shared.draining.load(Ordering::Acquire) || shared.shutdown.load(Ordering::Acquire) {
+        return shared.reject(ticket, "server shutting down".to_string());
+    }
+    // Admission-time size ceiling: rejected before the payload is
+    // hashed, queued, or cached — the wire-level MAX_PAYLOAD only
+    // guards frame decoding, this guards worker memory.
+    if payload.len() > shared.max_payload {
+        return shared.reject(
+            ticket,
+            format!(
+                "payload of {} bytes exceeds the server max_payload of {} bytes",
+                payload.len(),
+                shared.max_payload
+            ),
+        );
     }
     let hash = content_hash(&payload);
     let mut inner = lock(&shared.inner);
@@ -490,8 +916,14 @@ fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> Jo
 
     // Content-hash cache: a byte-identical resubmission is answered
     // with the exact result bytes of the first run — no worker, no
-    // recomputation, bit-identical totals.
-    let hit = inner.cache.get(&hash).filter(|(first, _)| first == &payload).map(|(_, r)| r.clone());
+    // recomputation, bit-identical totals. A hit refreshes the entry's
+    // LRU stamp.
+    inner.cache_clock += 1;
+    let clock = inner.cache_clock;
+    let hit = inner.cache.get_mut(&hash).filter(|e| e.payload == payload).map(|e| {
+        e.stamp = clock;
+        e.result.clone()
+    });
     if let Some(result) = hit {
         inner.next_id += 1;
         inner.jobs.insert(
@@ -503,6 +935,7 @@ fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> Jo
                 cancel: CancelToken::new(),
                 outcome: Some(JobOutcome::Done { payload: result }),
                 cached: true,
+                deadline_at: None,
             },
         );
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -514,7 +947,8 @@ fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> Jo
     }
 
     if inner.queue.len() >= shared.queue_capacity {
-        return JobMsg::Rejected { ticket, reason: "admission queue full".to_string() };
+        drop(inner);
+        return shared.reject(ticket, "admission queue full".to_string());
     }
     inner.next_id += 1;
     inner.jobs.insert(
@@ -526,6 +960,7 @@ fn submit<R: JobRunner>(shared: &Shared<R>, ticket: u32, payload: Vec<u8>) -> Jo
             cancel: CancelToken::new(),
             outcome: None,
             cached: false,
+            deadline_at: None,
         },
     );
     inner.queue.push_back(id);
@@ -550,7 +985,10 @@ fn cancel<R: JobRunner>(shared: &Shared<R>, job_id: u64) -> JobMsg {
     JobMsg::StatusIs { job_id, state }
 }
 
-/// Blocks until the job finalizes (or the server shuts down).
+/// Blocks until the job finalizes (or the server shuts down). With a
+/// server-side job deadline, "finalizes" is bounded: the watchdog
+/// force-finalizes overrunners, so this wait can never outlive the
+/// queue backlog plus one deadline.
 fn await_result<R: JobRunner>(shared: &Shared<R>, job_id: u64) -> JobMsg {
     let mut inner = lock(&shared.inner);
     loop {
@@ -590,7 +1028,8 @@ mod tests {
 
     /// Test runner: payload[0] selects the behavior. 0 = echo the rest
     /// reversed, 1 = spin until cancelled (checkpoint every 1 ms),
-    /// 2 = fail.
+    /// 2 = fail, 3 = panic, 4 = sleep 300 ms ignoring the cancel token
+    /// (a "wedged" runner for the deadline watchdog).
     struct TestRunner;
 
     impl JobRunner for TestRunner {
@@ -603,7 +1042,7 @@ mod tests {
         fn run(
             &self,
             payload: &[u8],
-            cancel: &CancelToken,
+            ctx: &JobContext,
             ws: &mut Vec<u8>,
         ) -> Result<Vec<u8>, JobError> {
             match payload.first() {
@@ -613,12 +1052,17 @@ mod tests {
                     Ok(ws.clone())
                 }
                 Some(1) => loop {
-                    if cancel.is_cancelled() {
+                    if ctx.cancel.is_cancelled() {
                         return Err(JobError::Cancelled);
                     }
                     std::thread::sleep(Duration::from_millis(1));
                 },
                 Some(2) => Err(JobError::Failed { reason: "scripted failure".to_string() }),
+                Some(3) => panic!("scripted panic"),
+                Some(4) => {
+                    std::thread::sleep(Duration::from_millis(300));
+                    Ok(vec![42])
+                }
                 _ => Err(JobError::Invalid { reason: "empty payload".to_string() }),
             }
         }
@@ -628,12 +1072,14 @@ mod tests {
         }
     }
 
-    fn start() -> (Server<TestRunner>, Client) {
-        let server =
-            Server::start(TestRunner, &ServerConfig { workers: 1, ..ServerConfig::default() })
-                .expect("server starts");
+    fn start_with(cfg: ServerConfig) -> (Server<TestRunner>, Client) {
+        let server = Server::start(TestRunner, &cfg).expect("server starts");
         let client = Client::connect(&server.addr().to_string()).expect("client connects");
         (server, client)
+    }
+
+    fn start() -> (Server<TestRunner>, Client) {
+        start_with(ServerConfig { workers: 1, ..ServerConfig::default() })
     }
 
     #[test]
@@ -700,11 +1146,13 @@ mod tests {
     }
 
     #[test]
-    fn catalog_is_advertised() {
-        let (_server, mut client) = start();
-        let entries = client.catalog().expect("catalog");
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].name, "echo");
+    fn catalog_is_advertised_with_the_payload_limit() {
+        let (_server, mut client) =
+            start_with(ServerConfig { workers: 1, max_payload: 4096, ..ServerConfig::default() });
+        let info = client.catalog().expect("catalog");
+        assert_eq!(info.entries.len(), 1);
+        assert_eq!(info.entries[0].name, "echo");
+        assert_eq!(info.max_payload, 4096);
     }
 
     #[test]
@@ -726,5 +1174,178 @@ mod tests {
         let stats = server.stats();
         assert!(stats.cancelled >= 1, "shutdown cancels what never ran: {stats:?}");
         let _ = queued;
+    }
+
+    #[test]
+    fn a_panicking_job_finalizes_typed_and_the_worker_is_respawned() {
+        let (server, mut client) = start();
+        let job = client.submit(&[3]).expect("submit panicking job");
+        let (outcome, _) = client.result(job).expect("panic result arrives");
+        assert!(
+            matches!(outcome, JobOutcome::Failed { ref reason } if reason.contains("panic")),
+            "panic must surface as a typed failure, got {outcome:?}"
+        );
+
+        // The supervisor replaces the retired worker; pool capacity is
+        // invariant, so a fresh job still completes.
+        let after = client.submit(&[0, 5, 6]).expect("submit after panic");
+        let (outcome, _) = client.result(after).expect("post-panic result");
+        assert_eq!(outcome, JobOutcome::Done { payload: vec![6, 5] });
+
+        // Respawn is asynchronous; the completed job above proves a
+        // live worker, now wait for the counter to confirm it was a
+        // fresh one.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().workers_respawned == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.panicked, 1, "{stats:?}");
+        assert!(stats.workers_respawned >= 1, "supervisor must respawn the slot: {stats:?}");
+    }
+
+    #[test]
+    fn deadline_watchdog_bounds_wedged_jobs_and_keeps_the_pool_alive() {
+        let (server, mut client) = start_with(ServerConfig {
+            workers: 1,
+            job_deadline: Some(Duration::from_millis(40)),
+            ..ServerConfig::default()
+        });
+        // Payload [4] sleeps 300 ms and never polls the cancel token —
+        // the watchdog must unblock the client long before that.
+        let t0 = Instant::now();
+        let job = client.submit(&[4]).expect("submit wedged job");
+        let (outcome, _) = client.result(job).expect("deadline result arrives");
+        let waited = t0.elapsed();
+        assert!(
+            matches!(outcome, JobOutcome::Failed { ref reason } if reason.contains("deadline")),
+            "overrun must surface as a typed deadline failure, got {outcome:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(280),
+            "the client waited {waited:?}, past the watchdog bound"
+        );
+
+        // A cooperative job (well under the deadline) still completes.
+        let after = client.submit(&[0, 1]).expect("submit after deadline");
+        let (outcome, _) = client.result(after).expect("post-deadline result");
+        assert_eq!(outcome, JobOutcome::Done { payload: vec![1] });
+        let stats = server.stats();
+        assert_eq!(stats.deadline_exceeded, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn cache_is_bounded_by_bytes_and_entries_with_lru_eviction() {
+        let budget = 256;
+        let (server, mut client) = start_with(ServerConfig {
+            workers: 1,
+            cache_max_entries: 8,
+            cache_max_bytes: budget,
+            ..ServerConfig::default()
+        });
+        // 100 distinct jobs sweep far more bytes than the budget.
+        for i in 0..100u8 {
+            let job = client.submit(&[0, i, i, i, i, i, i, i]).expect("submit sweep job");
+            let (outcome, _) = client.result(job).expect("sweep result");
+            assert!(matches!(outcome, JobOutcome::Done { .. }));
+            let stats = server.stats();
+            assert!(
+                stats.cache_bytes <= budget as u64,
+                "cache bytes {} exceed the budget {budget} after job {i}",
+                stats.cache_bytes
+            );
+        }
+        let stats = server.stats();
+        assert!(stats.cache_evictions > 0, "a 100-job sweep must evict: {stats:?}");
+        assert!(stats.cache_bytes > 0 && stats.cache_bytes <= budget as u64, "{stats:?}");
+
+        // The most recent payload is still resident (LRU keeps the
+        // newest), an early one was evicted and recomputes.
+        let (_, cached_recent) = {
+            let job = client.submit(&[0, 99, 99, 99, 99, 99, 99, 99]).expect("resubmit newest");
+            let (o, c) = client.result(job).expect("newest result");
+            (o, c)
+        };
+        assert!(cached_recent, "the newest entry must survive eviction");
+        let job = client.submit(&[0, 0, 0, 0, 0, 0, 0, 0]).expect("resubmit oldest");
+        let (_, cached_old) = client.result(job).expect("oldest result");
+        assert!(!cached_old, "the oldest entry must have been evicted");
+    }
+
+    #[test]
+    fn oversized_submissions_are_rejected_at_admission() {
+        let (server, mut client) =
+            start_with(ServerConfig { workers: 1, max_payload: 8, ..ServerConfig::default() });
+        let err = client.submit(&[0; 16]).expect_err("oversized submit must be rejected");
+        assert!(
+            matches!(err, ServerError::Rejected { ref reason } if reason.contains("max_payload")),
+            "got {err:?}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 0, "a rejected payload is never admitted");
+        assert_eq!(stats.max_payload, 8, "the limit is surfaced in stats");
+        // At the limit is fine.
+        let job = client.submit(&[0, 1, 2, 3, 4, 5, 6, 7]).expect("limit-sized submit");
+        let (outcome, _) = client.result(job).expect("result");
+        assert!(matches!(outcome, JobOutcome::Done { .. }));
+    }
+
+    #[test]
+    fn drain_shutdown_finishes_inflight_work() {
+        let rec = Recorder::enabled();
+        let (mut server, mut client) = start_with(ServerConfig {
+            workers: 1,
+            drain_timeout: Duration::from_secs(10),
+            recorder: rec.clone(),
+            ..ServerConfig::default()
+        });
+        // Several quick jobs: the drain must let all of them finish.
+        let jobs: Vec<u64> =
+            (0..4u8).map(|i| client.submit(&[0, i]).expect("submit drain job")).collect();
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.completed, 4, "drain must finish queued work: {stats:?}");
+        assert_eq!(stats.cancelled, 0, "{stats:?}");
+        let _ = jobs;
+    }
+
+    #[test]
+    fn zero_drain_shutdown_cancels_immediately() {
+        let (mut server, mut client) = start_with(ServerConfig {
+            workers: 1,
+            drain_timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        });
+        let blocker = client.submit(&[1]).expect("submit blocker");
+        let queued = client.submit(&[0, 1]).expect("submit queued");
+        server.shutdown();
+        let stats = server.stats();
+        assert!(stats.cancelled >= 1, "zero drain cancels pending work: {stats:?}");
+        let _ = (blocker, queued);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_and_dropped_not_fatal() {
+        use std::io::Write;
+        let rec = Recorder::enabled();
+        let (server, mut client) = start_with(ServerConfig {
+            workers: 1,
+            recorder: rec.clone(),
+            ..ServerConfig::default()
+        });
+        // A raw connection spews garbage: the handler drops it, counts
+        // it, and the server keeps serving.
+        let mut raw = TcpStream::connect(server.addr()).expect("raw connect");
+        raw.write_all(&[0xFF; 64]).expect("write garbage");
+        drop(raw);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rec.counter_value("server.recv_corrupt") == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(rec.counter_value("server.recv_corrupt") >= 1, "corruption must be counted");
+        let job = client.submit(&[0, 1, 2]).expect("submit after garbage");
+        let (outcome, _) = client.result(job).expect("result");
+        assert_eq!(outcome, JobOutcome::Done { payload: vec![2, 1] });
     }
 }

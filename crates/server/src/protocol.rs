@@ -94,6 +94,34 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Jobs whose runner failed.
     pub failed: u64,
+    /// Submissions refused at admission (oversized payload, full
+    /// queue, shutdown drain).
+    pub rejected: u64,
+    /// Jobs whose runner panicked (caught; finalized as failed).
+    pub panicked: u64,
+    /// Jobs stopped by the per-job deadline watchdog.
+    pub deadline_exceeded: u64,
+    /// Result-cache entries evicted to stay inside the budget.
+    pub cache_evictions: u64,
+    /// Current result-cache occupancy in bytes (a gauge, not a
+    /// counter).
+    pub cache_bytes: u64,
+    /// Worker threads the supervisor respawned after a panic retired
+    /// their predecessor.
+    pub workers_respawned: u64,
+    /// The server's `Submit` payload ceiling in bytes (a limit, not a
+    /// counter — surfaced here so clients can size submissions).
+    pub max_payload: u64,
+}
+
+/// What [`JobMsg::CatalogIs`] carries: the advertised workloads plus
+/// the admission limits a client needs to size its submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogInfo {
+    /// One row per advertised workload.
+    pub entries: Vec<CatalogEntry>,
+    /// The server's `Submit` payload ceiling in bytes.
+    pub max_payload: u64,
 }
 
 /// Messages on a client connection. Requests flow client → server,
@@ -162,10 +190,12 @@ pub enum JobMsg {
     StatsIs(ServerStats),
     /// Client → server: advertise the available workloads.
     Catalog,
-    /// Server → client: the workload catalog.
+    /// Server → client: the workload catalog and admission limits.
     CatalogIs {
         /// One row per advertised workload.
         entries: Vec<CatalogEntry>,
+        /// The server's `Submit` payload ceiling in bytes.
+        max_payload: u64,
     },
 }
 
@@ -307,8 +337,16 @@ impl Wire for JobMsg {
                 w.u64(s.cancelled);
                 w.u64(s.cache_hits);
                 w.u64(s.failed);
+                w.u64(s.rejected);
+                w.u64(s.panicked);
+                w.u64(s.deadline_exceeded);
+                w.u64(s.cache_evictions);
+                w.u64(s.cache_bytes);
+                w.u64(s.workers_respawned);
+                w.u64(s.max_payload);
             }
-            Self::CatalogIs { entries } => {
+            Self::CatalogIs { entries, max_payload } => {
+                w.u64(*max_payload);
                 w.u32(entries.len() as u32);
                 for e in entries {
                     w_str(w, &e.name);
@@ -347,9 +385,17 @@ impl Wire for JobMsg {
                 cancelled: r.u64()?,
                 cache_hits: r.u64()?,
                 failed: r.u64()?,
+                rejected: r.u64()?,
+                panicked: r.u64()?,
+                deadline_exceeded: r.u64()?,
+                cache_evictions: r.u64()?,
+                cache_bytes: r.u64()?,
+                workers_respawned: r.u64()?,
+                max_payload: r.u64()?,
             })),
             TAG_CATALOG => Ok(Self::Catalog),
             TAG_CATALOG_IS => {
+                let max_payload = r.u64()?;
                 let count = r.u32()? as usize;
                 if count * 8 > r.remaining() {
                     return Err(WireError::Malformed { what: "catalog count exceeds payload" });
@@ -358,7 +404,7 @@ impl Wire for JobMsg {
                 for _ in 0..count {
                     entries.push(CatalogEntry { name: r_str(r)?, summary: r_str(r)? });
                 }
-                Ok(Self::CatalogIs { entries })
+                Ok(Self::CatalogIs { entries, max_payload })
             }
             got => Err(WireError::BadTag { got }),
         }
@@ -405,10 +451,18 @@ mod tests {
                 cancelled: 1,
                 cache_hits: 2,
                 failed: 0,
+                rejected: 4,
+                panicked: 1,
+                deadline_exceeded: 2,
+                cache_evictions: 9,
+                cache_bytes: 1 << 20,
+                workers_respawned: 1,
+                max_payload: 16 << 20,
             }),
             JobMsg::Catalog,
             JobMsg::CatalogIs {
                 entries: vec![CatalogEntry { name: "tiny".into(), summary: "unit test".into() }],
+                max_payload: 4096,
             },
         ];
         for msg in msgs {

@@ -21,6 +21,7 @@
 //! runtime's retry/NACK protocol handles a corrupt frame on a real
 //! socket the same way it handles an injected drop.
 
+pub mod chaos;
 pub mod frame;
 pub mod mailbox;
 pub mod tcp;

@@ -9,9 +9,12 @@
 //!
 //! The first stdout line is `listening on ADDR` — scripts bind to port 0
 //! and parse the line to discover the real port. The process then serves
-//! until stdin reaches EOF (or a `quit` line), which triggers a clean
-//! shutdown: queued jobs are cancelled, workers join, and the final
-//! `server.jobs.*` counters are printed to stderr.
+//! until stdin reaches EOF (or a `quit` line), which triggers a graceful
+//! drain: admission stops, in-flight jobs get `--drain-ms` to finish
+//! (stragglers are cancelled), workers join, and the final
+//! `server.jobs.*` counters are printed to stderr — even when the accept
+//! loop was blocked in `accept()` with no client in sight (shutdown
+//! nudges it loose).
 //!
 //! ```text
 //! cip-serve --bind 127.0.0.1:0 --workers 4
@@ -60,8 +63,42 @@ fn parse_args() -> Args {
                 args.cfg.queue_capacity = positive("--queue", &argv[i + 1]);
                 i += 2;
             }
+            "--deadline-ms" if i + 1 < argv.len() => {
+                args.cfg.job_deadline =
+                    Some(std::time::Duration::from_millis(
+                        positive("--deadline-ms", &argv[i + 1]) as u64
+                    ));
+                i += 2;
+            }
+            "--drain-ms" if i + 1 < argv.len() => {
+                let ms = match argv[i + 1].parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => usage_error(&format!(
+                        "--drain-ms takes an integer >= 0, got '{}'",
+                        argv[i + 1]
+                    )),
+                };
+                args.cfg.drain_timeout = std::time::Duration::from_millis(ms);
+                i += 2;
+            }
+            "--max-payload" if i + 1 < argv.len() => {
+                args.cfg.max_payload = positive("--max-payload", &argv[i + 1]);
+                i += 2;
+            }
+            "--cache-entries" if i + 1 < argv.len() => {
+                args.cfg.cache_max_entries = positive("--cache-entries", &argv[i + 1]);
+                i += 2;
+            }
+            "--cache-bytes" if i + 1 < argv.len() => {
+                args.cfg.cache_max_bytes = positive("--cache-bytes", &argv[i + 1]);
+                i += 2;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: cip-serve [--bind ADDR:PORT] [--workers N>=1] [--queue N>=1]");
+                eprintln!(
+                    "usage: cip-serve [--bind ADDR:PORT] [--workers N>=1] [--queue N>=1] \
+                     [--deadline-ms N>=1] [--drain-ms N>=0] [--max-payload BYTES>=1] \
+                     [--cache-entries N>=1] [--cache-bytes BYTES>=1]"
+                );
                 std::process::exit(0);
             }
             other => usage_error(&format!("unknown argument '{other}' (try --help)")),
@@ -101,7 +138,17 @@ fn main() {
     server.shutdown();
     let stats = server.stats();
     eprintln!(
-        "cip-serve: shut down — submitted {}, completed {}, cached {}, cancelled {}, failed {}",
-        stats.submitted, stats.completed, stats.cache_hits, stats.cancelled, stats.failed
+        "cip-serve: shut down — submitted {}, completed {}, cached {}, cancelled {}, failed {}, \
+         rejected {}, panicked {}, deadline-exceeded {}, evictions {}, respawned {}",
+        stats.submitted,
+        stats.completed,
+        stats.cache_hits,
+        stats.cancelled,
+        stats.failed,
+        stats.rejected,
+        stats.panicked,
+        stats.deadline_exceeded,
+        stats.cache_evictions,
+        stats.workers_respawned
     );
 }

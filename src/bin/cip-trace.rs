@@ -41,7 +41,7 @@
 use cip::service::{JobRequest, TraceTotals};
 use cip::trace::{run_traced, ChaosOptions, TraceOptions, TransportKind};
 use cip_runtime::{RepartitionMode, Schedule};
-use cip_server::{Client, JobOutcome};
+use cip_server::{Client, ClientConfig, JobOutcome};
 use cip_sim::scenarios;
 
 struct Args {
@@ -50,11 +50,17 @@ struct Args {
     /// Submit to a running `cip-serve` at this address instead of
     /// executing in-process.
     server: Option<String>,
+    /// Client retry/timeout policy for `--server` mode.
+    client: ClientConfig,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { opts: TraceOptions::default(), out_dir: "results".to_string(), server: None };
+    let mut args = Args {
+        opts: TraceOptions::default(),
+        out_dir: "results".to_string(),
+        server: None,
+        client: ClientConfig::default(),
+    };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -135,6 +141,21 @@ fn parse_args() -> Args {
                 args.server = Some(argv[i + 1].clone());
                 i += 2;
             }
+            "--client-retries" if i + 1 < argv.len() => {
+                args.client.retries =
+                    argv[i + 1].parse().expect("--client-retries takes an integer");
+                i += 2;
+            }
+            "--client-timeout-ms" if i + 1 < argv.len() => {
+                let ms: u64 =
+                    argv[i + 1].parse().expect("--client-timeout-ms takes an integer >= 1");
+                args.client.read_timeout = Some(std::time::Duration::from_millis(ms.max(1)));
+                i += 2;
+            }
+            "--retry-seed" if i + 1 < argv.len() => {
+                args.client.seed = argv[i + 1].parse().expect("--retry-seed takes an integer");
+                i += 2;
+            }
             "--list-scenarios" => {
                 for d in scenarios::list() {
                     println!("{:<16} {}", d.name, d.summary);
@@ -149,7 +170,8 @@ fn parse_args() -> Args {
                      [--schedule barrier|pipelined[:LOOKAHEAD]] [--max-batch N>=1] \
                      [--repartition-mode barrier|overlapped] \
                      [--transport inproc|tcp-threads[:BIND]|tcp[:BIND]] \
-                     [--server ADDR:PORT] [--out DIR]"
+                     [--server ADDR:PORT] [--client-retries N] [--client-timeout-ms N] \
+                     [--retry-seed N] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -204,19 +226,22 @@ fn parse_schedule(spec: &str) -> Schedule {
 
 /// Client mode: submit the run as a job to a `cip-serve` instance, wait
 /// for the result, and write `totals.json` (the deterministic totals —
-/// byte-identical to what the in-process oracle reports).
+/// byte-identical to what the in-process oracle reports). With
+/// `--client-retries`, transient failures (server restart, connection
+/// reset) are retried with seeded backoff: the payload is resubmitted
+/// idempotently and a completed result replays from the server's
+/// content-hash cache bit-identically.
 fn run_remote(addr: &str, args: &Args) {
-    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+    let mut client = Client::connect_with(addr, args.client.clone()).unwrap_or_else(|e| {
         eprintln!("cip-trace: {e}");
         std::process::exit(1);
     });
     let payload = JobRequest::new(args.opts.clone()).encode();
-    let job = client.submit(&payload).unwrap_or_else(|e| {
-        eprintln!("cip-trace: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("submitted job {job} to {addr}, waiting...");
-    let (outcome, cached) = client.result(job).unwrap_or_else(|e| {
+    eprintln!(
+        "submitting job to {addr} (retries {}, timeout {:?}), waiting...",
+        args.client.retries, args.client.read_timeout
+    );
+    let (outcome, cached) = client.run_job(&payload).unwrap_or_else(|e| {
         eprintln!("cip-trace: {e}");
         std::process::exit(1);
     });
@@ -227,7 +252,7 @@ fn run_remote(addr: &str, args: &Args) {
                 std::process::exit(1);
             });
             eprintln!(
-                "job {job} done{}: {} steps, halo {}, shipments {}, migrated {}, pairs {}",
+                "job done{}: {} steps, halo {}, shipments {}, migrated {}, pairs {}",
                 if cached { " (cache hit)" } else { "" },
                 totals.steps,
                 totals.halo,
@@ -243,11 +268,11 @@ fn run_remote(addr: &str, args: &Args) {
             eprintln!("wrote {}", path.display());
         }
         JobOutcome::Failed { reason } => {
-            eprintln!("cip-trace: job {job} failed: {reason}");
+            eprintln!("cip-trace: job failed: {reason}");
             std::process::exit(1);
         }
         JobOutcome::Cancelled => {
-            eprintln!("cip-trace: job {job} was cancelled");
+            eprintln!("cip-trace: job was cancelled");
             std::process::exit(1);
         }
     }

@@ -18,15 +18,18 @@
 //!
 //! [`TraceJobRunner`] implements [`JobRunner`] on top of
 //! [`Session`]: build → advance (with the job's
-//! [`CancelToken`] checked at every batch boundary) → totals. Each
+//! [`cip_runtime::CancelToken`] checked at every batch boundary, and
+//! the server's per-job deadline threaded in as the session's time
+//! budget) → totals. Each
 //! server worker owns one [`SessionWorkspace`], so steady-state service
 //! traffic reuses partitioner scratch instead of reallocating per job.
 
 use crate::trace::{
-    ChaosOptions, RunControl, Session, SessionWorkspace, TraceError, TraceOptions, TraceReport,
+    ChaosOptions, RunBudget, RunControl, Session, SessionWorkspace, TraceError, TraceOptions,
+    TraceReport,
 };
-use cip_runtime::{CancelToken, RepartitionMode, Schedule};
-use cip_server::{CatalogEntry, JobError, JobRunner};
+use cip_runtime::{RepartitionMode, Schedule};
+use cip_server::{CatalogEntry, JobContext, JobError, JobRunner};
 use cip_sim::scenarios;
 use cip_transport::wire::{ByteReader, ByteWriter};
 use cip_transport::WireError;
@@ -331,16 +334,27 @@ impl JobRunner for TraceJobRunner {
     fn run(
         &self,
         payload: &[u8],
-        cancel: &CancelToken,
+        ctx: &JobContext,
         ws: &mut ServiceWorkspace,
     ) -> Result<Vec<u8>, JobError> {
         let req =
             JobRequest::decode(payload).map_err(|e| JobError::Invalid { reason: e.to_string() })?;
         let mut session = Session::build_with(&req.opts, &mut ws.session).map_err(classify)?;
-        let ctrl = RunControl { cancel: cancel.clone(), ..RunControl::default() };
+        // The server's per-job deadline becomes the session's time
+        // budget, so an overrunning trace stops cooperatively at a
+        // batch boundary — the watchdog only has to force the issue for
+        // runners that ignore their budget.
+        let ctrl = RunControl {
+            cancel: ctx.cancel.clone(),
+            budget: RunBudget { max_time: ctx.deadline, ..RunBudget::default() },
+        };
         match session.advance(&ctrl).map_err(classify)? {
             crate::trace::Advance::Cancelled => return Err(JobError::Cancelled),
-            crate::trace::Advance::Finished | crate::trace::Advance::BudgetExhausted => {}
+            crate::trace::Advance::BudgetExhausted => {
+                let limit_ms = ctx.deadline.map_or(0, |d| d.as_millis() as u64);
+                return Err(JobError::DeadlineExceeded { limit_ms });
+            }
+            crate::trace::Advance::Finished => {}
         }
         let report = session.into_report();
         report.verify_totals().map_err(classify)?;

@@ -210,10 +210,11 @@ fn catalog_and_invalid_payloads() {
     let (_server, addr, _rec) = start_server(1);
     let mut client = Client::connect(&addr).expect("client connects");
 
-    let entries = client.catalog().expect("catalog");
-    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
-    assert_eq!(entries.len(), cip::sim::scenarios::list().len());
+    let info = client.catalog().expect("catalog");
+    let names: Vec<&str> = info.entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(info.entries.len(), cip::sim::scenarios::list().len());
     assert!(names.contains(&"head_on") && names.contains(&"tiny"), "{names:?}");
+    assert_eq!(info.max_payload, ServerConfig::default().max_payload as u64);
 
     let job = client.submit(&[0xFF, 0xEE]).expect("garbage submits fine");
     let (outcome, _) = client.result(job).expect("result");
